@@ -1,0 +1,158 @@
+package xst
+
+// The public API: a curated re-export of the extended-set value model,
+// the XST operation algebra and the process layer, so downstream modules
+// can depend on `xst` directly (the implementation packages live under
+// internal/ and are not importable from outside). The storage, engine,
+// distribution and planning subsystems are deliberately not re-exported:
+// they are the reproduction's experimental substrate, not a stable
+// public surface.
+
+import (
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/process"
+	"xst/internal/xlang"
+)
+
+// Value model ---------------------------------------------------------
+
+// Value is an immutable XST value: an atom or an extended set.
+type Value = core.Value
+
+// Set is an immutable extended set of scoped members.
+type Set = core.Set
+
+// Member is one scoped membership fact: Elem ∈_Scope set.
+type Member = core.Member
+
+// Atom constructors and kinds.
+type (
+	// Bool is a boolean atom.
+	Bool = core.Bool
+	// Int is an integer atom.
+	Int = core.Int
+	// Float is a floating-point atom.
+	Float = core.Float
+	// Str is a string atom.
+	Str = core.Str
+)
+
+// Empty returns the empty set ∅.
+func Empty() *Set { return core.Empty() }
+
+// NewSet builds a canonical extended set from members.
+func NewSet(members ...Member) *Set { return core.NewSet(members...) }
+
+// S builds a classical set (every element under the ∅ scope).
+func S(elems ...Value) *Set { return core.S(elems...) }
+
+// M builds a member with an explicit scope.
+func M(elem, scope Value) Member { return core.M(elem, scope) }
+
+// E builds a member with the classical (∅) scope.
+func E(elem Value) Member { return core.E(elem) }
+
+// Pair returns ⟨x, y⟩ = {x¹, y²} (Def 7.2).
+func Pair(x, y Value) *Set { return core.Pair(x, y) }
+
+// Tuple returns ⟨x1, …, xn⟩ = {x1¹, …, xnⁿ} (Def 9.1).
+func Tuple(xs ...Value) *Set { return core.Tuple(xs...) }
+
+// TupLen implements the tup() recognizer (Def 9.1).
+func TupLen(v Value) (int, bool) { return core.TupLen(v) }
+
+// Equal reports structural equality.
+func Equal(a, b Value) bool { return core.Equal(a, b) }
+
+// Compare is the canonical total order (-1, 0, +1).
+func Compare(a, b Value) int { return core.Compare(a, b) }
+
+// Union returns a ∪ b.
+func Union(a, b *Set) *Set { return core.Union(a, b) }
+
+// Intersect returns a ∩ b.
+func Intersect(a, b *Set) *Set { return core.Intersect(a, b) }
+
+// Diff returns a ∼ b.
+func Diff(a, b *Set) *Set { return core.Diff(a, b) }
+
+// Subset reports a ⊆ b.
+func Subset(a, b *Set) bool { return core.Subset(a, b) }
+
+// Algebra -------------------------------------------------------------
+
+// Sigma is a scope pair σ = ⟨σ1, σ2⟩ parameterizing images and
+// processes.
+type Sigma = algebra.Sigma
+
+// NewSigma builds σ = ⟨σ1, σ2⟩.
+func NewSigma(s1, s2 *Set) Sigma { return algebra.NewSigma(s1, s2) }
+
+// StdSigma is σ = ⟨⟨1⟩, ⟨2⟩⟩, the CST-compatible scope pair.
+func StdSigma() Sigma { return algebra.StdSigma() }
+
+// Positions builds the position scope set ⟨p1, …, pn⟩.
+func Positions(ps ...int) *Set { return algebra.Positions(ps...) }
+
+// Image computes R[A]_{⟨σ1,σ2⟩} = 𝔇_{σ2}(R |_{σ1} A) (Def 7.1).
+func Image(r, a *Set, sigma Sigma) *Set { return algebra.Image(r, a, sigma) }
+
+// SigmaDomain computes 𝔇_σ(R) (Def 7.4).
+func SigmaDomain(r, sigma *Set) *Set { return algebra.SigmaDomain(r, sigma) }
+
+// SigmaRestrict computes R |_σ A (Def 7.6).
+func SigmaRestrict(r, sigma, a *Set) *Set { return algebra.SigmaRestrict(r, sigma, a) }
+
+// ReScopeByScope computes A^{/σ/} (Def 7.3).
+func ReScopeByScope(a Value, sigma *Set) *Set { return algebra.ReScopeByScope(a, sigma) }
+
+// ReScopeByElem computes A^{\σ\} (Def 7.5).
+func ReScopeByElem(a Value, sigma *Set) *Set { return algebra.ReScopeByElem(a, sigma) }
+
+// CrossProduct computes A ⊗ B (Def 9.3).
+func CrossProduct(a, b *Set) *Set { return algebra.CrossProduct(a, b) }
+
+// Cartesian computes the CST product A × B inside XST (Def 9.7).
+func Cartesian(a, b *Set) *Set { return algebra.Cartesian(a, b) }
+
+// RelativeProduct computes F /_{⟨σ1,σ2⟩}^{⟨ω1,ω2⟩} G (Def 10.1).
+func RelativeProduct(f, g *Set, sigma, omega Sigma) *Set {
+	return algebra.RelativeProduct(f, g, sigma, omega)
+}
+
+// Processes -----------------------------------------------------------
+
+// Proc is a process f_(σ): a set behavior (§2). Apply instantiates it on
+// a set; ApplyProc on another process (Def 4.1).
+type Proc = process.Proc
+
+// NewProc builds the process f_(σ).
+func NewProc(f *Set, sigma Sigma) Proc { return process.New(f, sigma) }
+
+// StdProc builds f over the standard scope pair.
+func StdProc(f *Set) Proc { return process.Std(f) }
+
+// Compose is the literal Def 11.1 composition.
+func Compose(g, f Proc) Proc { return process.Compose(g, f) }
+
+// StdCompose composes two standard pair processes into one carrier
+// computing g after f.
+func StdCompose(g, f Proc) (Proc, error) { return process.StdCompose(g, f) }
+
+// Identity returns I_A.
+func Identity(a *Set) Proc { return process.Identity(a) }
+
+// Expression language --------------------------------------------------
+
+// Env is an expression-language environment (see LANGUAGE.md).
+type Env = xlang.Env
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return xlang.NewEnv() }
+
+// Eval evaluates one statement of the XST expression language.
+func Eval(env *Env, src string) (Value, error) { return xlang.Eval(env, src) }
+
+// EvalProgram evaluates a multi-line program.
+func EvalProgram(env *Env, src string) (Value, error) { return xlang.EvalProgram(env, src) }

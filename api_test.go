@@ -1,0 +1,126 @@
+package xst_test
+
+import (
+	"testing"
+
+	"xst"
+)
+
+// TestPublicAPI exercises the whole exported surface the way a
+// downstream module would, without touching internal/ packages.
+func TestPublicAPI(t *testing.T) {
+	// Values and classical algebra.
+	a := xst.S(xst.Int(1), xst.Int(2))
+	b := xst.S(xst.Int(2), xst.Int(3))
+	if got := xst.Union(a, b); got.Len() != 3 {
+		t.Fatalf("union = %v", got)
+	}
+	if got := xst.Intersect(a, b); !xst.Equal(got, xst.S(xst.Int(2))) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if !xst.Subset(xst.Diff(a, b), a) {
+		t.Fatal("diff/subset wrong")
+	}
+	if xst.Compare(xst.Int(1), xst.Int(2)) >= 0 {
+		t.Fatal("compare wrong")
+	}
+
+	// Scoped membership and tuples.
+	person := xst.NewSet(
+		xst.M(xst.Str("alice"), xst.Str("name")),
+		xst.E(xst.Int(30)),
+	)
+	if person.Len() != 2 {
+		t.Fatal("scoped construction wrong")
+	}
+	pair := xst.Pair(xst.Str("k"), xst.Str("v"))
+	if n, ok := xst.TupLen(pair); !ok || n != 2 {
+		t.Fatal("pair recognizer wrong")
+	}
+	if n, ok := xst.TupLen(xst.Tuple(xst.Int(1), xst.Int(2), xst.Int(3))); !ok || n != 3 {
+		t.Fatal("tuple recognizer wrong")
+	}
+	if !xst.Empty().IsEmpty() {
+		t.Fatal("empty wrong")
+	}
+
+	// Images.
+	phone := xst.S(
+		xst.Pair(xst.Str("alice"), xst.Str("x1")),
+		xst.Pair(xst.Str("bob"), xst.Str("x2")),
+	)
+	nums := xst.Image(phone, xst.S(xst.Tuple(xst.Str("alice"))), xst.StdSigma())
+	if !xst.Equal(nums, xst.S(xst.Tuple(xst.Str("x1")))) {
+		t.Fatalf("image = %v", nums)
+	}
+	if !xst.Equal(
+		xst.SigmaDomain(phone, xst.Positions(1)),
+		xst.S(xst.Tuple(xst.Str("alice")), xst.Tuple(xst.Str("bob")))) {
+		t.Fatal("σ-domain wrong")
+	}
+	if xst.SigmaRestrict(phone, xst.Positions(1), xst.S(xst.Tuple(xst.Str("alice")))).Len() != 1 {
+		t.Fatal("σ-restriction wrong")
+	}
+
+	// Re-scoping.
+	if got := xst.ReScopeByScope(xst.Tuple(xst.Str("p"), xst.Str("q")), xst.Positions(2, 1)); !xst.Equal(got, xst.Tuple(xst.Str("q"), xst.Str("p"))) {
+		t.Fatalf("re-scope = %v", got)
+	}
+	if xst.ReScopeByElem(xst.Tuple(xst.Str("p")), xst.Positions(1)).IsEmpty() {
+		t.Fatal("re-scope by elem wrong")
+	}
+
+	// Products.
+	if got := xst.Cartesian(xst.S(xst.Str("a")), xst.S(xst.Str("b"))); got.Len() != 1 {
+		t.Fatalf("cartesian = %v", got)
+	}
+	if got := xst.CrossProduct(xst.S(xst.Tuple(xst.Str("a"))), xst.S(xst.Tuple(xst.Str("b")))); !got.HasClassical(xst.Pair(xst.Str("a"), xst.Str("b"))) {
+		t.Fatalf("cross = %v", got)
+	}
+	cst := xst.RelativeProduct(
+		xst.S(xst.Pair(xst.Str("a"), xst.Str("b"))),
+		xst.S(xst.Pair(xst.Str("b"), xst.Str("c"))),
+		xst.NewSigma(xst.Positions(1), xst.NewSet(xst.M(xst.Int(2), xst.Int(1)))),
+		xst.NewSigma(xst.Positions(1), xst.NewSet(xst.M(xst.Int(2), xst.Int(2)))),
+	)
+	if !xst.Equal(cst, xst.S(xst.Pair(xst.Str("a"), xst.Str("c")))) {
+		t.Fatalf("relative product = %v", cst)
+	}
+
+	// Processes.
+	f := xst.StdProc(phone)
+	if !f.IsFunction() {
+		t.Fatal("function predicate wrong")
+	}
+	back := xst.S(
+		xst.Pair(xst.Str("x1"), xst.Str("mobile")),
+		xst.Pair(xst.Str("x2"), xst.Str("office")),
+	)
+	h, err := xst.StdCompose(xst.StdProc(back), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Apply(xst.S(xst.Tuple(xst.Str("alice"))))
+	if !xst.Equal(out, xst.S(xst.Tuple(xst.Str("mobile")))) {
+		t.Fatalf("composed apply = %v", out)
+	}
+	id := xst.Identity(xst.S(xst.Tuple(xst.Str("alice")), xst.Tuple(xst.Str("bob"))))
+	if !xst.Compose(xst.StdProc(back), xst.NewProc(phone, xst.StdSigma())).Sig.Equal(
+		xst.NewSigma(xst.StdSigma().S1, xst.StdSigma().S2)) {
+		t.Fatal("literal compose sigma wrong")
+	}
+	if !id.IsFunction() {
+		t.Fatal("identity wrong")
+	}
+
+	// Expression language.
+	env := xst.NewEnv()
+	v, err := xst.Eval(env, "{1,2} + {3}")
+	if err != nil || !xst.Equal(v, xst.S(xst.Int(1), xst.Int(2), xst.Int(3))) {
+		t.Fatalf("eval = %v, %v", v, err)
+	}
+	v, err = xst.EvalProgram(env, "g := {<a,b>}\ng[{<a>}]")
+	if err != nil || !xst.Equal(v, xst.S(xst.Tuple(xst.Str("b")))) {
+		t.Fatalf("program = %v, %v", v, err)
+	}
+}

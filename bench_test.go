@@ -1,0 +1,245 @@
+// Package xst's root benchmark suite: one testing.B benchmark per
+// reproduced table/figure (E1–E13, mirroring internal/bench and the
+// xstbench binary) plus micro-benchmarks and the ablations DESIGN.md
+// calls out (canonical construction, image, relative product, engine
+// scan disciplines). Run with:
+//
+//	go test -bench=. -benchmem
+package xst_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/bench"
+	"xst/internal/core"
+	"xst/internal/dist"
+	"xst/internal/process"
+	"xst/internal/relational"
+	"xst/internal/store"
+	"xst/internal/table"
+	"xst/internal/wal"
+	"xst/internal/workload"
+	"xst/internal/xsp"
+	"xst/internal/xtest"
+)
+
+func benchConfig() bench.Config { return bench.Config{Quick: true, Seed: 42} }
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, ok := bench.ByID(id, benchConfig())
+		if !ok || !r.Pass {
+			b.Fatalf("%s failed: %+v", id, r.Lines)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkE1SpaceLattice(b *testing.B)      { runExperiment(b, "E1") }
+func BenchmarkE2RefinedSpaces(b *testing.B)     { runExperiment(b, "E2") }
+func BenchmarkE3RelativeProduct(b *testing.B)   { runExperiment(b, "E3") }
+func BenchmarkE4NestedApplication(b *testing.B) { runExperiment(b, "E4") }
+func BenchmarkE5SelfApplication(b *testing.B)   { runExperiment(b, "E5") }
+func BenchmarkE6CSTEmbedding(b *testing.B)      { runExperiment(b, "E6") }
+func BenchmarkE7AlgebraicLaws(b *testing.B)     { runExperiment(b, "E7") }
+func BenchmarkE8SetVsRecord(b *testing.B)       { runExperiment(b, "E8") }
+func BenchmarkE9Composition(b *testing.B)       { runExperiment(b, "E9") }
+func BenchmarkE10Restructuring(b *testing.B)    { runExperiment(b, "E10") }
+func BenchmarkE11DistributedJoin(b *testing.B)  { runExperiment(b, "E11") }
+func BenchmarkE12PlanOptimization(b *testing.B) { runExperiment(b, "E12") }
+func BenchmarkE13ParallelSetProc(b *testing.B)  { runExperiment(b, "E13") }
+
+// --- Core micro-benchmarks and ablations -----------------------------
+
+// BenchmarkSetConstructionBuilder vs BenchmarkSetConstructionUnion is
+// the canonical-construction ablation: one sort at the end versus
+// repeated canonicalization.
+func BenchmarkSetConstructionBuilder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bd := core.NewBuilder(256)
+		for j := 0; j < 256; j++ {
+			bd.AddClassical(core.Int(j * 7 % 256))
+		}
+		if bd.Set().Len() != 256 {
+			b.Fatal("bad set")
+		}
+	}
+}
+
+func BenchmarkSetConstructionUnion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.Empty()
+		for j := 0; j < 256; j++ {
+			s = core.Union(s, core.S(core.Int(j*7%256)))
+		}
+		if s.Len() != 256 {
+			b.Fatal("bad set")
+		}
+	}
+}
+
+func benchRelation(n int) *core.Set {
+	r := xtest.NewRand(99)
+	bd := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		bd.AddClassical(core.Pair(core.Int(r.Intn(n)), core.Int(r.Intn(n))))
+	}
+	return bd.Set()
+}
+
+func BenchmarkImageStdSigma(b *testing.B) {
+	rel := benchRelation(1000)
+	in := core.S(core.Tuple(core.Int(1)), core.Tuple(core.Int(2)), core.Tuple(core.Int(3)))
+	sig := algebra.StdSigma()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algebra.Image(rel, in, sig)
+	}
+}
+
+func BenchmarkRelativeProductCST(b *testing.B) {
+	f := benchRelation(500)
+	g := benchRelation(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algebra.CSTRelativeProduct(f, g)
+	}
+}
+
+func BenchmarkComposeChain(b *testing.B) {
+	chain := workload.RandomChain(7, 4, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := process.Std(chain[0])
+		for _, c := range chain[1:] {
+			h = process.MustStdCompose(process.Std(c), h)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	v := core.Tuple(core.Int(1), core.Str("hello"), core.Pair(core.Int(2), core.Int(3)))
+	enc := core.Encode(v)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DecodeFull(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Engine scan-discipline benchmarks -------------------------------
+
+func benchDataset(b *testing.B, users int) *workload.Dataset {
+	b.Helper()
+	ds, err := workload.Build(workload.Spec{Seed: 1, Users: users, Orders: users, Cities: 50}, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkScanRecordAtATime(b *testing.B) {
+	ds := benchDataset(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := relational.Count(relational.NewTableScan(ds.Users))
+		if err != nil || n != 5000 {
+			b.Fatal(n, err)
+		}
+	}
+}
+
+func BenchmarkScanSetAtATime(b *testing.B) {
+	ds := benchDataset(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := xsp.NewPipeline(ds.Users).Count()
+		if err != nil || n != 5000 {
+			b.Fatal(n, err)
+		}
+	}
+}
+
+func BenchmarkWALCommit(b *testing.B) {
+	base := store.NewMemPager()
+	mgr := wal.NewManager(base, wal.NewMemLog())
+	payload := make([]byte, store.PageSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := mgr.Begin()
+		id, err := txn.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.WritePage(id, payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedSemijoin(b *testing.B) {
+	c := dist.NewCluster(4, 128)
+	if err := c.CreateTable(workload.UsersSchema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.CreateTable(workload.OrdersSchema()); err != nil {
+		b.Fatal(err)
+	}
+	r := xtest.NewRand(5)
+	for i := 0; i < 500; i++ {
+		c.InsertHash("users", 0, table.Row{core.Int(i), core.Str("c"), core.Int(r.Intn(100))})
+	}
+	for i := 0; i < 2000; i++ {
+		c.InsertHash("orders", 1, table.Row{core.Int(i), core.Int(r.Intn(500)), core.Int(r.Intn(1000))})
+	}
+	spec := dist.JoinSpec{
+		Left: "orders", Right: "users", LeftCol: 1, RightCol: 0,
+		LeftPred:     func(row table.Row) bool { return core.Compare(row[2], core.Int(50)) < 0 },
+		LeftPredName: "amount<50",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Join(spec, dist.SemiJoin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectivitySweepSetVsRecord(b *testing.B) {
+	ds := benchDataset(b, 5000)
+	cityCol := ds.Users.Schema().Col("city")
+	for _, cities := range []int{2, 10, 50} {
+		target := core.Str(fmt.Sprintf("city-%03d", cities/2))
+		b.Run(fmt.Sprintf("record/1-in-%d", cities), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := relational.Count(&relational.Filter{
+					Child: relational.NewTableScan(ds.Users),
+					Pred:  relational.ColEq(cityCol, target),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("set/1-in-%d", cities), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := xsp.NewPipeline(ds.Users, &xsp.Restrict{
+					Pred: func(r table.Row) bool { return core.Equal(r[cityCol], target) },
+					Name: "city",
+				}).Count(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

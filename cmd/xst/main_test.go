@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xst/internal/xlang"
+)
+
+func TestRunScript(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "demo.xst")
+	src := `# demo script
+f := {<a,x>, <b,y>}
+f[{<a>}]
+card(f)
+`
+	if err := os.WriteFile(script, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := xlang.NewEnv()
+	if err := runScript(env, script); err != nil {
+		t.Fatal(err)
+	}
+	// The script's binding persists in the environment.
+	if _, ok := env.Lookup("f"); !ok {
+		t.Fatal("script binding lost")
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "bad.xst")
+	os.WriteFile(script, []byte("ok := {1}\n}{broken\n"), 0o644)
+	err := runScript(xlang.NewEnv(), script)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v must carry line number", err)
+	}
+	if err := runScript(xlang.NewEnv(), filepath.Join(dir, "missing.xst")); err == nil {
+		t.Fatal("missing script must fail")
+	}
+}
+
+func TestEvalLine(t *testing.T) {
+	env := xlang.NewEnv()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	if err := evalLine(env, "x := {1,2}", null); err != nil {
+		t.Fatal(err)
+	}
+	if err := evalLine(env, "}{", null); err == nil {
+		t.Fatal("bad expression must error")
+	}
+}

@@ -1,0 +1,54 @@
+// Command xstbench regenerates the reproduction's evaluation artifacts:
+// every figure, worked example, law table and performance claim, as
+// experiments E1–E10 (see DESIGN.md for the index and EXPERIMENTS.md for
+// paper-vs-measured records).
+//
+// Usage:
+//
+//	xstbench              # run everything at full scale
+//	xstbench -quick       # shrunken workloads (seconds, for CI)
+//	xstbench -exp E8      # one experiment
+//	xstbench -seed 7      # reseed the randomized workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xst/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "run a single experiment (E1..E10)")
+		quick = flag.Bool("quick", false, "shrink performance workloads")
+		seed  = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	var results []bench.Result
+	if *exp != "" {
+		r, ok := bench.ByID(*exp, cfg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E10)\n", *exp)
+			os.Exit(2)
+		}
+		results = []bench.Result{r}
+	} else {
+		results = bench.All(cfg)
+	}
+
+	failures := 0
+	for _, r := range results {
+		fmt.Println(r.Render())
+		if !r.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "xstbench: %d experiment(s) mismatched\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package xst is a complete Go implementation of D. L. Childs' Extended
+// Set Theory (VLDB 1977): the scoped-membership data model, its
+// operation algebra, processes-as-behaviors, the process/function space
+// taxonomy, and the set-processing storage, distribution and
+// optimization substrates the theory was invented to found.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the paper-vs-measured record. The root package holds the
+// benchmark suite (bench_test.go) regenerating every evaluation
+// artifact as testing.B benchmarks.
+package xst

@@ -1,0 +1,61 @@
+// Quickstart: first contact with the extended-set API — scoped
+// membership, tuples-as-sets, images, processes and application. Run it
+// with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+func main() {
+	// 1. Extended sets: membership carries a scope. A classical set is
+	// the special case where every scope is ∅.
+	classical := core.S(core.Int(1), core.Int(2))
+	scoped := core.NewSet(
+		core.M(core.Str("alice"), core.Str("name")),
+		core.M(core.Int(30), core.Str("age")),
+	)
+	fmt.Println("classical:", classical) // {1, 2}
+	fmt.Println("scoped:   ", scoped)    // {30^"age", "alice"^"name"}
+
+	// 2. Tuples are sets (Def 7.2/9.1): ⟨x,y⟩ = {x^1, y^2}.
+	pair := core.Pair(core.Str("key"), core.Str("value"))
+	fmt.Println("pair:     ", pair)
+	if n, ok := core.TupLen(pair); ok {
+		fmt.Println("tup(pair):", n)
+	}
+
+	// 3. The image operation is the paper's data access primitive:
+	// R[A]_{⟨σ1,σ2⟩} = 𝔇_{σ2}(R |_{σ1} A). With the standard σ over a
+	// set of pairs it reads like function application on sets.
+	phone := core.S(
+		core.Pair(core.Str("alice"), core.Str("555-0100")),
+		core.Pair(core.Str("bob"), core.Str("555-0199")),
+		core.Pair(core.Str("alice"), core.Str("555-0177")),
+	)
+	who := core.S(core.Tuple(core.Str("alice")))
+	numbers := algebra.Image(phone, who, algebra.StdSigma())
+	fmt.Println("phone[alice]:", numbers) // both of alice's numbers
+
+	// 4. Processes are behaviors, not sets (§2): f_(σ) applied to a set
+	// produces a set; applied to a process it produces a process.
+	f := process.Std(phone)
+	fmt.Println("is function:", f.IsFunction()) // false: alice has two numbers
+	fmt.Println("domain:     ", f.DomainSet())
+
+	// 5. Composition collapses pipelines into one carrier (§11).
+	owner := core.S(
+		core.Pair(core.Str("555-0100"), core.Str("mobile")),
+		core.Pair(core.Str("555-0199"), core.Str("office")),
+	)
+	g := process.Std(owner)
+	h := process.MustStdCompose(g, f)
+	fmt.Println("g∘f carrier:", h.F)
+	fmt.Println("g∘f(alice): ", h.Apply(who))
+}

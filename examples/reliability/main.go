@@ -1,0 +1,92 @@
+// Reliability demonstrates the write-ahead log substrate behind the
+// paper's §1 promise of "intrinsically reliable systems": transactions
+// over paged storage that survive a crash at any point — committed work
+// is redone from the log, torn transactions vanish atomically. Run it
+// with:
+//
+//	go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+
+	"xst/internal/store"
+	"xst/internal/wal"
+)
+
+func pageWith(tag string) []byte {
+	p := make([]byte, store.PageSize)
+	copy(p, tag)
+	return p
+}
+
+func read(p store.Pager, id store.PageID) string {
+	buf := make([]byte, store.PageSize)
+	if int(id) >= p.NumPages() {
+		return "<unallocated>"
+	}
+	if err := p.ReadPage(id, buf); err != nil {
+		return "<" + err.Error() + ">"
+	}
+	n := 0
+	for n < len(buf) && buf[n] != 0 {
+		n++
+	}
+	if n == 0 {
+		return "<zero>"
+	}
+	return string(buf[:n])
+}
+
+func main() {
+	base := store.NewMemPager()
+	log := wal.NewMemLog()
+	mgr := wal.NewManager(base, log)
+
+	// Transaction 1: commits normally.
+	t1 := mgr.Begin()
+	p1, _ := t1.Allocate()
+	t1.WritePage(p1, pageWith("accounts: alice=100 bob=50"))
+	if err := t1.Commit(); err != nil {
+		panic(err)
+	}
+	fmt.Println("t1 committed:", read(base, p1))
+
+	// Transaction 2: a transfer that will be torn by a crash.
+	t2 := mgr.Begin()
+	p2, _ := t2.Allocate()
+	t2.WritePage(p1, pageWith("accounts: alice=40 bob=110"))
+	t2.WritePage(p2, pageWith("audit: alice->bob 60"))
+	records := log.Len()
+	if err := t2.Commit(); err != nil {
+		panic(err)
+	}
+	fmt.Println("t2 committed:", read(base, p1), "|", read(base, p2))
+
+	// CRASH: lose the base pager entirely and cut the log just before
+	// t2's commit marker — the worst case: t2's page images are in the
+	// log but the transaction never committed.
+	fmt.Println("\n*** crash: base storage lost, log torn mid-commit ***")
+	torn := wal.NewMemLog()
+	full, _ := log.Records()
+	for _, r := range full[:records+2] { // t2's alloc+page records, no commit
+		torn.Append(r)
+	}
+	restored := store.NewMemPager()
+	n, err := wal.Recover(restored, torn)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recovery replayed %d committed transaction(s)\n", n)
+	fmt.Println("page p1 after recovery:", read(restored, p1))
+	fmt.Println("page p2 after recovery:", read(restored, p2))
+	fmt.Println("\nt1's state survived; the torn t2 vanished atomically.")
+
+	// Recover from the complete log instead: t2 is redone too.
+	fmt.Println("\n*** recovery from the complete log ***")
+	restored2 := store.NewMemPager()
+	n, _ = wal.Recover(restored2, log)
+	fmt.Printf("recovery replayed %d committed transaction(s)\n", n)
+	fmt.Println("page p1:", read(restored2, p1))
+	fmt.Println("page p2:", read(restored2, p2))
+}

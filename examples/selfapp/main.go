@@ -1,0 +1,53 @@
+// Selfapp walks through Appendix B of the formal text: a single carrier
+// set f that, by applying itself to itself under two scope pairs,
+// generates all four unary behaviors over A = {⟨a⟩, ⟨b⟩} — the
+// self-application XST supports and classical set theory cannot express.
+// Run it with:
+//
+//	go run ./examples/selfapp
+package main
+
+import (
+	"fmt"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+func tup(xs ...string) *core.Set {
+	vs := make([]core.Value, len(xs))
+	for i, x := range xs {
+		vs[i] = core.Str(x)
+	}
+	return core.Tuple(vs...)
+}
+
+func main() {
+	f := core.S(tup("a", "a", "a", "b", "b"), tup("b", "b", "a", "a", "b"))
+	sigma := algebra.StdSigma()
+	omega := algebra.NewSigma(algebra.Positions(1), algebra.Positions(1, 3, 4, 5, 2))
+	fs, fw := process.New(f, sigma), process.New(f, omega)
+
+	fmt.Println("carrier f =", f)
+	fmt.Println("σ =", sigma, " ω =", omega)
+	fmt.Println()
+
+	a, b := core.S(tup("a")), core.S(tup("b"))
+	show := func(name string, p process.Proc) {
+		fmt.Printf("%-32s  {⟨a⟩} ↦ %-8v  {⟨b⟩} ↦ %-8v\n", name, p.Apply(a), p.Apply(b))
+	}
+
+	// The four unary behaviors over a 2-element set, all from one f:
+	show("f_(σ)  (≡ g1, identity)", fs)
+	show("f_(ω)(f_(σ))  (≡ g2)", fw.ApplyProc(fs))
+	show("(f_(ω)(f_(ω)))(f_(σ))  (≡ g3)", fw.ApplyProc(fw).ApplyProc(fs))
+	show("(f_(ω)(f_(ω))(f_(ω)))(f_(σ)) (≡ g4)", fw.ApplyProc(fw).ApplyProc(fw).ApplyProc(fs))
+
+	fmt.Println()
+	fmt.Println("f_(ω) applied to itself rewrites its own carrier:")
+	fmt.Println("  f[f]_ω =", fw.ApplyProc(fw).F)
+	fmt.Println()
+	id := process.Identity(core.S(tup("a"), tup("b")))
+	fmt.Println("f_(σ) ≡ I_A:", fs.Equivalent(id))
+}

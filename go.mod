@@ -1,0 +1,3 @@
+module xst
+
+go 1.22

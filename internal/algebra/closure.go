@@ -1,0 +1,54 @@
+package algebra
+
+import "xst/internal/core"
+
+// BigUnion implements ⋃A: the union of all set-valued elements of A.
+// Scopes inside the element sets are preserved; non-set elements
+// contribute nothing. (⋃∅ = ∅.)
+func BigUnion(a *core.Set) *core.Set {
+	b := core.NewBuilder(a.Len())
+	for _, m := range a.Members() {
+		if s, ok := m.Elem.(*core.Set); ok {
+			b.AddSet(s)
+		}
+	}
+	return b.Set()
+}
+
+// TransitiveClosure returns R⁺ for a set of classical pairs: the
+// smallest transitive relation containing R, computed by semi-naive
+// iteration of the CST relative product (each round joins only the
+// newly discovered pairs against R). Non-pair members are ignored.
+func TransitiveClosure(r *core.Set) *core.Set {
+	// Keep only the pair members.
+	pairs := core.NewBuilder(r.Len())
+	for _, m := range r.Members() {
+		if n, ok := core.TupLen(m.Elem); ok && n == 2 {
+			pairs.AddMember(m)
+		}
+	}
+	closure := pairs.Set()
+	delta := closure
+	for !delta.IsEmpty() {
+		next := CSTRelativeProduct(delta, closure)
+		delta = core.Diff(next, closure)
+		closure = core.Union(closure, delta)
+	}
+	return closure
+}
+
+// ReflexiveTransitiveClosure returns R* = R⁺ ∪ {⟨x,x⟩ : x in field(R)}.
+func ReflexiveTransitiveClosure(r *core.Set) *core.Set {
+	plus := TransitiveClosure(r)
+	b := core.NewBuilder(plus.Len())
+	b.AddSet(plus)
+	for _, m := range plus.Members() {
+		elems, ok := core.TupleElems(m.Elem)
+		if !ok || len(elems) != 2 {
+			continue
+		}
+		b.AddClassical(core.Pair(elems[0], elems[0]))
+		b.AddClassical(core.Pair(elems[1], elems[1]))
+	}
+	return b.Set()
+}

@@ -1,0 +1,109 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+func TestBigUnion(t *testing.T) {
+	a := core.S(
+		core.S(core.Int(1), core.Int(2)),
+		core.S(core.Int(2), core.Int(3)),
+		core.Int(99), // atom: ignored
+	)
+	got := BigUnion(a)
+	wantEqual(t, got, core.S(core.Int(1), core.Int(2), core.Int(3)))
+	if !BigUnion(core.Empty()).IsEmpty() {
+		t.Fatal("⋃∅ = ∅")
+	}
+	// Scoped members inside elements survive.
+	b := core.S(core.NewSet(core.M(core.Int(1), core.Str("s"))))
+	wantEqual(t, BigUnion(b), core.NewSet(core.M(core.Int(1), core.Str("s"))))
+}
+
+func chain(n int) *core.Set {
+	b := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddClassical(core.Pair(core.Int(i), core.Int(i+1)))
+	}
+	return b.Set()
+}
+
+func TestTransitiveClosureChain(t *testing.T) {
+	// 0→1→2→3: closure has n(n+1)/2 pairs for a length-n chain.
+	got := TransitiveClosure(chain(3))
+	if got.Len() != 6 {
+		t.Fatalf("closure of 3-chain has %d pairs, want 6", got.Len())
+	}
+	if !got.HasClassical(core.Pair(core.Int(0), core.Int(3))) {
+		t.Fatal("missing 0→3")
+	}
+	if got.HasClassical(core.Pair(core.Int(3), core.Int(0))) {
+		t.Fatal("spurious 3→0")
+	}
+}
+
+func TestTransitiveClosureCycle(t *testing.T) {
+	r := core.S(
+		core.Pair(core.Int(0), core.Int(1)),
+		core.Pair(core.Int(1), core.Int(2)),
+		core.Pair(core.Int(2), core.Int(0)),
+	)
+	got := TransitiveClosure(r)
+	// A 3-cycle closes to the complete relation on 3 nodes: 9 pairs.
+	if got.Len() != 9 {
+		t.Fatalf("closure of 3-cycle has %d pairs, want 9", got.Len())
+	}
+	if !got.HasClassical(core.Pair(core.Int(1), core.Int(1))) {
+		t.Fatal("cycle must reach itself")
+	}
+}
+
+func TestTransitiveClosureProperties(t *testing.T) {
+	rnd := xtest.NewRand(0xC10)
+	cfg := xtest.DefaultConfig()
+	for trial := 0; trial < 100; trial++ {
+		r := cfg.Relation(rnd, 1+rnd.Intn(10), 5, 5)
+		plus := TransitiveClosure(r)
+		// Contains R.
+		if !core.Subset(r, plus) {
+			t.Fatalf("R ⊄ R⁺: %v vs %v", r, plus)
+		}
+		// Idempotent.
+		if !core.Equal(TransitiveClosure(plus), plus) {
+			t.Fatal("R⁺ not idempotent")
+		}
+		// Transitive: R⁺/R⁺ ⊆ R⁺.
+		if !core.Subset(CSTRelativeProduct(plus, plus), plus) {
+			t.Fatal("R⁺ not transitive")
+		}
+	}
+}
+
+func TestTransitiveClosureIgnoresNonPairs(t *testing.T) {
+	r := core.S(
+		core.Pair(core.Int(1), core.Int(2)),
+		core.Tuple(core.Int(9)), // 1-tuple: dropped
+		core.Int(7),             // atom: dropped
+	)
+	got := TransitiveClosure(r)
+	wantEqual(t, got, core.S(core.Pair(core.Int(1), core.Int(2))))
+}
+
+func TestReflexiveTransitiveClosure(t *testing.T) {
+	got := ReflexiveTransitiveClosure(chain(2))
+	// 0→1→2: R⁺ = {01,12,02} plus reflexive {00,11,22} = 6.
+	if got.Len() != 6 {
+		t.Fatalf("R* has %d pairs, want 6", got.Len())
+	}
+	for i := 0; i <= 2; i++ {
+		if !got.HasClassical(core.Pair(core.Int(i), core.Int(i))) {
+			t.Fatalf("missing reflexive pair %d", i)
+		}
+	}
+	if !ReflexiveTransitiveClosure(core.Empty()).IsEmpty() {
+		t.Fatal("∅* = ∅")
+	}
+}

@@ -1,0 +1,36 @@
+package algebra
+
+import "xst/internal/core"
+
+// SigmaDomain implements Def 7.4, the σ-Domain:
+//
+//	𝔇_σ(R) = { x^s : ∃z,w ( z ∈_w R  &  x = z^{/σ/} ≠ ∅  &  s = w^{/σ/} ) }
+//
+// Every member z of R is re-scoped through σ; members whose re-scope is
+// empty vanish. The member's own scope w is re-scoped the same way, so
+// scope structure travels with the data — this is how XST keeps physical
+// layout (scopes) attached to logical content (elements).
+//
+// With σ = ⟨2⟩ and R a set of classical pairs {x^1, y^2}, 𝔇_σ is exactly
+// the CST 2-domain (range); with σ = ⟨1⟩ it is the CST 1-domain.
+func SigmaDomain(r *core.Set, sigma *core.Set) *core.Set {
+	if sigma.IsEmpty() {
+		return core.Empty() // Consequence 7.1(e): 𝔇_∅(R) = ∅.
+	}
+	b := core.NewBuilder(r.Len())
+	for _, m := range r.Members() {
+		x := ReScopeByScope(m.Elem, sigma)
+		if x.IsEmpty() {
+			continue
+		}
+		s := ReScopeByScope(m.Scope, sigma)
+		b.Add(x, s)
+	}
+	return b.Set()
+}
+
+// Domain1 is the CST 1-domain 𝔇₁ (Def 3.4) realized as 𝔇_⟨1⟩.
+func Domain1(r *core.Set) *core.Set { return SigmaDomain(r, core.Tuple(core.Int(1))) }
+
+// Domain2 is the CST 2-domain 𝔇₂ (Def 3.5) realized as 𝔇_⟨2⟩.
+func Domain2(r *core.Set) *core.Set { return SigmaDomain(r, core.Tuple(core.Int(2))) }

@@ -1,0 +1,64 @@
+package algebra_test
+
+import (
+	"fmt"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+)
+
+func ExampleImage() {
+	// R[A]_{⟨σ1,σ2⟩} — the paper's data-access primitive.
+	phone := core.S(
+		core.Pair(core.Str("alice"), core.Str("555-0100")),
+		core.Pair(core.Str("bob"), core.Str("555-0199")),
+		core.Pair(core.Str("alice"), core.Str("555-0177")),
+	)
+	who := core.S(core.Tuple(core.Str("alice")))
+	fmt.Println(algebra.Image(phone, who, algebra.StdSigma()))
+	// Output:
+	// {<"555-0100">, <"555-0177">}
+}
+
+func ExampleReScopeByScope() {
+	// Def 7.3: {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}.
+	a := core.NewSet(
+		core.M(core.Str("a"), core.Str("x")),
+		core.M(core.Str("b"), core.Str("y")),
+		core.M(core.Str("c"), core.Str("z")),
+	)
+	sigma := core.NewSet(
+		core.M(core.Str("x"), core.Int(1)),
+		core.M(core.Str("y"), core.Int(2)),
+		core.M(core.Str("z"), core.Int(3)),
+	)
+	fmt.Println(algebra.ReScopeByScope(a, sigma))
+	// Output:
+	// <"a","b","c">
+}
+
+func ExampleSigmaDomain() {
+	// 𝔇_⟨3,1⟩ reorders tuple positions: third then first.
+	r := core.S(core.Tuple(core.Str("a"), core.Str("b"), core.Str("c")))
+	fmt.Println(algebra.SigmaDomain(r, algebra.Positions(3, 1)))
+	// Output:
+	// {<"c","a">}
+}
+
+func ExampleCSTRelativeProduct() {
+	f := core.S(core.Pair(core.Str("a"), core.Str("b")))
+	g := core.S(core.Pair(core.Str("b"), core.Str("c")))
+	fmt.Println(algebra.CSTRelativeProduct(f, g))
+	// Output:
+	// {<"a","c">}
+}
+
+func ExampleTransitiveClosure() {
+	r := core.S(
+		core.Pair(core.Int(1), core.Int(2)),
+		core.Pair(core.Int(2), core.Int(3)),
+	)
+	fmt.Println(algebra.TransitiveClosure(r))
+	// Output:
+	// {<1,2>, <1,3>, <2,3>}
+}

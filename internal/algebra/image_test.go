@@ -1,0 +1,118 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+)
+
+// tupleScoped builds the member ⟨elems...⟩^⟨scopes...⟩ inside a set.
+func pairScoped(e1, e2, s1, s2 core.Value) core.Member {
+	return core.M(core.Tuple(e1, e2), core.Tuple(s1, s2))
+}
+
+// example81F is f = {⟨a,x⟩^⟨A,Z⟩, ⟨b,y⟩^⟨B,Y⟩, ⟨c,x⟩^⟨A,Z⟩} from
+// Example 8.1. (The third member carries ⟨A,Z⟩ per the paper's computed
+// domains: 𝔇_{σ1}(f) = {⟨a⟩^⟨A⟩, ⟨b⟩^⟨B⟩, ⟨c⟩^⟨A⟩}.)
+func example81F() *core.Set {
+	return core.NewSet(
+		pairScoped(str("a"), str("x"), str("A"), str("Z")),
+		pairScoped(str("b"), str("y"), str("B"), str("Y")),
+		pairScoped(str("c"), str("x"), str("A"), str("Z")),
+	)
+}
+
+// TestExample81Forward checks f_(σ)({⟨a⟩^⟨A⟩}) = {⟨x⟩^⟨Z⟩} with
+// σ = ⟨⟨1⟩, ⟨2⟩⟩.
+func TestExample81Forward(t *testing.T) {
+	f := example81F()
+	in := core.NewSet(core.M(core.Tuple(str("a")), core.Tuple(str("A"))))
+	got := Image(f, in, StdSigma())
+	want := core.NewSet(core.M(core.Tuple(str("x")), core.Tuple(str("Z"))))
+	wantEqual(t, got, want)
+}
+
+// TestExample81Inverse checks f_(τ)({⟨x⟩^⟨Z⟩}) = {⟨a⟩^⟨A⟩, ⟨c⟩^⟨A⟩} with
+// τ = ⟨⟨2⟩, ⟨1⟩⟩ — the inverse behaves as a process but not a function.
+func TestExample81Inverse(t *testing.T) {
+	f := example81F()
+	in := core.NewSet(core.M(core.Tuple(str("x")), core.Tuple(str("Z"))))
+	got := Image(f, in, InverseStdSigma())
+	want := core.NewSet(
+		core.M(core.Tuple(str("a")), core.Tuple(str("A"))),
+		core.M(core.Tuple(str("c")), core.Tuple(str("A"))),
+	)
+	wantEqual(t, got, want)
+}
+
+// TestExample81Domains checks the paper's stated σ1- and σ2-domains.
+func TestExample81Domains(t *testing.T) {
+	f := example81F()
+	d1 := SigmaDomain(f, StdSigma().S1)
+	want1 := core.NewSet(
+		core.M(core.Tuple(str("a")), core.Tuple(str("A"))),
+		core.M(core.Tuple(str("b")), core.Tuple(str("B"))),
+		core.M(core.Tuple(str("c")), core.Tuple(str("A"))),
+	)
+	wantEqual(t, d1, want1)
+	d2 := SigmaDomain(f, StdSigma().S2)
+	want2 := core.NewSet(
+		core.M(core.Tuple(str("x")), core.Tuple(str("Z"))),
+		core.M(core.Tuple(str("y")), core.Tuple(str("Y"))),
+	)
+	wantEqual(t, d2, want2)
+}
+
+// TestRestrictionIsSubset checks R |_σ A ⊆ R on assorted operands.
+func TestRestrictionIsSubset(t *testing.T) {
+	f := example81F()
+	probes := []*core.Set{
+		core.S(core.Tuple(str("a"))),
+		core.S(core.Empty()),
+		core.Empty(),
+		f,
+	}
+	for _, a := range probes {
+		got := SigmaRestrict(f, StdSigma().S1, a)
+		if !core.Subset(got, f) {
+			t.Fatalf("restriction by %v not a subset: %v", a, got)
+		}
+	}
+}
+
+// TestUniversalProbeMatchesAll checks the {∅^∅} input selects every
+// member (∅ ⊆ z for all z), so the image is the full σ2-domain.
+func TestUniversalProbeMatchesAll(t *testing.T) {
+	f := example81F()
+	got := Image(f, core.S(core.Empty()), StdSigma())
+	wantEqual(t, got, SigmaDomain(f, StdSigma().S2))
+}
+
+// TestCSTImageEquivalence checks Def 3.6 against the XST realization on a
+// classical relation: R[A] = 𝔇₂(R|A), computed with σ = ⟨⟨1⟩,⟨2⟩⟩ and
+// 1-tuple-wrapped inputs/outputs.
+func TestCSTImageEquivalence(t *testing.T) {
+	r := core.S(
+		core.Pair(core.Int(1), str("p")),
+		core.Pair(core.Int(1), str("q")),
+		core.Pair(core.Int(2), str("r")),
+	)
+	a := core.S(core.Tuple(core.Int(1)))
+	got := Image(r, a, StdSigma())
+	want := core.S(core.Tuple(str("p")), core.Tuple(str("q")))
+	wantEqual(t, got, want)
+}
+
+func TestImageEmptyCases(t *testing.T) {
+	f := example81F()
+	sig := StdSigma()
+	if !Image(f, core.Empty(), sig).IsEmpty() {
+		t.Fatal("Q[∅]_σ must be ∅")
+	}
+	if !Image(core.Empty(), core.S(str("a")), sig).IsEmpty() {
+		t.Fatal("∅[A]_σ must be ∅")
+	}
+	if !Image(f, core.S(core.Tuple(str("a"))), NewSigma(core.Empty(), core.Empty())).IsEmpty() {
+		t.Fatal("Q[A]_∅ must be ∅")
+	}
+}

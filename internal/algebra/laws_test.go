@@ -1,0 +1,188 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+// The laws below are Consequence 7.1 (domain), Consequence C.1 (image)
+// and Consequence 8.1 (function properties) checked over randomized
+// extended sets. Experiment E7 re-runs the same checks as a reported
+// table; these tests are its correctness anchor.
+
+const lawTrials = 400
+
+func lawRand() (*xtest.Rand, xtest.Config) {
+	return xtest.NewRand(0xE7), xtest.DefaultConfig()
+}
+
+// randSigma draws a small scope set biased toward positional scopes so
+// that re-scoping actually fires.
+func randSigma(r *xtest.Rand) *core.Set {
+	n := 1 + r.Intn(3)
+	b := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Add(core.Int(1+r.Intn(4)), core.Int(1+r.Intn(4)))
+	}
+	return b.Set()
+}
+
+func randSigmaPair(r *xtest.Rand) Sigma {
+	return NewSigma(randSigma(r), randSigma(r))
+}
+
+// randCarrier draws a set of small tuples, the typical carrier shape.
+func randCarrier(r *xtest.Rand, cfg xtest.Config) *core.Set {
+	n := r.Intn(5)
+	b := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddClassical(cfg.Tuple(r, 4))
+	}
+	return b.Set()
+}
+
+// TestDomainLaws71 checks Consequence 7.1(a)–(e).
+func TestDomainLaws71(t *testing.T) {
+	r, cfg := lawRand()
+	for i := 0; i < lawTrials; i++ {
+		q, s := randCarrier(r, cfg), randCarrier(r, cfg)
+		sigma := randSigma(r)
+
+		// (a) 𝔇_σ(Q ∪ S) = 𝔇_σ(Q) ∪ 𝔇_σ(S)
+		if !core.Equal(SigmaDomain(core.Union(q, s), sigma),
+			core.Union(SigmaDomain(q, sigma), SigmaDomain(s, sigma))) {
+			t.Fatalf("7.1(a) failed: Q=%v S=%v σ=%v", q, s, sigma)
+		}
+		// (b) 𝔇_σ(Q ∩ S) ⊆ 𝔇_σ(Q) ∩ 𝔇_σ(S)
+		if !core.Subset(SigmaDomain(core.Intersect(q, s), sigma),
+			core.Intersect(SigmaDomain(q, sigma), SigmaDomain(s, sigma))) {
+			t.Fatalf("7.1(b) failed: Q=%v S=%v σ=%v", q, s, sigma)
+		}
+		// (c) 𝔇_σ(Q) ∼ 𝔇_σ(S) ⊆ 𝔇_σ(Q ∼ S)
+		if !core.Subset(core.Diff(SigmaDomain(q, sigma), SigmaDomain(s, sigma)),
+			SigmaDomain(core.Diff(q, s), sigma)) {
+			t.Fatalf("7.1(c) failed: Q=%v S=%v σ=%v", q, s, sigma)
+		}
+		// (d) Q ⊆ S → 𝔇_σ(Q) ⊆ 𝔇_σ(S)
+		sub := core.Intersect(q, s)
+		if !core.Subset(SigmaDomain(sub, sigma), SigmaDomain(s, sigma)) {
+			t.Fatalf("7.1(d) failed: sub=%v S=%v σ=%v", sub, s, sigma)
+		}
+		// (e) 𝔇_∅(Q) = ∅
+		if !SigmaDomain(q, core.Empty()).IsEmpty() {
+			t.Fatalf("7.1(e) failed: Q=%v", q)
+		}
+	}
+}
+
+// TestImageLawsC1 checks Consequence C.1(a)–(k).
+func TestImageLawsC1(t *testing.T) {
+	r, cfg := lawRand()
+	for i := 0; i < lawTrials; i++ {
+		q, rr := randCarrier(r, cfg), randCarrier(r, cfg)
+		a, b := randCarrier(r, cfg), randCarrier(r, cfg)
+		sig := randSigmaPair(r)
+
+		// (a) Q[A ∪ B]_σ = Q[A]_σ ∪ Q[B]_σ
+		if !core.Equal(Image(q, core.Union(a, b), sig),
+			core.Union(Image(q, a, sig), Image(q, b, sig))) {
+			t.Fatalf("C.1(a) failed: Q=%v A=%v B=%v σ=%v", q, a, b, sig)
+		}
+		// (b) Q[A ∩ B]_σ ⊆ Q[A]_σ ∩ Q[B]_σ
+		if !core.Subset(Image(q, core.Intersect(a, b), sig),
+			core.Intersect(Image(q, a, sig), Image(q, b, sig))) {
+			t.Fatalf("C.1(b) failed: Q=%v A=%v B=%v", q, a, b)
+		}
+		// (c) Q[A]_σ ∼ Q[B]_σ ⊆ Q[A ∼ B]_σ
+		if !core.Subset(core.Diff(Image(q, a, sig), Image(q, b, sig)),
+			Image(q, core.Diff(a, b), sig)) {
+			t.Fatalf("C.1(c) failed: Q=%v A=%v B=%v", q, a, b)
+		}
+		// (d) A ⊆ B → Q[A]_σ ⊆ Q[B]_σ
+		sub := core.Intersect(a, b)
+		if !core.Subset(Image(q, sub, sig), Image(q, b, sig)) {
+			t.Fatalf("C.1(d) failed: sub=%v B=%v", sub, b)
+		}
+		// (g) Q[∅]_σ = ∅, ∅[A]_σ = ∅, Q[A]_∅ = ∅
+		if !Image(q, core.Empty(), sig).IsEmpty() ||
+			!Image(core.Empty(), a, sig).IsEmpty() ||
+			!Image(q, a, NewSigma(core.Empty(), core.Empty())).IsEmpty() {
+			t.Fatal("C.1(g) failed")
+		}
+		// (i) (Q ∪ R)[A]_σ = Q[A]_σ ∪ R[A]_σ
+		if !core.Equal(Image(core.Union(q, rr), a, sig),
+			core.Union(Image(q, a, sig), Image(rr, a, sig))) {
+			t.Fatalf("C.1(i) failed: Q=%v R=%v A=%v", q, rr, a)
+		}
+		// (j) (Q ∩ R)[A]_σ ⊆ Q[A]_σ ∩ R[A]_σ
+		if !core.Subset(Image(core.Intersect(q, rr), a, sig),
+			core.Intersect(Image(q, a, sig), Image(rr, a, sig))) {
+			t.Fatalf("C.1(j) failed")
+		}
+		// (k) Q[A]_σ ∼ R[A]_σ ⊆ (Q ∼ R)[A]_σ
+		if !core.Subset(core.Diff(Image(q, a, sig), Image(rr, a, sig)),
+			Image(core.Diff(q, rr), a, sig)) {
+			t.Fatalf("C.1(k) failed")
+		}
+		// (f) Q[A]_{⟨σ,γ⟩} = 𝔇_γ(Q |_σ A) — definitional identity.
+		if !core.Equal(Image(q, a, sig), SigmaDomain(SigmaRestrict(q, sig.S1, a), sig.S2)) {
+			t.Fatal("C.1(f) failed")
+		}
+	}
+}
+
+// TestImageLawC1e checks (e): Q[𝔇_σ(Q) ∩ A]_{⟨σ,γ⟩} = Q[A]_{⟨σ,γ⟩} for
+// the standard positional σ over pair carriers, where domain members are
+// exactly the singleton probes.
+func TestImageLawC1e(t *testing.T) {
+	r, cfg := lawRand()
+	sig := StdSigma()
+	for i := 0; i < lawTrials; i++ {
+		q := cfg.Relation(r, r.Intn(6), 4, 4)
+		// Inputs drawn from 1-tuple space, half overlapping the domain.
+		b := core.NewBuilder(3)
+		for j := 0; j < 3; j++ {
+			b.AddClassical(core.Tuple(core.Int(r.Intn(6))))
+		}
+		a := b.Set()
+		dom := SigmaDomain(q, sig.S1)
+		if !core.Equal(Image(q, core.Intersect(dom, a), sig), Image(q, a, sig)) {
+			t.Fatalf("C.1(e) failed: Q=%v A=%v", q, a)
+		}
+		// (h) 𝔇_σ(Q) ∩ A = ∅ → Q[A]_σ = ∅
+		if core.Intersect(dom, a).IsEmpty() {
+			if got := Image(q, a, sig); !got.IsEmpty() {
+				t.Fatalf("C.1(h) failed: Q=%v A=%v img=%v", q, a, got)
+			}
+		}
+	}
+}
+
+// TestFunctionLaws81 checks Consequence 8.1(a)–(c):
+// application distributes over carrier union, and is sub-distributive
+// over intersection and difference.
+func TestFunctionLaws81(t *testing.T) {
+	r, cfg := lawRand()
+	for i := 0; i < lawTrials; i++ {
+		f, g := randCarrier(r, cfg), randCarrier(r, cfg)
+		x := randCarrier(r, cfg)
+		sig := randSigmaPair(r)
+
+		fx := Image(f, x, sig)
+		gx := Image(g, x, sig)
+		// (a) (f ∪ g)_(σ)(x) = f_(σ)(x) ∪ g_(σ)(x)
+		if !core.Equal(Image(core.Union(f, g), x, sig), core.Union(fx, gx)) {
+			t.Fatalf("8.1(a) failed: f=%v g=%v x=%v", f, g, x)
+		}
+		// (b) (f ∩ g)_(σ)(x) ⊆ f_(σ)(x) ∩ g_(σ)(x)
+		if !core.Subset(Image(core.Intersect(f, g), x, sig), core.Intersect(fx, gx)) {
+			t.Fatalf("8.1(b) failed")
+		}
+		// (c) f_(σ)(x) ∼ g_(σ)(x) ⊆ (f ∼ g)_(σ)(x)
+		if !core.Subset(core.Diff(fx, gx), Image(core.Diff(f, g), x, sig)) {
+			t.Fatalf("8.1(c) failed")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package algebra
+
+import (
+	"sort"
+
+	"xst/internal/core"
+)
+
+// IndexedElems returns the members of v ordered by their integer scopes
+// when v is an "indexed set" — a set all of whose scopes are positive,
+// pairwise-distinct integers. Tuples (Def 9.1) are the indexed sets whose
+// indices are exactly 1…n; tagged sets such as {y^2} are indexed without
+// being tuples. The empty set is the empty indexed set.
+func IndexedElems(v core.Value) ([]core.Member, bool) {
+	s, ok := v.(*core.Set)
+	if !ok {
+		return nil, false
+	}
+	ms := s.Members()
+	out := make([]core.Member, len(ms))
+	copy(out, ms)
+	seen := map[core.Int]bool{}
+	for _, m := range out {
+		i, ok := m.Scope.(core.Int)
+		if !ok || i < 1 || seen[i] {
+			return nil, false
+		}
+		seen[i] = true
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].Scope.(core.Int) < out[b].Scope.(core.Int)
+	})
+	return out, true
+}
+
+// IndexedConcat generalizes tuple concatenation (Def 9.2) to indexed
+// sets: the elements of y, in index order, are appended after the largest
+// index of x. On tuples it coincides exactly with Def 9.2 and with
+// core.Concat; on tagged singletons it reproduces the pair construction
+// {x^1} · {y^2} = {x^1, y^2} = ⟨x, y⟩ that Def 9.7 relies on, because an
+// index already in place is preserved when it does not collide.
+func IndexedConcat(x, y core.Value) (*core.Set, bool) {
+	xm, ok := IndexedElems(x)
+	if !ok {
+		return nil, false
+	}
+	ym, ok := IndexedElems(y)
+	if !ok {
+		return nil, false
+	}
+	maxIdx := core.Int(0)
+	for _, m := range xm {
+		if i := m.Scope.(core.Int); i > maxIdx {
+			maxIdx = i
+		}
+	}
+	b := core.NewBuilder(len(xm) + len(ym))
+	for _, m := range xm {
+		b.AddMember(m)
+	}
+	next := maxIdx + 1
+	for _, m := range ym {
+		i := m.Scope.(core.Int)
+		if i >= next {
+			// Keep the existing index; later elements must follow it.
+			b.Add(m.Elem, i)
+			next = i + 1
+		} else {
+			b.Add(m.Elem, next)
+			next++
+		}
+	}
+	return b.Set(), true
+}
+
+// CrossProduct implements Def 9.3, the XST cross product:
+//
+//	A ⊗ B = { (x·y)^(s·t) : x ∈_s A  &  y ∈_t B }
+//
+// Pairs for which either concatenation is undefined (non-indexed
+// operands) contribute nothing, mirroring the definition's implicit
+// requirement that x·y exist. Theorem 9.4 (associativity) holds for
+// tuple-valued operands.
+func CrossProduct(a, b *core.Set) *core.Set {
+	out := core.NewBuilder(a.Len() * b.Len())
+	for _, am := range a.Members() {
+		for _, bm := range b.Members() {
+			elem, ok := IndexedConcat(am.Elem, bm.Elem)
+			if !ok {
+				continue
+			}
+			scope, ok := IndexedConcat(am.Scope, bm.Scope)
+			if !ok {
+				continue
+			}
+			out.Add(elem, scope)
+		}
+	}
+	return out.Set()
+}
+
+// Tag implements Def 9.5/9.6, A^(a): every element x of A is wrapped as
+// the singleton {x^a}; a non-∅ membership scope s is wrapped the same way
+// as {s^a}, while the ∅ scope stays ∅.
+func Tag(a *core.Set, tag core.Value) *core.Set {
+	b := core.NewBuilder(a.Len())
+	for _, m := range a.Members() {
+		elem := core.NewSet(core.M(m.Elem, tag))
+		scope := core.Value(core.Empty())
+		if sc, ok := m.Scope.(*core.Set); !ok || !sc.IsEmpty() {
+			scope = core.NewSet(core.M(m.Scope, tag))
+		}
+		b.Add(elem, scope)
+	}
+	return b.Set()
+}
+
+// Cartesian implements Def 9.7, the CST Cartesian product recovered
+// inside XST: A × B = A^(1) ⊗ B^(2). On classical sets it yields exactly
+// { ⟨x,y⟩ : x ∈ A & y ∈ B } with classical scopes.
+func Cartesian(a, b *core.Set) *core.Set {
+	return CrossProduct(Tag(a, core.Int(1)), Tag(b, core.Int(2)))
+}
+
+// SigmaValue implements Def 9.8: 𝒱_σ(x) = b iff every 1-tuple member
+// ⟨y⟩ ∈_⟨σ⟩ x has y = b. It reports false when x has no such member or
+// when the members disagree.
+func SigmaValue(x *core.Set, sigma core.Value) (core.Value, bool) {
+	return valueUnder(x, core.Tuple(sigma))
+}
+
+// ClassicalValue implements Def 9.9: 𝒱(x) = b iff every classical
+// 1-tuple member ⟨y⟩ ∈ x has y = b.
+func ClassicalValue(x *core.Set) (core.Value, bool) {
+	return valueUnder(x, core.Empty())
+}
+
+func valueUnder(x *core.Set, scope core.Value) (core.Value, bool) {
+	var out core.Value
+	for _, m := range x.Members() {
+		if !core.Equal(m.Scope, scope) {
+			continue
+		}
+		elems, ok := core.TupleElems(m.Elem)
+		if !ok || len(elems) != 1 {
+			continue
+		}
+		if out != nil && !core.Equal(out, elems[0]) {
+			return nil, false
+		}
+		out = elems[0]
+	}
+	return out, out != nil
+}

@@ -1,0 +1,205 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+)
+
+func TestIndexedElems(t *testing.T) {
+	if ms, ok := IndexedElems(core.Tuple(str("a"), str("b"))); !ok || len(ms) != 2 {
+		t.Fatal("tuple must be an indexed set")
+	}
+	if ms, ok := IndexedElems(core.Empty()); !ok || len(ms) != 0 {
+		t.Fatal("∅ is the empty indexed set")
+	}
+	// Tagged singleton {b^2} is indexed (index 2) without being a tuple.
+	if _, ok := IndexedElems(core.NewSet(core.M(str("b"), core.Int(2)))); !ok {
+		t.Fatal("{b^2} must be indexed")
+	}
+	if _, ok := IndexedElems(core.S(str("a"))); ok {
+		t.Fatal("classical member (scope ∅) is not indexed")
+	}
+	if _, ok := IndexedElems(str("a")); ok {
+		t.Fatal("atom is not indexed")
+	}
+	if _, ok := IndexedElems(core.NewSet(core.M(str("a"), core.Int(1)), core.M(str("b"), core.Int(1)))); ok {
+		t.Fatal("duplicate index is not indexed")
+	}
+}
+
+func TestIndexedConcatMatchesDef92OnTuples(t *testing.T) {
+	x := core.Tuple(str("a"), str("b"))
+	y := core.Tuple(str("c"))
+	got, ok := IndexedConcat(x, y)
+	if !ok {
+		t.Fatal("concat failed")
+	}
+	want, _ := core.Concat(x, y)
+	if !core.Equal(got, want) {
+		t.Fatalf("IndexedConcat = %v, want Def 9.2 result %v", got, want)
+	}
+}
+
+func TestIndexedConcatPreservesPlacedIndices(t *testing.T) {
+	// {a^1} · {b^2} = {a^1, b^2} = ⟨a,b⟩ — the Def 9.7 building block.
+	x := core.NewSet(core.M(str("a"), core.Int(1)))
+	y := core.NewSet(core.M(str("b"), core.Int(2)))
+	got, ok := IndexedConcat(x, y)
+	if !ok || !core.Equal(got, core.Pair(str("a"), str("b"))) {
+		t.Fatalf("{a^1}·{b^2} = %v, want ⟨a,b⟩", got)
+	}
+	// Colliding indices shift: ⟨a,b⟩ · {c^1} = ⟨a,b,c⟩.
+	got, ok = IndexedConcat(core.Pair(str("a"), str("b")), core.NewSet(core.M(str("c"), core.Int(1))))
+	if !ok || !core.Equal(got, core.Tuple(str("a"), str("b"), str("c"))) {
+		t.Fatalf("shift failed: %v", got)
+	}
+}
+
+func TestCrossProductDef93(t *testing.T) {
+	a := core.S(core.Tuple(str("a")), core.Tuple(str("b")))
+	b := core.S(core.Tuple(str("x")))
+	got := CrossProduct(a, b)
+	want := core.S(
+		core.Tuple(str("a"), str("x")),
+		core.Tuple(str("b"), str("x")),
+	)
+	if !core.Equal(got, want) {
+		t.Fatalf("A⊗B = %v, want %v", got, want)
+	}
+}
+
+func TestCrossProductAssociative(t *testing.T) {
+	// Theorem 9.4 on tuple-valued operands.
+	a := core.S(core.Tuple(str("a")), core.Tuple(str("b")))
+	b := core.S(core.Tuple(str("x"), str("y")))
+	c := core.S(core.Tuple(core.Int(1)), core.Tuple(core.Int(2)))
+	l := CrossProduct(CrossProduct(a, b), c)
+	r := CrossProduct(a, CrossProduct(b, c))
+	if !core.Equal(l, r) {
+		t.Fatalf("(A⊗B)⊗C = %v ≠ A⊗(B⊗C) = %v", l, r)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("|A⊗B⊗C| = %d, want 4", l.Len())
+	}
+}
+
+func TestCrossProductSkipsNonIndexed(t *testing.T) {
+	a := core.S(str("atom")) // not indexed
+	b := core.S(core.Tuple(str("x")))
+	if got := CrossProduct(a, b); !got.IsEmpty() {
+		t.Fatalf("non-indexed pairs contribute nothing, got %v", got)
+	}
+}
+
+func TestTagDef95(t *testing.T) {
+	// Classical scope stays ∅ (Def 9.6)...
+	a := core.S(str("p"))
+	got := Tag(a, core.Int(1))
+	want := core.S(core.NewSet(core.M(str("p"), core.Int(1))))
+	if !core.Equal(got, want) {
+		t.Fatalf("A^(1) = %v, want %v", got, want)
+	}
+	// ...while a non-∅ scope is wrapped alongside (Def 9.5).
+	b := core.NewSet(core.M(str("p"), str("s")))
+	got = Tag(b, core.Int(2))
+	wantMember := core.M(
+		core.NewSet(core.M(str("p"), core.Int(2))),
+		core.NewSet(core.M(str("s"), core.Int(2))),
+	)
+	if !core.Equal(got, core.NewSet(wantMember)) {
+		t.Fatalf("tagged scoped member = %v", got)
+	}
+}
+
+func TestCartesianDef97(t *testing.T) {
+	a := core.S(str("a"), str("b"))
+	b := core.S(core.Int(1))
+	got := Cartesian(a, b)
+	want := core.S(
+		core.Pair(str("a"), core.Int(1)),
+		core.Pair(str("b"), core.Int(1)),
+	)
+	if !core.Equal(got, want) {
+		t.Fatalf("A×B = %v, want %v", got, want)
+	}
+}
+
+func TestCartesianCardinality(t *testing.T) {
+	a := core.S(core.Int(1), core.Int(2), core.Int(3))
+	b := core.S(str("x"), str("y"))
+	if got := Cartesian(a, b); got.Len() != 6 {
+		t.Fatalf("|A×B| = %d, want 6", got.Len())
+	}
+	if !Cartesian(a, core.Empty()).IsEmpty() {
+		t.Fatal("A×∅ = ∅")
+	}
+}
+
+// TestSquareRootExample reproduces Example 9.1: the square-root relation
+// as an extended set with sign scopes, and 𝒱_σ extraction.
+func TestSquareRootExample(t *testing.T) {
+	sqrt16 := core.NewSet(
+		core.M(core.Tuple(core.Int(2)), core.Tuple(str("+"))),
+		core.M(core.Tuple(core.Int(-2)), core.Tuple(str("-"))),
+		core.M(core.Tuple(str("2i")), core.Tuple(str("i"))),
+		core.M(core.Tuple(str("-2i")), core.Tuple(str("-i"))),
+	)
+	cases := []struct {
+		sigma core.Value
+		want  core.Value
+	}{
+		{str("+"), core.Int(2)},
+		{str("-"), core.Int(-2)},
+		{str("i"), str("2i")},
+		{str("-i"), str("-2i")},
+	}
+	for _, c := range cases {
+		got, ok := SigmaValue(sqrt16, c.sigma)
+		if !ok || !core.Equal(got, c.want) {
+			t.Fatalf("𝒱_%v(√16) = %v (%v), want %v", c.sigma, got, ok, c.want)
+		}
+	}
+	if _, ok := SigmaValue(sqrt16, str("?")); ok {
+		t.Fatal("𝒱 under absent scope must be undefined")
+	}
+}
+
+func TestSigmaValueDisagreement(t *testing.T) {
+	x := core.NewSet(
+		core.M(core.Tuple(core.Int(1)), core.Tuple(str("s"))),
+		core.M(core.Tuple(core.Int(2)), core.Tuple(str("s"))),
+	)
+	if _, ok := SigmaValue(x, str("s")); ok {
+		t.Fatal("two distinct values under one scope: 𝒱 undefined")
+	}
+}
+
+func TestClassicalValue(t *testing.T) {
+	x := core.S(core.Tuple(core.Int(7)))
+	got, ok := ClassicalValue(x)
+	if !ok || !core.Equal(got, core.Int(7)) {
+		t.Fatalf("𝒱({⟨7⟩}) = %v (%v)", got, ok)
+	}
+	if _, ok := ClassicalValue(core.Empty()); ok {
+		t.Fatal("𝒱(∅) undefined")
+	}
+}
+
+// TestTheorem910 checks the CST embedding: for f ⊆ A×B functional and
+// σ = ⟨⟨1⟩,⟨2⟩⟩, f(x) = 𝒱(f_(σ)({⟨x⟩})).
+func TestTheorem910(t *testing.T) {
+	table := map[int]string{1: "one", 2: "two", 3: "three"}
+	b := core.NewBuilder(len(table))
+	for k, v := range table {
+		b.AddClassical(core.Pair(core.Int(k), core.Str(v)))
+	}
+	f := b.Set()
+	for k, v := range table {
+		out := Image(f, core.S(core.Tuple(core.Int(k))), StdSigma())
+		got, ok := ClassicalValue(out)
+		if !ok || !core.Equal(got, core.Str(v)) {
+			t.Fatalf("f(%d) = %v (%v), want %q", k, got, ok, v)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+// Deeper randomized properties of the XST operations beyond the paper's
+// stated consequences.
+
+const propTrials = 300
+
+// TestRestrictionAlwaysSubset: R |_σ A ⊆ R for arbitrary operands.
+func TestRestrictionAlwaysSubset(t *testing.T) {
+	r := xtest.NewRand(0xA1)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		rel := cfg.Set(r)
+		a := cfg.Set(r)
+		sigma := randPositionsSigma(r).S1
+		got := SigmaRestrict(rel, sigma, a)
+		if !core.Subset(got, rel) {
+			t.Fatalf("R|A ⊄ R: R=%v A=%v σ=%v got=%v", rel, a, sigma, got)
+		}
+	}
+}
+
+// TestRestrictionMonotoneInA: A ⊆ B → R |_σ A ⊆ R |_σ B.
+func TestRestrictionMonotoneInA(t *testing.T) {
+	r := xtest.NewRand(0xA2)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		rel, a, b := cfg.Set(r), cfg.Set(r), cfg.Set(r)
+		sub := core.Intersect(a, b)
+		sigma := randPositionsSigma(r).S1
+		if !core.Subset(SigmaRestrict(rel, sigma, sub), SigmaRestrict(rel, sigma, b)) {
+			t.Fatalf("monotonicity failed: R=%v sub=%v B=%v", rel, sub, b)
+		}
+	}
+}
+
+// TestRestrictionIdempotent: (R |_σ A) |_σ A = R |_σ A.
+func TestRestrictionIdempotent(t *testing.T) {
+	r := xtest.NewRand(0xA3)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		rel, a := cfg.Set(r), cfg.Set(r)
+		sigma := randPositionsSigma(r).S1
+		once := SigmaRestrict(rel, sigma, a)
+		twice := SigmaRestrict(once, sigma, a)
+		if !core.Equal(once, twice) {
+			t.Fatalf("idempotence failed: R=%v A=%v σ=%v", rel, a, sigma)
+		}
+	}
+}
+
+// TestDomainMonotone: Q ⊆ R → 𝔇_σ(Q) ⊆ 𝔇_σ(R) (Consequence 7.1(d)).
+func TestDomainMonotone(t *testing.T) {
+	r := xtest.NewRand(0xA4)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		q, rel := cfg.Set(r), cfg.Set(r)
+		sub := core.Intersect(q, rel)
+		sigma := randPositionsSigma(r).S1
+		if !core.Subset(SigmaDomain(sub, sigma), SigmaDomain(rel, sigma)) {
+			t.Fatalf("domain monotonicity failed")
+		}
+	}
+}
+
+// TestReScopeIdentity: re-scoping a tuple by the identity positions
+// ⟨1..n⟩ reproduces it.
+func TestReScopeIdentity(t *testing.T) {
+	r := xtest.NewRand(0xA5)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		tp := cfg.Tuple(r, 5)
+		n, _ := core.TupLen(tp)
+		ps := make([]int, n)
+		for j := range ps {
+			ps[j] = j + 1
+		}
+		if !core.Equal(ReScopeByScope(tp, Positions(ps...)), tp) {
+			t.Fatalf("identity re-scope changed %v", tp)
+		}
+	}
+}
+
+// TestReScopeComposition: re-scoping by σ then by the positions of σ's
+// codomain equals re-scoping by the composed scope set — spot-checked
+// via permutations: applying a permutation and its inverse round-trips.
+func TestReScopePermutationRoundTrip(t *testing.T) {
+	r := xtest.NewRand(0xA6)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		tp := cfg.Tuple(r, 5)
+		n, _ := core.TupLen(tp)
+		// Random permutation of 1..n.
+		perm := make([]int, n)
+		for j := range perm {
+			perm[j] = j + 1
+		}
+		for j := n - 1; j > 0; j-- {
+			k := r.Intn(j + 1)
+			perm[j], perm[k] = perm[k], perm[j]
+		}
+		// forward: position perm[j] → j+1; inverse: j+1 → perm[j].
+		fwd := core.NewBuilder(n)
+		inv := core.NewBuilder(n)
+		for j, p := range perm {
+			fwd.Add(core.Int(p), core.Int(j+1))
+			inv.Add(core.Int(j+1), core.Int(p))
+		}
+		once := ReScopeByScope(tp, fwd.Set())
+		back := ReScopeByScope(once, inv.Set())
+		if !core.Equal(back, tp) {
+			t.Fatalf("permutation round-trip failed: %v -> %v -> %v", tp, once, back)
+		}
+	}
+}
+
+// TestCrossProductCardinality: |A ⊗ B| ≤ |A|·|B| with equality on
+// duplicate-free tuple sets of uniform arity.
+func TestCrossProductCardinality(t *testing.T) {
+	r := xtest.NewRand(0xA7)
+	for i := 0; i < propTrials; i++ {
+		mk := func(arity, n int) *core.Set {
+			b := core.NewBuilder(n)
+			for j := 0; j < n; j++ {
+				xs := make([]core.Value, arity)
+				for k := range xs {
+					xs[k] = core.Int(r.Intn(50) + j*100)
+				}
+				b.AddClassical(core.Tuple(xs...))
+			}
+			return b.Set()
+		}
+		a := mk(1+r.Intn(2), 1+r.Intn(4))
+		b := mk(1+r.Intn(2), 1+r.Intn(4))
+		got := CrossProduct(a, b)
+		if got.Len() > a.Len()*b.Len() {
+			t.Fatalf("|A⊗B| = %d > %d", got.Len(), a.Len()*b.Len())
+		}
+	}
+}
+
+// TestCartesianMatchesDirectPairs: A × B via Def 9.7 equals the direct
+// pair construction on classical sets.
+func TestCartesianMatchesDirectPairs(t *testing.T) {
+	r := xtest.NewRand(0xA8)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		mkClassical := func() *core.Set {
+			n := r.Intn(4)
+			b := core.NewBuilder(n)
+			for j := 0; j < n; j++ {
+				b.AddClassical(cfg.Atom(r))
+			}
+			return b.Set()
+		}
+		a, b := mkClassical(), mkClassical()
+		want := core.NewBuilder(a.Len() * b.Len())
+		for _, am := range a.Members() {
+			for _, bm := range b.Members() {
+				want.AddClassical(core.Pair(am.Elem, bm.Elem))
+			}
+		}
+		if got := Cartesian(a, b); !core.Equal(got, want.Set()) {
+			t.Fatalf("A×B mismatch: A=%v B=%v got=%v", a, b, got)
+		}
+	}
+}
+
+// TestRelativeProductMatchesNestedLoops: the hash-join implementation of
+// Def 10.1 agrees with a direct nested-loop evaluation of the
+// definition.
+func TestRelativeProductMatchesNestedLoops(t *testing.T) {
+	r := xtest.NewRand(0xA9)
+	cfg := xtest.DefaultConfig()
+	specs := Section10Specs()
+	for i := 0; i < propTrials; i++ {
+		f := relationOfTuples(r, cfg, 5)
+		g := relationOfTuples(r, cfg, 5)
+		spec := specs[r.Intn(len(specs))]
+		got := spec.Apply(f, g)
+		want := relativeProductNaive(f, g, spec.Sigma, spec.Omega)
+		if !core.Equal(got, want) {
+			t.Fatalf("hash join ≠ naive: f=%v g=%v spec=%+v\ngot=%v\nwant=%v", f, g, spec, got, want)
+		}
+	}
+}
+
+func relationOfTuples(r *xtest.Rand, cfg xtest.Config, maxRows int) *core.Set {
+	n := r.Intn(maxRows + 1)
+	b := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddClassical(cfg.Tuple(r, 6))
+	}
+	return b.Set()
+}
+
+// relativeProductNaive evaluates Def 10.1 by direct double iteration.
+func relativeProductNaive(f, g *core.Set, sigma, omega Sigma) *core.Set {
+	b := core.NewBuilder(f.Len())
+	for _, fm := range f.Members() {
+		fKey := ReScopeByScope(fm.Elem, sigma.S2)
+		fKeyScope := ReScopeByScope(fm.Scope, sigma.S2)
+		for _, gm := range g.Members() {
+			gKey := ReScopeByScope(gm.Elem, omega.S1)
+			gKeyScope := ReScopeByScope(gm.Scope, omega.S1)
+			if !core.Equal(fKey, gKey) || !core.Equal(fKeyScope, gKeyScope) {
+				continue
+			}
+			z := core.Union(ReScopeByScope(fm.Elem, sigma.S1), ReScopeByScope(gm.Elem, omega.S2))
+			tau := core.Union(ReScopeByScope(fm.Scope, sigma.S1), ReScopeByScope(gm.Scope, omega.S2))
+			b.Add(z, tau)
+		}
+	}
+	return b.Set()
+}
+
+func randPositionsSigma(r *xtest.Rand) Sigma {
+	mk := func() *core.Set {
+		n := 1 + r.Intn(3)
+		b := core.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.Add(core.Int(1+r.Intn(4)), core.Int(1+r.Intn(4)))
+		}
+		return b.Set()
+	}
+	return NewSigma(mk(), mk())
+}
+
+// TestComposeScopesLaw: (A^{/σ/})^{/τ/} = A^{/ComposeScopes(σ,τ)/} on
+// randomized operands — the re-scope fusion identity.
+func TestComposeScopesLaw(t *testing.T) {
+	r := xtest.NewRand(0xAA)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		a := cfg.Set(r)
+		sigma := randPositionsSigma(r).S1
+		tau := randPositionsSigma(r).S1
+		stepwise := ReScopeByScope(ReScopeByScope(a, sigma), tau)
+		fused := ReScopeByScope(a, ComposeScopes(sigma, tau))
+		if !core.Equal(stepwise, fused) {
+			t.Fatalf("fusion law failed: A=%v σ=%v τ=%v\nstepwise=%v\nfused=%v",
+				a, sigma, tau, stepwise, fused)
+		}
+	}
+}
+
+// TestComposeScopesDomainFusion: 𝔇_τ(𝔇_σ(R)) = 𝔇_{σ∘τ}(R) on sets of
+// tuples, the projection-fusion corollary.
+func TestComposeScopesDomainFusion(t *testing.T) {
+	r := xtest.NewRand(0xAB)
+	cfg := xtest.DefaultConfig()
+	for i := 0; i < propTrials; i++ {
+		rel := relationOfTuples(r, cfg, 5)
+		sigma := randPositionsSigma(r).S1
+		tau := randPositionsSigma(r).S1
+		stepwise := SigmaDomain(SigmaDomain(rel, sigma), tau)
+		fused := SigmaDomain(rel, ComposeScopes(sigma, tau))
+		if !core.Equal(stepwise, fused) {
+			t.Fatalf("projection fusion failed: R=%v σ=%v τ=%v", rel, sigma, tau)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package algebra
+
+import "xst/internal/core"
+
+// RelativeProduct implements Def 10.1, the generalized relative product
+//
+//	F /_{⟨σ1,σ2⟩}^{⟨ω1,ω2⟩} G =
+//	  { z^τ : ∃x,s,y,t ( x ∈_s F & y ∈_t G &
+//	                     x^{/σ2/} = y^{/ω1/} & s^{/σ2/} = t^{/ω1/} &
+//	                     z = x^{/σ1/} ∪ y^{/ω2/} & τ = s^{/σ1/} ∪ t^{/ω2/} ) }
+//
+// σ2 selects the join key inside F's members, ω1 the join key inside G's
+// members; σ1 and ω2 select and re-index what each side contributes to
+// the output. This one operation specializes to the CST relative product,
+// natural join, semijoin, projection-join and the composition operator of
+// Def 11.1, depending on the four scope sets — the paper's §10 lists
+// eight useful parameterizations, reproduced by experiment E3.
+//
+// The implementation is a hash join on the canonical encoding of the
+// (key-element, key-scope) pair, so it runs in O(|F| + |G| + out).
+func RelativeProduct(f, g *core.Set, sigma, omega Sigma) *core.Set {
+	if f.IsEmpty() || g.IsEmpty() {
+		return core.Empty()
+	}
+	type half struct {
+		contrib      *core.Set // x^{/σ1/} or y^{/ω2/}
+		contribScope *core.Set // s^{/σ1/} or t^{/ω2/}
+	}
+	// Build side: index G by its ω1 key.
+	build := make(map[string][]half, g.Len())
+	var keyBuf []byte
+	makeKey := func(ke, ks *core.Set) string {
+		keyBuf = keyBuf[:0]
+		keyBuf = core.AppendEncode(keyBuf, ke)
+		keyBuf = core.AppendEncode(keyBuf, ks)
+		return string(keyBuf)
+	}
+	for _, m := range g.Members() {
+		k := makeKey(ReScopeByScope(m.Elem, omega.S1), ReScopeByScope(m.Scope, omega.S1))
+		build[k] = append(build[k], half{
+			contrib:      ReScopeByScope(m.Elem, omega.S2),
+			contribScope: ReScopeByScope(m.Scope, omega.S2),
+		})
+	}
+	out := core.NewBuilder(f.Len())
+	for _, m := range f.Members() {
+		k := makeKey(ReScopeByScope(m.Elem, sigma.S2), ReScopeByScope(m.Scope, sigma.S2))
+		matches := build[k]
+		if len(matches) == 0 {
+			continue
+		}
+		fe := ReScopeByScope(m.Elem, sigma.S1)
+		fs := ReScopeByScope(m.Scope, sigma.S1)
+		for _, h := range matches {
+			out.Add(core.Union(fe, h.contrib), core.Union(fs, h.contribScope))
+		}
+	}
+	return out.Set()
+}
+
+// RelProdSpec packages a full relative-product parameterization: the two
+// scope pairs ⟨σ1,σ2⟩ and ⟨ω1,ω2⟩.
+type RelProdSpec struct {
+	Sigma Sigma
+	Omega Sigma
+}
+
+// Apply runs the relative product under this specification.
+func (s RelProdSpec) Apply(f, g *core.Set) *core.Set {
+	return RelativeProduct(f, g, s.Sigma, s.Omega)
+}
+
+// ScopeSet builds the scope set {p1^i1, …, pn^in} from (element, index)
+// pairs — the notation {1^1, 2^3} of the paper's §10 parameter lists.
+func ScopeSet(pairs ...[2]int) *core.Set {
+	b := core.NewBuilder(len(pairs))
+	for _, p := range pairs {
+		b.Add(core.Int(p[0]), core.Int(p[1]))
+	}
+	return b.Set()
+}
+
+// Section10Specs returns the eight relative-product parameterizations
+// listed in §10 of the formal text, in the paper's order:
+//
+//  1. ⟨a,b⟩/⟨b,c⟩ → ⟨a,c⟩       (CST relative product)
+//  2. ⟨a,b⟩/⟨b,c⟩ → ⟨a,b,c⟩     (key-preserving join)
+//  3. ⟨a,b⟩/⟨a,c⟩ → ⟨a,b,c⟩     (first-key join, F keeps both)
+//  4. ⟨a,b⟩/⟨a,c⟩ → ⟨b,c⟩       (first-key join, key dropped)
+//  5. ⟨a,b⟩/⟨c,b⟩ → ⟨a,c,b⟩     (second-key join, G keeps both)
+//  6. ⟨a,b⟩/⟨c,b⟩ → ⟨a,c⟩       (second-key join, key dropped)
+//  7. 3-tuple/4-tuple → 8-tuple  (wide reorder with duplication)
+//  8. 5-tuple/6-tuple → 8-tuple  (natural join on a 3-position key)
+func Section10Specs() []RelProdSpec {
+	p := func(pairs ...[2]int) *core.Set { return ScopeSet(pairs...) }
+	return []RelProdSpec{
+		{NewSigma(p([2]int{1, 1}), p([2]int{2, 1})), NewSigma(p([2]int{1, 1}), p([2]int{2, 2}))},
+		{NewSigma(p([2]int{1, 1}), p([2]int{2, 1})), NewSigma(p([2]int{1, 1}), p([2]int{1, 2}, [2]int{2, 3}))},
+		{NewSigma(p([2]int{1, 1}, [2]int{2, 2}), p([2]int{1, 1})), NewSigma(p([2]int{1, 1}), p([2]int{2, 3}))},
+		{NewSigma(p([2]int{2, 1}), p([2]int{1, 1})), NewSigma(p([2]int{1, 1}), p([2]int{2, 2}))},
+		{NewSigma(p([2]int{1, 1}), p([2]int{2, 1})), NewSigma(p([2]int{2, 1}), p([2]int{1, 2}, [2]int{2, 3}))},
+		{NewSigma(p([2]int{1, 1}), p([2]int{2, 1})), NewSigma(p([2]int{2, 1}), p([2]int{1, 2}))},
+		{NewSigma(p([2]int{2, 1}, [2]int{3, 2}, [2]int{1, 3}), p([2]int{2, 1}, [2]int{3, 2})),
+			NewSigma(p([2]int{4, 1}, [2]int{3, 2}), p([2]int{2, 4}, [2]int{4, 5}, [2]int{3, 6}, [2]int{1, 7}, [2]int{1, 8}))},
+		{NewSigma(p([2]int{1, 1}, [2]int{2, 2}, [2]int{3, 3}, [2]int{4, 4}, [2]int{5, 5}), p([2]int{1, 1}, [2]int{2, 2}, [2]int{3, 3})),
+			NewSigma(p([2]int{1, 1}, [2]int{2, 2}, [2]int{3, 3}), p([2]int{4, 6}, [2]int{5, 7}, [2]int{6, 8}))},
+	}
+}
+
+// CSTRelativeProduct is the classical relative product F/G =
+// { ⟨a,c⟩ : ∃b ⟨a,b⟩ ∈ F & ⟨b,c⟩ ∈ G }, realized as the §10 case-1
+// parameterization σ = ⟨{1¹},{2¹}⟩, ω = ⟨{1¹},{2²}⟩.
+func CSTRelativeProduct(f, g *core.Set) *core.Set {
+	spec := RelProdSpec{
+		Sigma: NewSigma(ScopeSet([2]int{1, 1}), ScopeSet([2]int{2, 1})),
+		Omega: NewSigma(ScopeSet([2]int{1, 1}), ScopeSet([2]int{2, 2})),
+	}
+	return spec.Apply(f, g)
+}

@@ -1,0 +1,135 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+)
+
+// section10Specs aliases the exported catalog for the tests below.
+func section10Specs() []RelProdSpec { return Section10Specs() }
+
+func pairs(ps ...[2]string) *core.Set {
+	b := core.NewBuilder(len(ps))
+	for _, p := range ps {
+		b.AddClassical(core.Tuple(str(p[0]), str(p[1])))
+	}
+	return b.Set()
+}
+
+// TestCSTRelativeProduct checks the classical case:
+// {⟨a,b⟩}/{⟨b,c⟩} = {⟨a,c⟩}.
+func TestCSTRelativeProduct(t *testing.T) {
+	f := pairs([2]string{"a", "b"})
+	g := pairs([2]string{"b", "c"})
+	got := CSTRelativeProduct(f, g)
+	want := pairs([2]string{"a", "c"})
+	wantEqual(t, got, want)
+}
+
+// TestSection10Case1 — CST relative product via spec 1.
+func TestSection10Case1(t *testing.T) {
+	spec := section10Specs()[0]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"b", "c"}))
+	wantEqual(t, got, pairs([2]string{"a", "c"}))
+}
+
+// TestSection10Case2 — key-preserving join: ⟨a,b⟩/⟨b,c⟩ → ⟨a,b,c⟩.
+func TestSection10Case2(t *testing.T) {
+	spec := section10Specs()[1]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"b", "c"}))
+	wantEqual(t, got, core.S(core.Tuple(str("a"), str("b"), str("c"))))
+}
+
+// TestSection10Case3 — F keeps both positions, matched on firsts:
+// ⟨a,b⟩/⟨a,c⟩ → ⟨a,b,c⟩.
+func TestSection10Case3(t *testing.T) {
+	spec := section10Specs()[2]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"a", "c"}))
+	wantEqual(t, got, core.S(core.Tuple(str("a"), str("b"), str("c"))))
+}
+
+// TestSection10Case4 — drop the shared key: ⟨a,b⟩/⟨a,c⟩ → ⟨b,c⟩.
+func TestSection10Case4(t *testing.T) {
+	spec := section10Specs()[3]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"a", "c"}))
+	wantEqual(t, got, pairs([2]string{"b", "c"}))
+}
+
+// TestSection10Case5 — match on seconds, G contributes both:
+// ⟨a,b⟩/⟨c,b⟩ → ⟨a,c,b⟩.
+func TestSection10Case5(t *testing.T) {
+	spec := section10Specs()[4]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"c", "b"}))
+	wantEqual(t, got, core.S(core.Tuple(str("a"), str("c"), str("b"))))
+}
+
+// TestSection10Case6 — match on seconds, firsts out: ⟨a,b⟩/⟨c,b⟩ → ⟨a,c⟩.
+func TestSection10Case6(t *testing.T) {
+	spec := section10Specs()[5]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"c", "b"}))
+	wantEqual(t, got, pairs([2]string{"a", "c"}))
+}
+
+// TestSection10Case7 — wide reordering join of a 3-tuple with a 4-tuple
+// into an 8-tuple with duplicated contributions.
+func TestSection10Case7(t *testing.T) {
+	spec := section10Specs()[6]
+	f := core.S(core.Tuple(str("a"), str("b"), str("c")))
+	g := core.S(core.Tuple(str("d"), str("e"), str("c"), str("b")))
+	got := spec.Apply(f, g)
+	want := core.S(core.Tuple(
+		str("b"), str("c"), str("a"), str("e"), str("b"), str("c"), str("d"), str("d"),
+	))
+	wantEqual(t, got, want)
+}
+
+// TestSection10Case8 — natural-join shape: 5-tuple ⋈ 6-tuple on a
+// 3-position key into an 8-tuple.
+func TestSection10Case8(t *testing.T) {
+	spec := section10Specs()[7]
+	f := core.S(core.Tuple(str("k1"), str("k2"), str("k3"), str("f4"), str("f5")))
+	g := core.S(core.Tuple(str("k1"), str("k2"), str("k3"), str("g4"), str("g5"), str("g6")))
+	got := spec.Apply(f, g)
+	want := core.S(core.Tuple(
+		str("k1"), str("k2"), str("k3"), str("f4"), str("f5"), str("g4"), str("g5"), str("g6"),
+	))
+	wantEqual(t, got, want)
+}
+
+func TestRelativeProductNoMatch(t *testing.T) {
+	spec := section10Specs()[0]
+	got := spec.Apply(pairs([2]string{"a", "b"}), pairs([2]string{"x", "y"}))
+	if !got.IsEmpty() {
+		t.Fatalf("mismatched keys must produce ∅, got %v", got)
+	}
+}
+
+func TestRelativeProductManyToMany(t *testing.T) {
+	// Two F rows share a key with two G rows: 4 outputs.
+	f := pairs([2]string{"a", "k"}, [2]string{"b", "k"})
+	g := pairs([2]string{"k", "x"}, [2]string{"k", "y"})
+	got := CSTRelativeProduct(f, g)
+	want := pairs([2]string{"a", "x"}, [2]string{"a", "y"}, [2]string{"b", "x"}, [2]string{"b", "y"})
+	wantEqual(t, got, want)
+}
+
+func TestRelativeProductEmptyOperands(t *testing.T) {
+	spec := section10Specs()[0]
+	if !spec.Apply(core.Empty(), pairs([2]string{"a", "b"})).IsEmpty() {
+		t.Fatal("∅/G = ∅")
+	}
+	if !spec.Apply(pairs([2]string{"a", "b"}), core.Empty()).IsEmpty() {
+		t.Fatal("F/∅ = ∅")
+	}
+}
+
+// TestRelativeProductScopePropagation checks that membership scopes join
+// through s^{/σ1/} ∪ t^{/ω2/} like elements do.
+func TestRelativeProductScopePropagation(t *testing.T) {
+	f := core.NewSet(core.M(core.Tuple(str("a"), str("b")), core.Tuple(str("F1"), str("F2"))))
+	g := core.NewSet(core.M(core.Tuple(str("b"), str("c")), core.Tuple(str("F2"), str("G2"))))
+	got := CSTRelativeProduct(f, g)
+	want := core.NewSet(core.M(core.Tuple(str("a"), str("c")), core.Tuple(str("F1"), str("G2"))))
+	wantEqual(t, got, want)
+}

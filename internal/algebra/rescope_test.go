@@ -1,0 +1,90 @@
+package algebra
+
+import (
+	"testing"
+
+	"xst/internal/core"
+)
+
+func str(s string) core.Value { return core.Str(s) }
+
+// scoped builds {e1^s1, e2^s2, ...} from alternating element/scope values.
+func scoped(pairs ...core.Value) *core.Set {
+	if len(pairs)%2 != 0 {
+		panic("scoped: odd argument count")
+	}
+	b := core.NewBuilder(len(pairs) / 2)
+	for i := 0; i < len(pairs); i += 2 {
+		b.Add(pairs[i], pairs[i+1])
+	}
+	return b.Set()
+}
+
+func wantEqual(t *testing.T, got, want core.Value) {
+	t.Helper()
+	if !core.Equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+// TestReScopeByScopePaperExample checks the Def 7.3 example:
+// {a^x, b^y, c^z}^{/{x^1, y^2, z^3}/} = {a^1, b^2, c^3}.
+func TestReScopeByScopePaperExample(t *testing.T) {
+	a := scoped(str("a"), str("x"), str("b"), str("y"), str("c"), str("z"))
+	sigma := scoped(str("x"), core.Int(1), str("y"), core.Int(2), str("z"), core.Int(3))
+	got := ReScopeByScope(a, sigma)
+	want := scoped(str("a"), core.Int(1), str("b"), core.Int(2), str("c"), core.Int(3))
+	wantEqual(t, got, want)
+}
+
+// TestReScopeByElemPaperExample checks the Def 7.5 example:
+// {a^1, b^2, c^3}^{\{w^1, v^2, t^3}\} = {a^w, b^v, c^t}.
+func TestReScopeByElemPaperExample(t *testing.T) {
+	a := scoped(str("a"), core.Int(1), str("b"), core.Int(2), str("c"), core.Int(3))
+	sigma := scoped(str("w"), core.Int(1), str("v"), core.Int(2), str("t"), core.Int(3))
+	got := ReScopeByElem(a, sigma)
+	want := scoped(str("a"), str("w"), str("b"), str("v"), str("c"), str("t"))
+	wantEqual(t, got, want)
+}
+
+func TestReScopeDropsUnmatched(t *testing.T) {
+	a := scoped(str("a"), core.Int(1), str("b"), core.Int(9))
+	sigma := scoped(core.Int(1), core.Int(1))
+	got := ReScopeByScope(a, sigma)
+	wantEqual(t, got, scoped(str("a"), core.Int(1)))
+}
+
+func TestReScopeByScopeMultipleTargets(t *testing.T) {
+	// One source scope occurring twice in σ fans the member out.
+	a := scoped(str("a"), core.Int(1))
+	sigma := scoped(core.Int(1), str("u"), core.Int(1), str("v"))
+	got := ReScopeByScope(a, sigma)
+	wantEqual(t, got, scoped(str("a"), str("u"), str("a"), str("v")))
+}
+
+func TestReScopeOfNonSetIsEmpty(t *testing.T) {
+	sigma := scoped(core.Int(1), core.Int(1))
+	if !ReScopeByScope(core.Int(7), sigma).IsEmpty() {
+		t.Fatal("re-scope of atom must be empty")
+	}
+	if !ReScopeByElem(core.Int(7), sigma).IsEmpty() {
+		t.Fatal("re-scope of atom must be empty")
+	}
+}
+
+func TestReScopeEmptySigma(t *testing.T) {
+	a := scoped(str("a"), core.Int(1))
+	if !ReScopeByScope(a, core.Empty()).IsEmpty() {
+		t.Fatal("A^{/∅/} must be ∅")
+	}
+	if !ReScopeByElem(a, core.Empty()).IsEmpty() {
+		t.Fatal("A^{\\∅\\} must be ∅")
+	}
+}
+
+func TestReScopeTupleReordering(t *testing.T) {
+	// ⟨a,b,c⟩ re-scoped by ⟨3,1⟩ = {3^1, 1^2} picks positions 3 then 1.
+	tup := core.Tuple(str("a"), str("b"), str("c"))
+	got := ReScopeByScope(tup, Positions(3, 1))
+	wantEqual(t, got, core.Tuple(str("c"), str("a")))
+}

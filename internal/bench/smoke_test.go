@@ -1,0 +1,12 @@
+package bench
+
+import "testing"
+
+func TestSmokeAll(t *testing.T) {
+	for _, r := range All(Config{Quick: true, Seed: 42}) {
+		t.Log("\n" + r.Render())
+		if !r.Pass {
+			t.Errorf("%s failed", r.ID)
+		}
+	}
+}

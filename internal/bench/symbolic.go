@@ -1,0 +1,429 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/cst"
+	"xst/internal/process"
+	"xst/internal/spaces"
+	"xst/internal/xtest"
+)
+
+// E1SpaceLattice regenerates the Appendix D figure: the 16 basic process
+// spaces (8 function spaces), their separation across the universe
+// family, and the Boolean-lattice structure of the function spaces.
+func E1SpaceLattice() Result {
+	fam := spaces.DefaultFamily()
+	basic := spaces.BasicSpaces()
+	fnSpecs := spaces.FunctionSpaces()
+
+	nBasic, _ := fam.DistinctNonEmpty(basic)
+	nFn, _ := fam.DistinctNonEmpty(fnSpecs)
+	edges := fam.LatticeEdges(fnSpecs)
+	consOK := spaces.Consequence61() == nil
+
+	var rows [][]string
+	for _, s := range basic {
+		rows = append(rows, []string{s.String(), fmt.Sprintf("%d", fam.Count(s))})
+	}
+	lines := tableRows([]string{"space", "population(family)"}, rows)
+	lines = append(lines, "", "function-space lattice (§6 figure):")
+	for _, l := range strings.Split(strings.TrimRight(spaces.RenderLattice(fam, fnSpecs), "\n"), "\n") {
+		lines = append(lines, "  "+l)
+	}
+	lines = append(lines,
+		"",
+		fmt.Sprintf("distinct non-empty basic spaces:    %d (paper: 16)", nBasic),
+		fmt.Sprintf("distinct non-empty function spaces: %d (paper: 8)", nFn),
+		fmt.Sprintf("function-lattice direct edges:      %d (Boolean 3-cube: 12)", len(edges)),
+		fmt.Sprintf("Consequence 6.1 containments:       %v", consOK),
+	)
+	return Result{
+		ID:    "E1",
+		Title: "Appendix D lattice: 16 basic process spaces, 8 function spaces",
+		Lines: lines,
+		Pass:  nBasic == 16 && nFn == 8 && len(edges) == 12 && consOK,
+	}
+}
+
+// E2RefinedSpaces regenerates the Appendix E figure: the refined marker
+// spaces. The function-space count (12) is reproduced exactly; the
+// process-space count depends on the marker conventions of the paper's
+// unavailable graphic, so both reconstructions are reported: the
+// injective-"-" reading and the strict bijective-"-" reading.
+func E2RefinedSpaces() Result {
+	fam := spaces.DefaultFamily()
+	refined := spaces.RefinedSpaces()
+
+	nAll, _ := fam.DistinctNonEmpty(refined)
+
+	var fnSpecs []spaces.Spec
+	for _, s := range refined {
+		if s.Function {
+			fnSpecs = append(fnSpecs, s)
+		}
+	}
+	nFn, fnReps := fam.DistinctNonEmpty(fnSpecs)
+
+	// Strict "-" reading: one-to-one also forbids one-to-many, i.e. the
+	// marker implies Function.
+	var strict []spaces.Spec
+	seen := map[string]bool{}
+	for _, s := range refined {
+		if s.OneToOne {
+			s.Function = true
+		}
+		if s.Legal() && !seen[s.String()] {
+			seen[s.String()] = true
+			strict = append(strict, s)
+		}
+	}
+	nStrict, _ := fam.DistinctNonEmpty(strict)
+
+	var rows [][]string
+	for _, s := range fnReps {
+		rows = append(rows, []string{s.String(), fmt.Sprintf("%d", fam.Count(s))})
+	}
+	lines := tableRows([]string{"function space", "population(family)"}, rows)
+	lines = append(lines, "", "refined function-space lattice (Appendix E figure):")
+	for _, l := range strings.Split(strings.TrimRight(spaces.RenderLattice(fam, fnReps), "\n"), "\n") {
+		lines = append(lines, "  "+l)
+	}
+	lines = append(lines,
+		"",
+		fmt.Sprintf("distinct non-empty refined function spaces: %d (paper: 12)", nFn),
+		fmt.Sprintf("refined process spaces, injective '-':      %d (paper figure: 29)", nAll),
+		fmt.Sprintf("refined process spaces, strict '-':         %d (paper figure: 29)", nStrict),
+	)
+	return Result{
+		ID:    "E2",
+		Title: "Appendix E refinement: 29 process spaces, 12 function spaces",
+		Lines: lines,
+		Pass:  nFn == 12,
+	}
+}
+
+// E3RelativeProduct regenerates the §10 table: the eight σ/ω
+// parameterizations applied to the paper's operand shapes.
+func E3RelativeProduct() Result {
+	specs := algebra.Section10Specs()
+	str := func(s string) core.Value { return core.Str(s) }
+	pair := func(a, b string) *core.Set { return core.S(core.Tuple(str(a), str(b))) }
+
+	type caseSpec struct {
+		f, g *core.Set
+		want *core.Set
+		desc string
+	}
+	cases := []caseSpec{
+		{pair("a", "b"), pair("b", "c"), pair("a", "c"), "⟨a,b⟩/⟨b,c⟩→⟨a,c⟩"},
+		{pair("a", "b"), pair("b", "c"), core.S(core.Tuple(str("a"), str("b"), str("c"))), "⟨a,b⟩/⟨b,c⟩→⟨a,b,c⟩"},
+		{pair("a", "b"), pair("a", "c"), core.S(core.Tuple(str("a"), str("b"), str("c"))), "⟨a,b⟩/⟨a,c⟩→⟨a,b,c⟩"},
+		{pair("a", "b"), pair("a", "c"), pair("b", "c"), "⟨a,b⟩/⟨a,c⟩→⟨b,c⟩"},
+		{pair("a", "b"), pair("c", "b"), core.S(core.Tuple(str("a"), str("c"), str("b"))), "⟨a,b⟩/⟨c,b⟩→⟨a,c,b⟩"},
+		{pair("a", "b"), pair("c", "b"), pair("a", "c"), "⟨a,b⟩/⟨c,b⟩→⟨a,c⟩"},
+		{
+			core.S(core.Tuple(str("a"), str("b"), str("c"))),
+			core.S(core.Tuple(str("d"), str("e"), str("c"), str("b"))),
+			core.S(core.Tuple(str("b"), str("c"), str("a"), str("e"), str("b"), str("c"), str("d"), str("d"))),
+			"3-tup/4-tup→8-tup",
+		},
+		{
+			core.S(core.Tuple(str("k1"), str("k2"), str("k3"), str("f4"), str("f5"))),
+			core.S(core.Tuple(str("k1"), str("k2"), str("k3"), str("g4"), str("g5"), str("g6"))),
+			core.S(core.Tuple(str("k1"), str("k2"), str("k3"), str("f4"), str("f5"), str("g4"), str("g5"), str("g6"))),
+			"5-tup⋈6-tup→8-tup",
+		},
+	}
+	pass := true
+	var rows [][]string
+	for i, c := range cases {
+		got := specs[i].Apply(c.f, c.g)
+		ok := core.Equal(got, c.want)
+		pass = pass && ok
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), c.desc, fmt.Sprintf("%v", got), fmt.Sprintf("%v", ok),
+		})
+	}
+	return Result{
+		ID:    "E3",
+		Title: "§10 table: eight relative-product parameterizations",
+		Lines: tableRows([]string{"case", "mapping", "result", "match"}, rows),
+		Pass:  pass,
+	}
+}
+
+// E4NestedApplication regenerates Appendix A: both interpretations of
+// f_(σ) g_(ω) (h) are non-empty and differ.
+func E4NestedApplication() Result {
+	str := func(s string) core.Value { return core.Str(s) }
+	emp := func(n int) *core.Set {
+		xs := make([]core.Value, n)
+		for i := range xs {
+			xs[i] = core.Empty()
+		}
+		return core.Tuple(xs...)
+	}
+	member := func(xs ...string) core.Member {
+		vs := make([]core.Value, len(xs))
+		for i, x := range xs {
+			vs[i] = str(x)
+		}
+		return core.M(core.Tuple(vs...), emp(len(xs)))
+	}
+	f := process.New(
+		core.NewSet(member("y", "z"), member("a", "x", "b", "k")),
+		algebra.NewSigma(algebra.Positions(1, 3), algebra.Positions(2, 4)))
+	g := process.New(
+		core.NewSet(member("x", "y"), member("a", "b")),
+		algebra.StdSigma())
+	h := core.NewSet(member("x"))
+
+	seq := f.Apply(g.Apply(h))
+	nested := f.ApplyProc(g).Apply(h)
+	wantSeq := core.NewSet(member("z"))
+	wantNested := core.NewSet(member("k"))
+
+	pass := !seq.IsEmpty() && !nested.IsEmpty() && !core.Equal(seq, nested) &&
+		core.Equal(seq, wantSeq) && core.Equal(nested, wantNested)
+	return Result{
+		ID:    "E4",
+		Title: "Appendix A: nested-application ambiguity",
+		Lines: []string{
+			fmt.Sprintf("f_(σ)(g_(ω)(h))   = %v  (paper: {⟨z⟩})", seq),
+			fmt.Sprintf("(f_(σ)(g_(ω)))(h) = %v  (paper: {⟨k⟩})", nested),
+			fmt.Sprintf("both non-empty: %v, distinct: %v",
+				!seq.IsEmpty() && !nested.IsEmpty(), !core.Equal(seq, nested)),
+		},
+		Pass: pass,
+	}
+}
+
+// E5SelfApplication regenerates Appendix B: one carrier f yields all
+// four unary behaviors g1..g4 on A = {⟨a⟩,⟨b⟩} by self-application.
+func E5SelfApplication() Result {
+	tup := func(xs ...string) *core.Set {
+		vs := make([]core.Value, len(xs))
+		for i, x := range xs {
+			vs[i] = core.Str(x)
+		}
+		return core.Tuple(vs...)
+	}
+	f := core.S(tup("a", "a", "a", "b", "b"), tup("b", "b", "a", "a", "b"))
+	sigma := algebra.StdSigma()
+	omega := algebra.NewSigma(algebra.Positions(1), algebra.Positions(1, 3, 4, 5, 2))
+	fs, fw := process.New(f, sigma), process.New(f, omega)
+
+	gs := []process.Proc{
+		process.Std(core.S(tup("a", "a"), tup("b", "b"))),
+		process.Std(core.S(tup("a", "a"), tup("b", "a"))),
+		process.Std(core.S(tup("a", "b"), tup("b", "a"))),
+		process.Std(core.S(tup("a", "b"), tup("b", "b"))),
+	}
+	derived := []process.Proc{
+		fs,
+		fw.ApplyProc(fs),
+		fw.ApplyProc(fw).ApplyProc(fs),
+		fw.ApplyProc(fw).ApplyProc(fw).ApplyProc(fs),
+	}
+	names := []string{
+		"f_(σ)",
+		"f_(ω)(f_(σ))",
+		"(f_(ω)(f_(ω)))(f_(σ))",
+		"(f_(ω)(f_(ω))(f_(ω)))(f_(σ))",
+	}
+	pass := true
+	var rows [][]string
+	for i := range gs {
+		ok := derived[i].Equivalent(gs[i])
+		pass = pass && ok
+		rows = append(rows, []string{
+			names[i], fmt.Sprintf("g%d", i+1), fmt.Sprintf("%v", derived[i].F), fmt.Sprintf("%v", ok),
+		})
+	}
+	idOK := fs.Equivalent(process.Identity(core.S(tup("a"), tup("b"))))
+	lines := tableRows([]string{"expression", "behaves as", "carrier", "match"}, rows)
+	lines = append(lines, "", fmt.Sprintf("f_(σ) = I_A: %v", idOK))
+	return Result{
+		ID:    "E5",
+		Title: "Appendix B: self-application derives g1…g4 from one carrier",
+		Lines: lines,
+		Pass:  pass && idOK,
+	}
+}
+
+// E6CSTEmbedding regenerates Example 8.1, Example 9.1 (√16) and
+// Theorem 9.10 (every CST function embeds), plus randomized CST↔XST
+// agreement on images and relative products.
+func E6CSTEmbedding(cfg Config) Result {
+	str := func(s string) core.Value { return core.Str(s) }
+	// Example 8.1.
+	f81 := core.NewSet(
+		core.M(core.Tuple(str("a"), str("x")), core.Tuple(str("A"), str("Z"))),
+		core.M(core.Tuple(str("b"), str("y")), core.Tuple(str("B"), str("Y"))),
+		core.M(core.Tuple(str("c"), str("x")), core.Tuple(str("A"), str("Z"))),
+	)
+	fwd := algebra.Image(f81, core.NewSet(core.M(core.Tuple(str("a")), core.Tuple(str("A")))), algebra.StdSigma())
+	inv := algebra.Image(f81, core.NewSet(core.M(core.Tuple(str("x")), core.Tuple(str("Z")))), algebra.InverseStdSigma())
+	ex81 := core.Equal(fwd, core.NewSet(core.M(core.Tuple(str("x")), core.Tuple(str("Z"))))) && inv.Len() == 2
+
+	// Example 9.1.
+	sqrt16 := core.NewSet(
+		core.M(core.Tuple(core.Int(2)), core.Tuple(str("+"))),
+		core.M(core.Tuple(core.Int(-2)), core.Tuple(str("-"))),
+		core.M(core.Tuple(str("2i")), core.Tuple(str("i"))),
+		core.M(core.Tuple(str("-2i")), core.Tuple(str("-i"))),
+	)
+	vPlus, okPlus := algebra.SigmaValue(sqrt16, str("+"))
+	ex91 := okPlus && core.Equal(vPlus, core.Int(2))
+
+	// Theorem 9.10 + randomized CST↔XST agreement.
+	r := xtest.NewRand(cfg.Seed)
+	trials := 200
+	if cfg.Quick {
+		trials = 40
+	}
+	agree := 0
+	for i := 0; i < trials; i++ {
+		var ps []cst.Pair
+		for j := 0; j < 1+r.Intn(8); j++ {
+			ps = append(ps, cst.Pair{X: core.Int(r.Intn(5)), Y: core.Int(r.Intn(5))})
+		}
+		rel := cst.NewRelation(ps...)
+		a := cst.NewElemSet(core.Int(r.Intn(6)), core.Int(r.Intn(6)))
+		xOut := algebra.Image(rel.ToXST(), cst.ElemsToXST(a), algebra.StdSigma())
+		got, ok := cst.XSTToElems(xOut)
+		if ok && got.Equal(rel.Image(a)) {
+			agree++
+		}
+	}
+	pass := ex81 && ex91 && agree == trials
+	return Result{
+		ID:    "E6",
+		Title: "§8/§9: CST embedding (Ex 8.1, Ex 9.1, Thm 9.10)",
+		Lines: []string{
+			fmt.Sprintf("Example 8.1 forward/inverse:       %v", ex81),
+			fmt.Sprintf("Example 9.1 𝒱_+(√16) = 2:          %v", ex91),
+			fmt.Sprintf("randomized CST↔XST image agreement: %d/%d", agree, trials),
+		},
+		Pass: pass,
+	}
+}
+
+// E7AlgebraicLaws regenerates the law tables: Consequence 7.1 (domain),
+// C.1 (image) and 8.1 (function properties) verified over randomized
+// extended sets, reported law by law.
+func E7AlgebraicLaws(cfg Config) Result {
+	r := xtest.NewRand(cfg.Seed ^ 0xE7)
+	gen := xtest.DefaultConfig()
+	trials := 500
+	if cfg.Quick {
+		trials = 80
+	}
+
+	randSigma := func() *core.Set {
+		n := 1 + r.Intn(3)
+		b := core.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.Add(core.Int(1+r.Intn(4)), core.Int(1+r.Intn(4)))
+		}
+		return b.Set()
+	}
+	randCarrier := func() *core.Set {
+		n := r.Intn(5)
+		b := core.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddClassical(gen.Tuple(r, 4))
+		}
+		return b.Set()
+	}
+
+	type law struct {
+		name string
+		chk  func() bool
+	}
+	laws := []law{
+		{"7.1(a) 𝔇(Q∪S)=𝔇Q∪𝔇S", func() bool {
+			q, s, sg := randCarrier(), randCarrier(), randSigma()
+			return core.Equal(algebra.SigmaDomain(core.Union(q, s), sg),
+				core.Union(algebra.SigmaDomain(q, sg), algebra.SigmaDomain(s, sg)))
+		}},
+		{"7.1(b) 𝔇(Q∩S)⊆𝔇Q∩𝔇S", func() bool {
+			q, s, sg := randCarrier(), randCarrier(), randSigma()
+			return core.Subset(algebra.SigmaDomain(core.Intersect(q, s), sg),
+				core.Intersect(algebra.SigmaDomain(q, sg), algebra.SigmaDomain(s, sg)))
+		}},
+		{"7.1(c) 𝔇Q∼𝔇S⊆𝔇(Q∼S)", func() bool {
+			q, s, sg := randCarrier(), randCarrier(), randSigma()
+			return core.Subset(core.Diff(algebra.SigmaDomain(q, sg), algebra.SigmaDomain(s, sg)),
+				algebra.SigmaDomain(core.Diff(q, s), sg))
+		}},
+		{"7.1(e) 𝔇_∅(Q)=∅", func() bool {
+			return algebra.SigmaDomain(randCarrier(), core.Empty()).IsEmpty()
+		}},
+		{"C.1(a) Q[A∪B]=Q[A]∪Q[B]", func() bool {
+			q, a, b := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Equal(algebra.Image(q, core.Union(a, b), sg),
+				core.Union(algebra.Image(q, a, sg), algebra.Image(q, b, sg)))
+		}},
+		{"C.1(b) Q[A∩B]⊆Q[A]∩Q[B]", func() bool {
+			q, a, b := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Subset(algebra.Image(q, core.Intersect(a, b), sg),
+				core.Intersect(algebra.Image(q, a, sg), algebra.Image(q, b, sg)))
+		}},
+		{"C.1(i) (Q∪R)[A]=Q[A]∪R[A]", func() bool {
+			q, rr, a := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Equal(algebra.Image(core.Union(q, rr), a, sg),
+				core.Union(algebra.Image(q, a, sg), algebra.Image(rr, a, sg)))
+		}},
+		{"C.1(g) ∅ cases", func() bool {
+			q, a := randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return algebra.Image(q, core.Empty(), sg).IsEmpty() &&
+				algebra.Image(core.Empty(), a, sg).IsEmpty() &&
+				algebra.Image(q, a, algebra.NewSigma(core.Empty(), core.Empty())).IsEmpty()
+		}},
+		{"8.1(a) (f∪g)(x)=f(x)∪g(x)", func() bool {
+			f, g, x := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Equal(algebra.Image(core.Union(f, g), x, sg),
+				core.Union(algebra.Image(f, x, sg), algebra.Image(g, x, sg)))
+		}},
+		{"8.1(b) (f∩g)(x)⊆f(x)∩g(x)", func() bool {
+			f, g, x := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Subset(algebra.Image(core.Intersect(f, g), x, sg),
+				core.Intersect(algebra.Image(f, x, sg), algebra.Image(g, x, sg)))
+		}},
+		{"8.1(c) f(x)∼g(x)⊆(f∼g)(x)", func() bool {
+			f, g, x := randCarrier(), randCarrier(), randCarrier()
+			sg := algebra.NewSigma(randSigma(), randSigma())
+			return core.Subset(core.Diff(algebra.Image(f, x, sg), algebra.Image(g, x, sg)),
+				algebra.Image(core.Diff(f, g), x, sg))
+		}},
+	}
+	pass := true
+	var rows [][]string
+	for _, l := range laws {
+		ok := 0
+		for i := 0; i < trials; i++ {
+			if l.chk() {
+				ok++
+			}
+		}
+		pass = pass && ok == trials
+		rows = append(rows, []string{l.name, fmt.Sprintf("%d/%d", ok, trials)})
+	}
+	return Result{
+		ID:    "E7",
+		Title: "Law tables: Consequences 7.1, C.1, 8.1 (randomized)",
+		Lines: tableRows([]string{"law", "holds"}, rows),
+		Pass:  pass,
+	}
+}

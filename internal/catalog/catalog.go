@@ -1,0 +1,266 @@
+// Package catalog makes the storage substrate durable: a Database owns
+// one pager, keeps a catalog of its tables on page 0, and can be closed
+// and reopened with every table intact. In the spirit of the paper, the
+// catalog itself is an extended set —
+//
+//	{ ⟨name, firstPage, ⟨col1, …, coln⟩⟩ , … }
+//
+// serialized with the canonical value codec onto the catalog page, so
+// the system's metadata has the same mathematical identity as its data.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+	"xst/internal/xlang"
+)
+
+// catalogPage is the fixed location of the catalog root.
+const catalogPage = store.PageID(0)
+
+// ErrNoTable reports a lookup of an undefined table.
+var ErrNoTable = errors.New("catalog: no such table")
+
+// ErrTableExists reports a duplicate CreateTable.
+var ErrTableExists = errors.New("catalog: table already exists")
+
+// ErrCatalogFull reports a catalog that no longer fits its page.
+var ErrCatalogFull = errors.New("catalog: catalog page full")
+
+// Database is a durable collection of tables over one pager.
+type Database struct {
+	pager  store.Pager
+	pool   *store.BufferPool
+	tables map[string]*table.Table
+}
+
+// Create formats a fresh database on the pager (which must be empty) and
+// returns it with the given buffer-pool frame budget.
+func Create(pager store.Pager, frames int) (*Database, error) {
+	if pager.NumPages() != 0 {
+		return nil, fmt.Errorf("catalog: pager not empty (%d pages)", pager.NumPages())
+	}
+	pool := store.NewBufferPool(pager, frames)
+	f, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if f.ID() != catalogPage {
+		f.Unpin()
+		return nil, fmt.Errorf("catalog: catalog page allocated as %d", f.ID())
+	}
+	f.Unpin()
+	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}}
+	if err := db.writeCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open reattaches to a database previously written by Create + Sync.
+func Open(pager store.Pager, frames int) (*Database, error) {
+	if pager.NumPages() == 0 {
+		return nil, errors.New("catalog: pager empty; use Create")
+	}
+	pool := store.NewBufferPool(pager, frames)
+	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}}
+
+	f, err := pool.Get(catalogPage)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, store.PageSize)
+	copy(raw, f.Data())
+	f.Unpin()
+
+	set, err := decodeCatalog(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range set.Members() {
+		name, first, schema, err := decodeEntry(m.Elem)
+		if err != nil {
+			return nil, err
+		}
+		t, err := table.Open(pool, schema, first)
+		if err != nil {
+			return nil, err
+		}
+		db.tables[name] = t
+	}
+	return db, nil
+}
+
+// Pool exposes the buffer pool (statistics, advanced use).
+func (db *Database) Pool() *store.BufferPool { return db.pool }
+
+// CreateTable defines a new table and persists the catalog.
+func (db *Database) CreateTable(schema table.Schema) (*table.Table, error) {
+	if _, ok := db.tables[schema.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, schema.Name)
+	}
+	t, err := table.Create(db.pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[schema.Name] = t
+	if err := db.writeCatalog(); err != nil {
+		delete(db.tables, schema.Name)
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns a defined table.
+func (db *Database) Table(name string) (*table.Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Names lists the defined tables, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VacuumTable compacts a table (dropping tombstones and half-empty
+// pages) and repoints the catalog at the compacted copy. The old heap's
+// pages become garbage (page ids are never reused but never reclaimed —
+// the simulation does not implement a free-space map).
+func (db *Database) VacuumTable(name string) (*table.Table, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	compact, err := t.Vacuum()
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = compact
+	if err := db.writeCatalog(); err != nil {
+		db.tables[name] = t
+		return nil, err
+	}
+	return compact, nil
+}
+
+// Sync flushes every dirty page and rewrites the catalog.
+func (db *Database) Sync() error {
+	if err := db.writeCatalog(); err != nil {
+		return err
+	}
+	return db.pool.FlushAll()
+}
+
+// Close syncs and closes the pager.
+func (db *Database) Close() error {
+	if err := db.Sync(); err != nil {
+		db.pager.Close()
+		return err
+	}
+	return db.pager.Close()
+}
+
+// CatalogSet renders the catalog as its extended set — the value that is
+// actually stored on page 0.
+func (db *Database) CatalogSet() *core.Set {
+	b := core.NewBuilder(len(db.tables))
+	for name, t := range db.tables {
+		cols := make([]core.Value, len(t.Schema().Cols))
+		for i, c := range t.Schema().Cols {
+			cols[i] = core.Str(c)
+		}
+		entry := core.Tuple(core.Str(name), core.Int(int64(t.FirstPage())), core.Tuple(cols...))
+		b.AddClassical(entry)
+	}
+	return b.Set()
+}
+
+func (db *Database) writeCatalog() error {
+	enc := core.Encode(db.CatalogSet())
+	if len(enc)+4 > store.PageSize {
+		return fmt.Errorf("%w: %d bytes", ErrCatalogFull, len(enc))
+	}
+	f, err := db.pool.Get(catalogPage)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	data := f.Data()
+	data[0] = byte(len(enc))
+	data[1] = byte(len(enc) >> 8)
+	copy(data[2:], enc)
+	f.MarkDirty()
+	return nil
+}
+
+// BindAll loads every table of the database into an expression-language
+// environment as its extended set, so the REPL can query stored data
+// symbolically: `users[{<1>}]` etc. Large tables materialize fully;
+// this is a calculator bridge, not a query engine.
+func (db *Database) BindAll(env *xlang.Env) error {
+	for name, t := range db.tables {
+		s, err := t.ToXST()
+		if err != nil {
+			return fmt.Errorf("catalog: binding %q: %w", name, err)
+		}
+		env.Bind(name, s)
+	}
+	return nil
+}
+
+func decodeCatalog(raw []byte) (*core.Set, error) {
+	n := int(raw[0]) | int(raw[1])<<8
+	if n+2 > len(raw) {
+		return nil, errors.New("catalog: corrupt catalog length")
+	}
+	v, err := core.DecodeFull(raw[2 : 2+n])
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	s, ok := v.(*core.Set)
+	if !ok {
+		return nil, errors.New("catalog: catalog value is not a set")
+	}
+	return s, nil
+}
+
+func decodeEntry(v core.Value) (name string, first store.PageID, schema table.Schema, err error) {
+	elems, ok := core.TupleElems(v)
+	if !ok || len(elems) != 3 {
+		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad entry %v", v)
+	}
+	n, ok := elems[0].(core.Str)
+	if !ok {
+		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad name in %v", v)
+	}
+	pg, ok := elems[1].(core.Int)
+	if !ok || pg < 0 {
+		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad page in %v", v)
+	}
+	colVals, ok := core.TupleElems(elems[2])
+	if !ok {
+		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad columns in %v", v)
+	}
+	cols := make([]string, len(colVals))
+	for i, cv := range colVals {
+		cs, ok := cv.(core.Str)
+		if !ok {
+			return "", 0, table.Schema{}, fmt.Errorf("catalog: bad column %v", cv)
+		}
+		cols[i] = string(cs)
+	}
+	return string(n), store.PageID(pg), table.Schema{Name: string(n), Cols: cols}, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func roundTrip(t *testing.T, v Value) {
+	t.Helper()
+	enc := Encode(v)
+	got, err := DecodeFull(enc)
+	if err != nil {
+		t.Fatalf("decode %v: %v", v, err)
+	}
+	if !Equal(got, v) {
+		t.Fatalf("round trip %v -> %v", v, got)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	values := []Value{
+		Bool(true), Bool(false),
+		Int(0), Int(1), Int(-1), Int(1 << 40), Int(-(1 << 40)),
+		Float(0), Float(3.14), Float(-2.5e300),
+		Str(""), Str("hello"), Str("héllo ∅"),
+		Empty(),
+		S(Int(1), Int(2)),
+		Pair(Str("a"), Str("b")),
+		NewSet(M(S(Int(1)), Pair(Int(2), Int(3)))),
+		Tuple(Str("a"), Empty(), S(Bool(true))),
+	}
+	for _, v := range values {
+		roundTrip(t, v)
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	a := Encode(NewSet(M(Int(1), Int(2))))
+	b := Encode(NewSet(M(Int(2), Int(1))))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct values must encode differently")
+	}
+	// Canonical: construction order must not affect the encoding.
+	x := Encode(S(Int(1), Int(2), Int(3)))
+	y := Encode(S(Int(3), Int(1), Int(2)))
+	if !bytes.Equal(x, y) {
+		t.Fatal("equal values must encode identically")
+	}
+}
+
+func TestKeyAsMapKey(t *testing.T) {
+	m := map[string]int{}
+	m[Key(S(Int(1), Int(2)))] = 1
+	if m[Key(S(Int(2), Int(1)))] != 1 {
+		t.Fatal("Key must be order-insensitive")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xFF},
+		{tagBool},
+		{tagBool, 2},
+		{tagFloat, 1, 2},
+		{tagString, 10, 'a'},
+		{tagSet, 200},
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(c); err == nil {
+			t.Fatalf("Decode(% x) must fail", c)
+		}
+	}
+	// Trailing garbage must fail DecodeFull but not Decode.
+	buf := append(Encode(Int(7)), 0)
+	if _, _, err := Decode(buf); err != nil {
+		t.Fatal("Decode with trailing bytes must succeed")
+	}
+	if _, err := DecodeFull(buf); err == nil {
+		t.Fatal("DecodeFull with trailing bytes must fail")
+	}
+}
+
+func TestDecodeRejectsNaN(t *testing.T) {
+	buf := []byte{tagFloat, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xf8, 0x7f}
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("NaN payload must be rejected")
+	}
+}
+
+func TestOrderKeyPreservesAtomOrder(t *testing.T) {
+	atoms := []Value{
+		Bool(false), Bool(true),
+		Int(-1 << 40), Int(-300), Int(-1), Int(0), Int(1), Int(127),
+		Int(128), Int(300), Int(500), Int(10000), Int(1 << 40),
+		Float(-1e300), Float(-2.5), Float(-0.0), Float(0), Float(0.5),
+		Float(2.5), Float(1e300),
+		Str(""), Str("a"), Str("ab"), Str("b"),
+	}
+	for _, a := range atoms {
+		for _, b := range atoms {
+			cmp := Compare(a, b)
+			ka, kb := OrderKey(a), OrderKey(b)
+			var kcmp int
+			switch {
+			case ka < kb:
+				kcmp = -1
+			case ka > kb:
+				kcmp = 1
+			}
+			if cmp != kcmp {
+				t.Fatalf("OrderKey order mismatch: %v vs %v (Compare %d, key %d)", a, b, cmp, kcmp)
+			}
+		}
+	}
+}
+
+func TestOrderKeySetsGroupAfterAtoms(t *testing.T) {
+	s := S(Int(1))
+	if OrderKey(Str("zzz")) >= OrderKey(s) {
+		t.Fatal("sets must order after atoms")
+	}
+	if OrderKey(s) != OrderKey(S(Int(1))) {
+		t.Fatal("equal sets must share order keys")
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+
+	"xst/internal/core"
+)
+
+func ExampleNewSet() {
+	// Membership carries a scope: x ∈ₛ A.
+	person := core.NewSet(
+		core.M(core.Str("alice"), core.Str("name")),
+		core.M(core.Int(30), core.Str("age")),
+	)
+	fmt.Println(person)
+	fmt.Println(person.Has(core.Str("alice"), core.Str("name")))
+	// Output:
+	// {30^"age", "alice"^"name"}
+	// true
+}
+
+func ExamplePair() {
+	// The classical ordered pair is the extended set {x^1, y^2}.
+	p := core.Pair(core.Str("key"), core.Str("value"))
+	fmt.Println(p)
+	n, _ := core.TupLen(p)
+	fmt.Println("tup =", n)
+	// Output:
+	// <"key","value">
+	// tup = 2
+}
+
+func ExampleUnion() {
+	a := core.S(core.Int(1), core.Int(2))
+	b := core.S(core.Int(2), core.Int(3))
+	fmt.Println(core.Union(a, b))
+	fmt.Println(core.Intersect(a, b))
+	fmt.Println(core.Diff(a, b))
+	// Output:
+	// {1, 2, 3}
+	// {2}
+	// {1}
+}
+
+func ExampleConcat() {
+	x := core.Tuple(core.Str("a"), core.Str("b"))
+	y := core.Tuple(core.Str("c"))
+	z, _ := core.Concat(x, y)
+	fmt.Println(z)
+	// Output:
+	// <"a","b","c">
+}
+
+func ExampleEncode() {
+	// The canonical codec is injective: equal sets encode identically
+	// regardless of construction order.
+	a := core.S(core.Int(1), core.Int(2))
+	b := core.S(core.Int(2), core.Int(1))
+	fmt.Println(core.Key(a) == core.Key(b))
+	v, _ := core.DecodeFull(core.Encode(a))
+	fmt.Println(core.Equal(v, a))
+	// Output:
+	// true
+	// true
+}

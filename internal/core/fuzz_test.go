@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// FuzzDecode checks that arbitrary byte strings never panic the decoder
+// and that everything it accepts re-encodes canonically (decode∘encode
+// is the identity on the decoder's image).
+func FuzzDecode(f *testing.F) {
+	seeds := []Value{
+		Int(0), Int(-1), Int(1 << 40),
+		Str("hello"), Bool(true), Float(2.5),
+		Empty(), S(Int(1), Int(2)),
+		Pair(Str("a"), Str("b")),
+		NewSet(M(S(Int(1)), Pair(Int(2), Int(3)))),
+	}
+	for _, v := range seeds {
+		f.Add(Encode(v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+	f.Add([]byte{tagSet, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeFull(data)
+		if err != nil {
+			return
+		}
+		// Round trip must be canonical and stable.
+		re := Encode(v)
+		v2, err := DecodeFull(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !Equal(v, v2) {
+			t.Fatalf("round trip changed value: %v vs %v", v, v2)
+		}
+		// Note: the decoder accepts non-canonical member orders, but the
+		// decoded value is canonical, so double-encode is stable.
+		re2 := Encode(v2)
+		if string(re) != string(re2) {
+			t.Fatal("encoding not stable")
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue is a local random-value generator for testing/quick. (The
+// shared generator in internal/xtest depends on core, so core's own
+// property tests roll their own.)
+func genValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Int(r.Intn(4))
+		case 1:
+			return Str(string(rune('a' + r.Intn(3))))
+		default:
+			return Bool(r.Intn(2) == 0)
+		}
+	}
+	return genSet(r, depth)
+}
+
+func genSet(r *rand.Rand, depth int) *Set {
+	n := r.Intn(4)
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		scope := Value(Empty())
+		if r.Intn(2) == 0 {
+			scope = genValue(r, depth-1)
+		}
+		b.Add(genValue(r, depth-1), scope)
+	}
+	return b.Set()
+}
+
+// setBox adapts *Set to testing/quick generation.
+type setBox struct{ S *Set }
+
+func (setBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(setBox{S: genSet(r, 2)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(a, b setBox) bool { return Equal(Union(a.S, b.S), Union(b.S, a.S)) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionAssociative(t *testing.T) {
+	f := func(a, b, c setBox) bool {
+		return Equal(Union(Union(a.S, b.S), c.S), Union(a.S, Union(b.S, c.S)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b setBox) bool { return Equal(Intersect(a.S, b.S), Intersect(b.S, a.S)) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a ∼ (b ∪ c) = (a ∼ b) ∩ (a ∼ c) and a ∼ (b ∩ c) = (a ∼ b) ∪ (a ∼ c).
+	f := func(a, b, c setBox) bool {
+		l1 := Diff(a.S, Union(b.S, c.S))
+		r1 := Intersect(Diff(a.S, b.S), Diff(a.S, c.S))
+		l2 := Diff(a.S, Intersect(b.S, c.S))
+		r2 := Union(Diff(a.S, b.S), Diff(a.S, c.S))
+		return Equal(l1, r1) && Equal(l2, r2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistributivity(t *testing.T) {
+	f := func(a, b, c setBox) bool {
+		l := Intersect(a.S, Union(b.S, c.S))
+		r := Union(Intersect(a.S, b.S), Intersect(a.S, c.S))
+		return Equal(l, r)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAbsorption(t *testing.T) {
+	f := func(a, b setBox) bool {
+		return Equal(Union(a.S, Intersect(a.S, b.S)), a.S) &&
+			Equal(Intersect(a.S, Union(a.S, b.S)), a.S)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubsetCharacterization(t *testing.T) {
+	f := func(a, b setBox) bool {
+		return Subset(a.S, b.S) == Equal(Union(a.S, b.S), b.S)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDiffUnionPartition(t *testing.T) {
+	// (a ∼ b) ∪ (a ∩ b) = a and the two parts are disjoint.
+	f := func(a, b setBox) bool {
+		d, i := Diff(a.S, b.S), Intersect(a.S, b.S)
+		return Equal(Union(d, i), a.S) && Intersect(d, i).IsEmpty()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	f := func(a setBox) bool {
+		v, err := DecodeFull(Encode(a.S))
+		return err == nil && Equal(v, a.S)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareConsistentWithEncode(t *testing.T) {
+	// Structural equality agrees with encoding equality.
+	f := func(a, b setBox) bool {
+		return Equal(a.S, b.S) == (Key(a.S) == Key(b.S))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConcatLength(t *testing.T) {
+	f := func(a, b setBox) bool {
+		xs, ys := a.S.Elems(), b.S.Elems()
+		x, y := Tuple(xs...), Tuple(ys...)
+		z, ok := Concat(x, y)
+		if !ok {
+			return false
+		}
+		n, ok := TupLen(z)
+		return ok && n == len(xs)+len(ys)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRenderParsesStable(t *testing.T) {
+	// Rendering is deterministic for equal values.
+	f := func(a setBox) bool {
+		b := NewSet(a.S.Members()...)
+		return a.S.String() == b.String()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "strings"
+
+// String renders s in XST notation. Tuples render as ⟨…⟩ sugar
+// (ASCII: <…>), classical members render without their ∅ scope, and
+// other members render elem^scope. The empty set renders as {}.
+func (s *Set) String() string {
+	var b strings.Builder
+	renderSet(&b, s)
+	return b.String()
+}
+
+func renderSet(b *strings.Builder, s *Set) {
+	if elems, ok := TupleElems(s); ok && len(elems) > 0 {
+		b.WriteByte('<')
+		for i, e := range elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			renderValue(b, e)
+		}
+		b.WriteByte('>')
+		return
+	}
+	b.WriteByte('{')
+	for i, m := range s.members {
+		if i > 0 {
+			b.WriteByte(',')
+			b.WriteByte(' ')
+		}
+		renderValue(b, m.Elem)
+		if sc, ok := m.Scope.(*Set); !ok || !sc.IsEmpty() {
+			b.WriteByte('^')
+			renderValue(b, m.Scope)
+		}
+	}
+	b.WriteByte('}')
+}
+
+func renderValue(b *strings.Builder, v Value) {
+	if s, ok := v.(*Set); ok {
+		renderSet(b, s)
+		return
+	}
+	b.WriteString(v.String())
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindSet: "set", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestCompareAtoms(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("x"), Str("x"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{Bool(true), Int(0), -1}, // kind rank
+		{Int(9), Float(0.1), -1}, // kind rank, not numeric
+		{Float(9), Str(""), -1},  // kind rank
+		{Str("z"), Empty(), -1},  // kind rank
+		{Empty(), Str("z"), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNegativeZero(t *testing.T) {
+	if Compare(Float(0), Float(negZero())) != 0 {
+		t.Error("+0.0 and -0.0 must compare equal")
+	}
+	if Digest(Float(0)) != Digest(Float(negZero())) {
+		t.Error("+0.0 and -0.0 must hash equal")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestCompareSets(t *testing.T) {
+	a := S(Int(1), Int(2))
+	b := S(Int(1), Int(3))
+	if Compare(a, b) >= 0 {
+		t.Error("lexicographic member order violated")
+	}
+	if Compare(S(Int(1)), S(Int(1), Int(2))) >= 0 {
+		t.Error("prefix must order before extension")
+	}
+	if Compare(a, a) != 0 {
+		t.Error("self-compare must be 0")
+	}
+}
+
+func TestCompareTotalOrderProperties(t *testing.T) {
+	vals := []Value{
+		Bool(false), Bool(true), Int(-3), Int(0), Int(7),
+		Float(-1.5), Float(0), Float(3.25), Str(""), Str("ab"),
+		Empty(), S(Int(1)), S(Int(1), Int(2)), Pair(Int(1), Int(2)),
+		NewSet(M(Int(1), Str("s"))),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, ba := Compare(a, b), Compare(b, a)
+			if ab != -ba {
+				t.Fatalf("antisymmetry violated for %v, %v", a, b)
+			}
+			if (ab == 0) != Equal(a, b) {
+				t.Fatalf("Equal/Compare disagree for %v, %v", a, b)
+			}
+			for _, c := range vals {
+				if ab <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+					t.Fatalf("transitivity violated for %v ≤ %v ≤ %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEqualUsesDigestFastPath(t *testing.T) {
+	a := S(Int(1), Int(2), Int(3))
+	b := S(Int(3), Int(2), Int(1))
+	if !Equal(a, b) {
+		t.Error("order-insensitive equality failed")
+	}
+	if Digest(a) != Digest(b) {
+		t.Error("equal values must share digests")
+	}
+}
+
+func TestDigestDistinguishesScopes(t *testing.T) {
+	a := NewSet(M(Int(1), Int(2)))
+	b := NewSet(M(Int(2), Int(1)))
+	if Equal(a, b) {
+		t.Error("{1^2} and {2^1} must differ")
+	}
+}
+
+func TestAtomStringForms(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Str("hi"), `"hi"`},
+		{Float(1.5), "1.5"},
+		{Float(2), "2.0"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

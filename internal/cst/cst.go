@@ -1,0 +1,257 @@
+// Package cst implements the classical-set-theory (CST) baseline the
+// paper defines in §3: relations as sets of ordered pairs, image,
+// restriction, 1-/2-domain, and element-level functions (Def 3.1–3.9).
+// It serves two roles: a correctness comparator (every CST operation must
+// agree with its XST realization on classical operands — the paper's
+// compatibility claim) and the "record processing" style baseline for the
+// performance experiments.
+package cst
+
+import (
+	"sort"
+
+	"xst/internal/core"
+)
+
+// Pair is a classical ordered pair ⟨X, Y⟩.
+type Pair struct {
+	X, Y core.Value
+}
+
+// Relation is a classical relation: a duplicate-free set of ordered
+// pairs, held in insertion-independent canonical order.
+type Relation struct {
+	pairs []Pair
+}
+
+// NewRelation builds a relation, deduplicating pairs.
+func NewRelation(pairs ...Pair) *Relation {
+	r := &Relation{pairs: make([]Pair, len(pairs))}
+	copy(r.pairs, pairs)
+	r.canonicalize()
+	return r
+}
+
+func comparePairs(a, b Pair) int {
+	if c := core.Compare(a.X, b.X); c != 0 {
+		return c
+	}
+	return core.Compare(a.Y, b.Y)
+}
+
+func (r *Relation) canonicalize() {
+	sort.Slice(r.pairs, func(i, j int) bool { return comparePairs(r.pairs[i], r.pairs[j]) < 0 })
+	w := 0
+	for i, p := range r.pairs {
+		if i == 0 || comparePairs(p, r.pairs[w-1]) != 0 {
+			r.pairs[w] = p
+			w++
+		}
+	}
+	r.pairs = r.pairs[:w]
+}
+
+// Len returns the number of pairs.
+func (r *Relation) Len() int { return len(r.pairs) }
+
+// Pairs returns the canonical pair slice; the caller must not modify it.
+func (r *Relation) Pairs() []Pair { return r.pairs }
+
+// Has reports whether ⟨x, y⟩ ∈ R.
+func (r *Relation) Has(x, y core.Value) bool {
+	p := Pair{X: x, Y: y}
+	i := sort.Search(len(r.pairs), func(i int) bool { return comparePairs(r.pairs[i], p) >= 0 })
+	return i < len(r.pairs) && comparePairs(r.pairs[i], p) == 0
+}
+
+// ElemSet is a classical set of values keyed by canonical encoding.
+type ElemSet struct {
+	elems map[string]core.Value
+}
+
+// NewElemSet builds a classical element set.
+func NewElemSet(vs ...core.Value) *ElemSet {
+	s := &ElemSet{elems: make(map[string]core.Value, len(vs))}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Add inserts v.
+func (s *ElemSet) Add(v core.Value) { s.elems[core.Key(v)] = v }
+
+// Has reports membership.
+func (s *ElemSet) Has(v core.Value) bool {
+	_, ok := s.elems[core.Key(v)]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s *ElemSet) Len() int { return len(s.elems) }
+
+// Values returns the elements in canonical order.
+func (s *ElemSet) Values() []core.Value {
+	out := make([]core.Value, 0, len(s.elems))
+	for _, v := range s.elems {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return core.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Equal reports extensional equality.
+func (s *ElemSet) Equal(o *ElemSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for k := range s.elems {
+		if _, ok := o.elems[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Image implements Def 3.1: R[A] = { y : ∃x (x ∈ A & ⟨x,y⟩ ∈ R) }.
+func (r *Relation) Image(a *ElemSet) *ElemSet {
+	out := NewElemSet()
+	for _, p := range r.pairs {
+		if a.Has(p.X) {
+			out.Add(p.Y)
+		}
+	}
+	return out
+}
+
+// Restrict implements Def 3.3: R|A = { ⟨x,y⟩ ∈ R : x ∈ A }.
+func (r *Relation) Restrict(a *ElemSet) *Relation {
+	out := &Relation{}
+	for _, p := range r.pairs {
+		if a.Has(p.X) {
+			out.pairs = append(out.pairs, p)
+		}
+	}
+	return out // already canonical: filtered from canonical order
+}
+
+// Domain1 implements Def 3.4: 𝔇₁(R) = { x : ∃y ⟨x,y⟩ ∈ R }.
+func (r *Relation) Domain1() *ElemSet {
+	out := NewElemSet()
+	for _, p := range r.pairs {
+		out.Add(p.X)
+	}
+	return out
+}
+
+// Domain2 implements Def 3.5: 𝔇₂(R) = { y : ∃x ⟨x,y⟩ ∈ R }.
+func (r *Relation) Domain2() *ElemSet {
+	out := NewElemSet()
+	for _, p := range r.pairs {
+		out.Add(p.Y)
+	}
+	return out
+}
+
+// IsFunction reports whether no two pairs share a first element
+// (the premise of Def 3.2).
+func (r *Relation) IsFunction() bool {
+	for i := 1; i < len(r.pairs); i++ {
+		if core.Equal(r.pairs[i].X, r.pairs[i-1].X) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements Def 3.2: f(a) = b iff f[{a}] = {b}. The boolean
+// reports whether the application is defined (exactly one image element).
+func (r *Relation) Apply(a core.Value) (core.Value, bool) {
+	img := r.Image(NewElemSet(a))
+	if img.Len() != 1 {
+		return nil, false
+	}
+	return img.Values()[0], true
+}
+
+// RelProduct is the classical relative product R/S =
+// { ⟨a,c⟩ : ∃b (⟨a,b⟩ ∈ R & ⟨b,c⟩ ∈ S) }.
+func (r *Relation) RelProduct(s *Relation) *Relation {
+	byFirst := make(map[string][]core.Value, s.Len())
+	for _, p := range s.pairs {
+		k := core.Key(p.X)
+		byFirst[k] = append(byFirst[k], p.Y)
+	}
+	out := &Relation{}
+	for _, p := range r.pairs {
+		for _, c := range byFirst[core.Key(p.Y)] {
+			out.pairs = append(out.pairs, Pair{X: p.X, Y: c})
+		}
+	}
+	out.canonicalize()
+	return out
+}
+
+// Compose returns g∘f as a relation: (g∘f)(x) = g(f(x)).
+func Compose(g, f *Relation) *Relation { return f.RelProduct(g) }
+
+// Inverse returns R⁻¹ = { ⟨y,x⟩ : ⟨x,y⟩ ∈ R }.
+func (r *Relation) Inverse() *Relation {
+	out := &Relation{pairs: make([]Pair, 0, len(r.pairs))}
+	for _, p := range r.pairs {
+		out.pairs = append(out.pairs, Pair{X: p.Y, Y: p.X})
+	}
+	out.canonicalize()
+	return out
+}
+
+// Equal reports extensional equality of relations.
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for i := range r.pairs {
+		if comparePairs(r.pairs[i], o.pairs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToXST renders the relation as the extended set of classical pairs —
+// the embedding used by the compatibility experiments.
+func (r *Relation) ToXST() *core.Set {
+	b := core.NewBuilder(len(r.pairs))
+	for _, p := range r.pairs {
+		b.AddClassical(core.Pair(p.X, p.Y))
+	}
+	return b.Set()
+}
+
+// ElemsToXST wraps each element of a classical set into a 1-tuple and
+// collects them classically — the input embedding for XST images.
+func ElemsToXST(s *ElemSet) *core.Set {
+	b := core.NewBuilder(s.Len())
+	for _, v := range s.Values() {
+		b.AddClassical(core.Tuple(v))
+	}
+	return b.Set()
+}
+
+// XSTToElems unwraps a set of classical 1-tuples back to an element set.
+// Members that are not classical 1-tuples report ok = false.
+func XSTToElems(s *core.Set) (*ElemSet, bool) {
+	out := NewElemSet()
+	okAll := true
+	s.Each(func(m core.Member) bool {
+		sc, isSet := m.Scope.(*core.Set)
+		elems, isTup := core.TupleElems(m.Elem)
+		if !isSet || !sc.IsEmpty() || !isTup || len(elems) != 1 {
+			okAll = false
+			return false
+		}
+		out.Add(elems[0])
+		return true
+	})
+	return out, okAll
+}

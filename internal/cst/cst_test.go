@@ -1,0 +1,172 @@
+package cst
+
+import (
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+func pairRel(ps ...[2]int) *Relation {
+	pairs := make([]Pair, len(ps))
+	for i, p := range ps {
+		pairs[i] = Pair{X: core.Int(p[0]), Y: core.Int(p[1])}
+	}
+	return NewRelation(pairs...)
+}
+
+func TestRelationCanonical(t *testing.T) {
+	a := pairRel([2]int{2, 2}, [2]int{1, 1}, [2]int{2, 2})
+	b := pairRel([2]int{1, 1}, [2]int{2, 2})
+	if !a.Equal(b) {
+		t.Fatal("dedup/order-insensitivity failed")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if !a.Has(core.Int(1), core.Int(1)) || a.Has(core.Int(1), core.Int(2)) {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestImageRestrictionDomains(t *testing.T) {
+	r := pairRel([2]int{1, 10}, [2]int{1, 11}, [2]int{2, 20}, [2]int{3, 30})
+	a := NewElemSet(core.Int(1), core.Int(2))
+
+	img := r.Image(a)
+	if !img.Equal(NewElemSet(core.Int(10), core.Int(11), core.Int(20))) {
+		t.Fatalf("R[A] = %v", img.Values())
+	}
+	// Def 3.6: R[A] = 𝔇₂(R|A).
+	if !img.Equal(r.Restrict(a).Domain2()) {
+		t.Fatal("R[A] ≠ 𝔇₂(R|A)")
+	}
+	if !r.Domain1().Equal(NewElemSet(core.Int(1), core.Int(2), core.Int(3))) {
+		t.Fatal("𝔇₁ wrong")
+	}
+	if r.Domain2().Len() != 4 {
+		t.Fatal("𝔇₂ wrong")
+	}
+}
+
+func TestFunctionApply(t *testing.T) {
+	f := pairRel([2]int{1, 10}, [2]int{2, 20})
+	if !f.IsFunction() {
+		t.Fatal("f is a function")
+	}
+	if v, ok := f.Apply(core.Int(1)); !ok || !core.Equal(v, core.Int(10)) {
+		t.Fatalf("f(1) = %v (%v)", v, ok)
+	}
+	if _, ok := f.Apply(core.Int(9)); ok {
+		t.Fatal("f(9) undefined")
+	}
+	g := pairRel([2]int{1, 10}, [2]int{1, 11})
+	if g.IsFunction() {
+		t.Fatal("g is not a function")
+	}
+	if _, ok := g.Apply(core.Int(1)); ok {
+		t.Fatal("ambiguous application must be undefined")
+	}
+}
+
+func TestRelProductAndCompose(t *testing.T) {
+	r := pairRel([2]int{1, 2})
+	s := pairRel([2]int{2, 3})
+	if !r.RelProduct(s).Equal(pairRel([2]int{1, 3})) {
+		t.Fatal("R/S wrong")
+	}
+	// Compose(g, f) pairs through f then g.
+	f := pairRel([2]int{1, 5}, [2]int{2, 6})
+	g := pairRel([2]int{5, 100}, [2]int{6, 200})
+	h := Compose(g, f)
+	if v, _ := h.Apply(core.Int(1)); !core.Equal(v, core.Int(100)) {
+		t.Fatal("composition wrong")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := pairRel([2]int{1, 2}, [2]int{3, 4})
+	if !r.Inverse().Equal(pairRel([2]int{2, 1}, [2]int{4, 3})) {
+		t.Fatal("inverse wrong")
+	}
+	if !r.Inverse().Inverse().Equal(r) {
+		t.Fatal("double inverse must be identity")
+	}
+}
+
+func TestElemSetBasics(t *testing.T) {
+	s := NewElemSet(core.Int(1), core.Int(1), core.Str("a"))
+	if s.Len() != 2 {
+		t.Fatal("dedup failed")
+	}
+	if !s.Has(core.Str("a")) || s.Has(core.Str("b")) {
+		t.Fatal("Has wrong")
+	}
+	vs := s.Values()
+	if len(vs) != 2 || core.Compare(vs[0], vs[1]) >= 0 {
+		t.Fatal("Values must be sorted")
+	}
+}
+
+// TestCSTXSTImageAgreement is the compatibility claim: the CST image and
+// the XST image agree on classical operands, across randomized relations.
+func TestCSTXSTImageAgreement(t *testing.T) {
+	r := xtest.NewRand(0xC57)
+	for trial := 0; trial < 300; trial++ {
+		var ps []Pair
+		n := r.Intn(10)
+		for i := 0; i < n; i++ {
+			ps = append(ps, Pair{X: core.Int(r.Intn(5)), Y: core.Int(r.Intn(5))})
+		}
+		rel := NewRelation(ps...)
+		var as []core.Value
+		for i := 0; i < r.Intn(4); i++ {
+			as = append(as, core.Int(r.Intn(6)))
+		}
+		a := NewElemSet(as...)
+
+		want := rel.Image(a)
+		xstOut := algebra.Image(rel.ToXST(), ElemsToXST(a), algebra.StdSigma())
+		got, ok := XSTToElems(xstOut)
+		if !ok {
+			t.Fatalf("trial %d: XST image not classical: %v", trial, xstOut)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: CST %v vs XST %v (R=%v A=%v)",
+				trial, want.Values(), got.Values(), rel.Pairs(), a.Values())
+		}
+	}
+}
+
+// TestCSTXSTRelProductAgreement cross-checks the classical relative
+// product against the XST §10 case-1 parameterization.
+func TestCSTXSTRelProductAgreement(t *testing.T) {
+	r := xtest.NewRand(0xC58)
+	for trial := 0; trial < 200; trial++ {
+		mk := func() *Relation {
+			var ps []Pair
+			for i := 0; i < r.Intn(8); i++ {
+				ps = append(ps, Pair{X: core.Int(r.Intn(4)), Y: core.Int(r.Intn(4))})
+			}
+			return NewRelation(ps...)
+		}
+		f, g := mk(), mk()
+		want := f.RelProduct(g).ToXST()
+		got := algebra.CSTRelativeProduct(f.ToXST(), g.ToXST())
+		if !core.Equal(got, want) {
+			t.Fatalf("trial %d: CST %v vs XST %v", trial, want, got)
+		}
+	}
+}
+
+func TestXSTToElemsRejectsNonClassical(t *testing.T) {
+	bad := core.NewSet(core.M(core.Tuple(core.Int(1)), core.Int(9)))
+	if _, ok := XSTToElems(bad); ok {
+		t.Fatal("scoped member must be rejected")
+	}
+	bad2 := core.S(core.Pair(core.Int(1), core.Int(2)))
+	if _, ok := XSTToElems(bad2); ok {
+		t.Fatal("2-tuple member must be rejected")
+	}
+}

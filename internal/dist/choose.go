@@ -1,0 +1,69 @@
+package dist
+
+// Strategy selection: a byte-cost model over the four join strategies,
+// in the spirit of classical distributed query optimization. The
+// coordinator knows partition counts and the (estimated) selectivity of
+// the left-side restriction; each strategy's network bytes follow
+// directly.
+
+// CostInputs describes a distributed equi-join for strategy selection.
+type CostInputs struct {
+	// LeftRows and RightRows are total row counts across partitions.
+	LeftRows, RightRows int
+	// LeftRowBytes / RightRowBytes are average serialized row sizes.
+	LeftRowBytes, RightRowBytes int
+	// KeyBytes is the average serialized join-key size.
+	KeyBytes int
+	// LeftSelectivity is the fraction of left rows surviving the
+	// restriction (1 = no restriction).
+	LeftSelectivity float64
+	// Sites is the cluster size.
+	Sites int
+	// CoPartitioned reports both tables hash-partitioned on the join
+	// key, making CoLocated valid.
+	CoPartitioned bool
+	// JoinRows estimates the result cardinality (for result shipping).
+	JoinRows int
+}
+
+// EstimateBytes predicts the network bytes a strategy moves.
+func EstimateBytes(in CostInputs, s Strategy) float64 {
+	leftShip := float64(in.LeftRows) * in.LeftSelectivity * float64(in.LeftRowBytes)
+	rightAll := float64(in.RightRows * in.RightRowBytes)
+	resultBytes := float64(in.JoinRows * (in.LeftRowBytes + in.RightRowBytes))
+	switch s {
+	case ShipAll:
+		return leftShip + rightAll
+	case Broadcast:
+		// Gather right once, then one copy per left site, plus results.
+		return rightAll*float64(1+in.Sites) + resultBytes
+	case SemiJoin:
+		distinctKeys := float64(in.LeftRows) * in.LeftSelectivity
+		keyShip := distinctKeys * float64(in.KeyBytes) * float64(in.Sites)
+		// Matching right rows ≈ key coverage fraction of the right side.
+		frac := in.LeftSelectivity
+		if frac > 1 {
+			frac = 1
+		}
+		return leftShip + keyShip + rightAll*frac
+	case CoLocated:
+		if !in.CoPartitioned {
+			return 1 << 60 // invalid: effectively infinite
+		}
+		return resultBytes
+	default:
+		return 1 << 60
+	}
+}
+
+// ChooseStrategy returns the strategy with the lowest estimated bytes.
+func ChooseStrategy(in CostInputs) Strategy {
+	best := ShipAll
+	bestCost := EstimateBytes(in, ShipAll)
+	for _, s := range []Strategy{Broadcast, SemiJoin, CoLocated} {
+		if c := EstimateBytes(in, s); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best
+}

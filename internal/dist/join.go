@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"fmt"
+
+	"xst/internal/core"
+	"xst/internal/table"
+	"xst/internal/xsp"
+)
+
+// Strategy selects a distributed join algorithm.
+type Strategy int
+
+const (
+	// ShipAll ships every partition of both tables to the coordinator
+	// and joins there — the naive baseline.
+	ShipAll Strategy = iota
+	// Broadcast ships the (smaller) right table to every left site,
+	// joins locally, and ships only results.
+	Broadcast
+	// SemiJoin ships the distinct join keys of the (filtered) left side
+	// to the right sites, which return only matching rows — the classic
+	// reducer; in XST terms the key set is an image and the reduction a
+	// restriction by it.
+	SemiJoin
+	// CoLocated joins partition-locally, valid only when both tables are
+	// hash-partitioned on the join key; ships only results.
+	CoLocated
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case ShipAll:
+		return "ship-all"
+	case Broadcast:
+		return "broadcast"
+	case SemiJoin:
+		return "semijoin"
+	case CoLocated:
+		return "co-located"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// JoinSpec describes a distributed equi-join with an optional left-side
+// restriction (the common shape: filter one side, join the other).
+type JoinSpec struct {
+	Left, Right       string // table names
+	LeftCol, RightCol int    // join columns
+	LeftPred          xsp.Pred
+	LeftPredName      string
+}
+
+func (c *Cluster) leftOps(spec JoinSpec) []xsp.Op {
+	if spec.LeftPred == nil {
+		return nil
+	}
+	return []xsp.Op{&xsp.Restrict{Pred: spec.LeftPred, Name: spec.LeftPredName}}
+}
+
+// Join executes the spec under the given strategy and returns the joined
+// rows (left ++ right). All strategies return the same multiset; they
+// differ in how much crosses the network.
+func (c *Cluster) Join(spec JoinSpec, strat Strategy) ([]table.Row, error) {
+	switch strat {
+	case ShipAll:
+		return c.joinShipAll(spec)
+	case Broadcast:
+		return c.joinBroadcast(spec)
+	case SemiJoin:
+		return c.joinSemi(spec)
+	case CoLocated:
+		return c.joinCoLocated(spec)
+	default:
+		return nil, fmt.Errorf("dist: unknown strategy %v", strat)
+	}
+}
+
+// collectLocal runs ops over a partition and returns the rows without
+// network accounting (site-local work).
+func collectLocal(t *table.Table, ops []xsp.Op) ([]table.Row, error) {
+	return xsp.NewPipeline(t, ops...).Collect()
+}
+
+func hashJoinRows(left, right []table.Row, lcol, rcol int) []table.Row {
+	build := make(map[string][]table.Row, len(right))
+	for _, r := range right {
+		k := core.Key(r[rcol])
+		build[k] = append(build[k], r)
+	}
+	var out []table.Row
+	for _, l := range left {
+		for _, r := range build[core.Key(l[lcol])] {
+			row := make(table.Row, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) joinShipAll(spec JoinSpec) ([]table.Row, error) {
+	lparts, err := c.partitions(spec.Left)
+	if err != nil {
+		return nil, err
+	}
+	rparts, err := c.partitions(spec.Right)
+	if err != nil {
+		return nil, err
+	}
+	var left, right []table.Row
+	for _, p := range lparts {
+		rows, err := collectLocal(p, c.leftOps(spec))
+		if err != nil {
+			return nil, err
+		}
+		left = append(left, c.Net.Ship(rows)...)
+	}
+	for _, p := range rparts {
+		rows, err := collectLocal(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		right = append(right, c.Net.Ship(rows)...)
+	}
+	return hashJoinRows(left, right, spec.LeftCol, spec.RightCol), nil
+}
+
+func (c *Cluster) joinBroadcast(spec JoinSpec) ([]table.Row, error) {
+	rparts, err := c.partitions(spec.Right)
+	if err != nil {
+		return nil, err
+	}
+	// Gather the right table once...
+	var right []table.Row
+	for _, p := range rparts {
+		rows, err := collectLocal(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		right = append(right, c.Net.Ship(rows)...)
+	}
+	lparts, err := c.partitions(spec.Left)
+	if err != nil {
+		return nil, err
+	}
+	var out []table.Row
+	for _, p := range lparts {
+		// ...then broadcast it to every left site (one shipment each).
+		localRight := c.Net.Ship(right)
+		left, err := collectLocal(p, c.leftOps(spec))
+		if err != nil {
+			return nil, err
+		}
+		joined := hashJoinRows(left, localRight, spec.LeftCol, spec.RightCol)
+		out = append(out, c.Net.Ship(joined)...)
+	}
+	return out, nil
+}
+
+func (c *Cluster) joinSemi(spec JoinSpec) ([]table.Row, error) {
+	lparts, err := c.partitions(spec.Left)
+	if err != nil {
+		return nil, err
+	}
+	// 1. Each left site computes its (filtered) partition and the
+	// distinct join-key set — an image 𝔇 of the restriction.
+	var left []table.Row
+	keySet := map[string]core.Value{}
+	for _, p := range lparts {
+		rows, err := collectLocal(p, c.leftOps(spec))
+		if err != nil {
+			return nil, err
+		}
+		left = append(left, c.Net.Ship(rows)...)
+		for _, r := range rows {
+			keySet[core.Key(r[spec.LeftCol])] = r[spec.LeftCol]
+		}
+	}
+	keys := make([]core.Value, 0, len(keySet))
+	for _, v := range keySet {
+		keys = append(keys, v)
+	}
+	// 2. Ship the key set to each right site; they return only the
+	// matching rows (a restriction by the shipped set).
+	rparts, err := c.partitions(spec.Right)
+	if err != nil {
+		return nil, err
+	}
+	var right []table.Row
+	for _, p := range rparts {
+		localKeys := c.Net.ShipKeys(keys)
+		member := make(map[string]bool, len(localKeys))
+		for _, k := range localKeys {
+			member[core.Key(k)] = true
+		}
+		rows, err := collectLocal(p, []xsp.Op{&xsp.Restrict{
+			Pred: func(r table.Row) bool { return member[core.Key(r[spec.RightCol])] },
+			Name: "semijoin-reduce",
+		}})
+		if err != nil {
+			return nil, err
+		}
+		right = append(right, c.Net.Ship(rows)...)
+	}
+	return hashJoinRows(left, right, spec.LeftCol, spec.RightCol), nil
+}
+
+func (c *Cluster) joinCoLocated(spec JoinSpec) ([]table.Row, error) {
+	lparts, err := c.partitions(spec.Left)
+	if err != nil {
+		return nil, err
+	}
+	rparts, err := c.partitions(spec.Right)
+	if err != nil {
+		return nil, err
+	}
+	var out []table.Row
+	for i := range c.Sites {
+		left, err := collectLocal(lparts[i], c.leftOps(spec))
+		if err != nil {
+			return nil, err
+		}
+		right, err := collectLocal(rparts[i], nil)
+		if err != nil {
+			return nil, err
+		}
+		joined := hashJoinRows(left, right, spec.LeftCol, spec.RightCol)
+		out = append(out, c.Net.Ship(joined)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package index
+
+import "xst/internal/store"
+
+// HashIndex is a point-access index from encoded keys to RID postings.
+type HashIndex struct {
+	m map[string][]store.RID
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{m: map[string][]store.RID{}}
+}
+
+// Insert adds rid under key.
+func (h *HashIndex) Insert(key string, rid store.RID) {
+	h.m[key] = append(h.m[key], rid)
+}
+
+// Lookup returns the postings for key (nil if absent).
+func (h *HashIndex) Lookup(key string) []store.RID { return h.m[key] }
+
+// Len returns the number of distinct keys.
+func (h *HashIndex) Len() int { return len(h.m) }
+
+// Delete removes one rid from a posting list; it reports whether the rid
+// was present.
+func (h *HashIndex) Delete(key string, rid store.RID) bool {
+	ps := h.m[key]
+	for i, p := range ps {
+		if p == rid {
+			h.m[key] = append(ps[:i], ps[i+1:]...)
+			if len(h.m[key]) == 0 {
+				delete(h.m, key)
+			}
+			return true
+		}
+	}
+	return false
+}

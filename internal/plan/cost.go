@@ -1,0 +1,95 @@
+package plan
+
+// Cost-based refinements on top of the rewrite rules: cardinality
+// estimation from real table counts and hash-join side selection. The
+// executor builds its hash table on the RIGHT child, so the optimizer
+// wants the smaller (estimated) input there.
+
+// Selectivity guesses per predicate shape, the classic System-R
+// constants: equality is selective, ranges moderate.
+const (
+	selEq    = 0.1
+	selRange = 0.3
+	selOther = 0.5
+)
+
+// EstimateRows predicts the output cardinality of a plan node using
+// exact base-table counts and standard selectivity constants.
+func EstimateRows(n Node) float64 {
+	switch x := n.(type) {
+	case *Scan:
+		return float64(x.Table.Count())
+	case *Select:
+		return EstimateRows(x.Child) * predSelectivity(x.Pred)
+	case *Project:
+		return EstimateRows(x.Child)
+	case *Join:
+		l, r := EstimateRows(x.Left), EstimateRows(x.Right)
+		// Equi-join estimate: |L|·|R| / max(distinct keys) ≈ the larger
+		// side when keys are near-unique on one side.
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		return 1
+	}
+}
+
+func predSelectivity(p Pred) float64 {
+	switch x := p.(type) {
+	case Cmp:
+		switch x.Op {
+		case Eq:
+			return selEq
+		case Lt, Le, Gt, Ge:
+			return selRange
+		default:
+			return selOther
+		}
+	case And:
+		s := 1.0
+		for _, q := range x {
+			s *= predSelectivity(q)
+		}
+		return s
+	default:
+		return selOther
+	}
+}
+
+// ChooseJoinSides swaps every join's children so the smaller estimated
+// input sits on the build (right) side. Output column ORDER changes with
+// a swap, so this is applied only via OptimizeCost, whose contract is
+// set-level (the result multiset of rows is preserved up to column
+// permutation only when the caller projects; to stay safe, a swapped
+// join is wrapped in a projection restoring the original column order).
+func ChooseJoinSides(n Node) Node {
+	switch x := n.(type) {
+	case *Select:
+		return &Select{Child: ChooseJoinSides(x.Child), Pred: x.Pred}
+	case *Project:
+		return &Project{Child: ChooseJoinSides(x.Child), Cols: x.Cols}
+	case *Join:
+		left := ChooseJoinSides(x.Left)
+		right := ChooseJoinSides(x.Right)
+		if EstimateRows(right) <= EstimateRows(left) {
+			return &Join{Left: left, Right: right, LeftCol: x.LeftCol, RightCol: x.RightCol}
+		}
+		// Swap and restore the original column order with a projection.
+		swapped := &Join{
+			Left: right, Right: left,
+			LeftCol: x.RightCol, RightCol: x.LeftCol,
+		}
+		orig := &Join{Left: left, Right: right, LeftCol: x.LeftCol, RightCol: x.RightCol}
+		return &Project{Child: swapped, Cols: orig.Schema().Cols}
+	default:
+		return n
+	}
+}
+
+// OptimizeCost runs the rule-based rewrites and then the cost-based
+// join-side selection.
+func OptimizeCost(n Node) Node {
+	return Optimize(ChooseJoinSides(Optimize(n)))
+}

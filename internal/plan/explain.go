@@ -1,0 +1,75 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan as an indented tree with estimated
+// cardinalities — the EXPLAIN output of the mini-optimizer:
+//
+//	project[name,hours]                      est 25
+//	└─ join[owner=pid]                       est 250
+//	   ├─ select[topic="queries"]            est 50
+//	   │  └─ scan(tasks)                     est 500
+//	   └─ scan(people)                       est 100
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, "", true, true)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, prefix string, last, top bool) {
+	label := nodeLabel(n)
+	est := EstimateRows(n)
+	var line string
+	switch {
+	case top:
+		line = label
+	case last:
+		line = prefix + "└─ " + label
+	default:
+		line = prefix + "├─ " + label
+	}
+	fmt.Fprintf(b, "%-48s est %.0f\n", line, est)
+	kids := children(n)
+	for i, k := range kids {
+		childPrefix := prefix
+		if !top {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		explain(b, k, childPrefix, i == len(kids)-1, false)
+	}
+}
+
+func nodeLabel(n Node) string {
+	switch x := n.(type) {
+	case *Scan:
+		return "scan(" + x.Table.Schema().Name + ")"
+	case *Select:
+		return "select[" + x.Pred.String() + "]"
+	case *Project:
+		return "project[" + strings.Join(x.Cols, ",") + "]"
+	case *Join:
+		return fmt.Sprintf("join[%s=%s]", x.LeftCol, x.RightCol)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+func children(n Node) []Node {
+	switch x := n.(type) {
+	case *Select:
+		return []Node{x.Child}
+	case *Project:
+		return []Node{x.Child}
+	case *Join:
+		return []Node{x.Left, x.Right}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,195 @@
+// Package plan implements a rule-based query planner over the XSP
+// engine: logical plans (scan / select / project / join) with
+// predicates-as-data, algebraic rewrite rules (merge selections, push
+// selections below joins, prune columns), and compilation into
+// set-at-a-time physical execution. It is the systems-level form of the
+// paper's §12 claim — data management behavior expressed algebraically
+// can be *optimized* by manipulating the algebra, because every rewrite
+// here is justified by an XST identity:
+//
+//	merge-selects     R |_σ A |_σ B        = R |_σ (A ⊓ B)    (restriction composition)
+//	push-select       (F ⋈ G) |_σ A        = (F |_σ A) ⋈ G    when σ only touches F's positions
+//	prune-columns     𝔇_τ(F ⋈ G)           = 𝔇_τ(𝔇_τ'(F) ⋈ 𝔇_τ''(G))
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// Node is a logical plan operator. Plans are immutable trees; rewrites
+// build new trees.
+type Node interface {
+	// Schema reports the output schema (column names qualified as the
+	// source tables provide them).
+	Schema() table.Schema
+	// String renders the subtree.
+	String() string
+}
+
+// Scan reads a stored table.
+type Scan struct {
+	Table *table.Table
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() table.Schema { return s.Table.Schema() }
+
+func (s *Scan) String() string { return "scan(" + s.Table.Schema().Name + ")" }
+
+// Select filters by a predicate expression.
+type Select struct {
+	Child Node
+	Pred  Pred
+}
+
+// Schema implements Node.
+func (s *Select) Schema() table.Schema { return s.Child.Schema() }
+
+func (s *Select) String() string {
+	return fmt.Sprintf("select[%v](%v)", s.Pred, s.Child)
+}
+
+// Project keeps named columns, in order.
+type Project struct {
+	Child Node
+	Cols  []string
+}
+
+// Schema implements Node.
+func (p *Project) Schema() table.Schema {
+	in := p.Child.Schema()
+	return table.Schema{Name: in.Name, Cols: append([]string(nil), p.Cols...)}
+}
+
+func (p *Project) String() string {
+	return fmt.Sprintf("project[%s](%v)", strings.Join(p.Cols, ","), p.Child)
+}
+
+// Join is an equi-join on named columns; output columns are
+// left-then-right with the source prefixes the schemas carry.
+type Join struct {
+	Left, Right       Node
+	LeftCol, RightCol string
+}
+
+// Schema implements Node.
+func (j *Join) Schema() table.Schema {
+	l, r := j.Left.Schema(), j.Right.Schema()
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	cols = append(cols, l.Cols...)
+	cols = append(cols, r.Cols...)
+	return table.Schema{Name: l.Name + "*" + r.Name, Cols: cols}
+}
+
+func (j *Join) String() string {
+	return fmt.Sprintf("join[%s=%s](%v, %v)", j.LeftCol, j.RightCol, j.Left, j.Right)
+}
+
+// Pred is a predicate expression the optimizer can inspect: it reports
+// which columns it reads, so rewrites can decide which side of a join it
+// belongs to.
+type Pred interface {
+	// Cols returns the column names the predicate reads.
+	Cols() []string
+	// Eval tests a row under a resolved schema.
+	Eval(sch table.Schema, r table.Row) bool
+	String() string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+// Cmp compares one column against a constant.
+type Cmp struct {
+	Col string
+	Op  CmpOp
+	Val core.Value
+}
+
+// Cols implements Pred.
+func (c Cmp) Cols() []string { return []string{c.Col} }
+
+// Eval implements Pred.
+func (c Cmp) Eval(sch table.Schema, r table.Row) bool {
+	i := sch.Col(c.Col)
+	if i < 0 {
+		return false
+	}
+	cmp := core.Compare(r[i], c.Val)
+	switch c.Op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s%v%v", c.Col, c.Op, c.Val) }
+
+// And conjoins predicates.
+type And []Pred
+
+// Cols implements Pred.
+func (a And) Cols() []string {
+	var out []string
+	for _, p := range a {
+		out = append(out, p.Cols()...)
+	}
+	return out
+}
+
+// Eval implements Pred.
+func (a And) Eval(sch table.Schema, r table.Row) bool {
+	for _, p := range a {
+		if !p.Eval(sch, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string {
+	parts := make([]string, len(a))
+	for i, p := range a {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "&")
+}
+
+// hasCols reports whether every named column exists in the schema.
+func hasCols(sch table.Schema, cols []string) bool {
+	for _, c := range cols {
+		if sch.Col(c) < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package plan
+
+import (
+	"xst/internal/stats"
+)
+
+// Statistics-backed cardinality estimation: when a stats.Catalog is
+// available, measured distinct counts and histograms replace the
+// System-R constants of EstimateRows.
+
+// EstimateRowsWith predicts output cardinality using collected
+// statistics, falling back to the constant model for tables absent from
+// the catalog.
+func EstimateRowsWith(n Node, cat stats.Catalog) float64 {
+	switch x := n.(type) {
+	case *Scan:
+		if ts, ok := cat[x.Table.Schema().Name]; ok {
+			return float64(ts.Rows)
+		}
+		return float64(x.Table.Count())
+	case *Select:
+		return EstimateRowsWith(x.Child, cat) * predSelectivityWith(x.Child, x.Pred, cat)
+	case *Project:
+		return EstimateRowsWith(x.Child, cat)
+	case *Join:
+		l, r := EstimateRowsWith(x.Left, cat), EstimateRowsWith(x.Right, cat)
+		// With distinct counts on the join keys, use the standard
+		// |L|·|R| / max(d(L.key), d(R.key)) estimate.
+		dl := distinctOf(x.Left, x.LeftCol, cat)
+		dr := distinctOf(x.Right, x.RightCol, cat)
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d > 0 {
+			return l * r / float64(d)
+		}
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		return 1
+	}
+}
+
+// distinctOf finds the distinct count of a column when the node bottoms
+// out at a cataloged scan; 0 when unknown.
+func distinctOf(n Node, col string, cat stats.Catalog) int {
+	switch x := n.(type) {
+	case *Scan:
+		ts, ok := cat[x.Table.Schema().Name]
+		if !ok {
+			return 0
+		}
+		i := x.Table.Schema().Col(col)
+		if i < 0 || i >= len(ts.Columns) {
+			return 0
+		}
+		return ts.Columns[i].Distinct
+	case *Select:
+		return distinctOf(x.Child, col, cat)
+	case *Project:
+		return distinctOf(x.Child, col, cat)
+	default:
+		return 0
+	}
+}
+
+// columnStats resolves a column's statistics through selects/projects to
+// the underlying scan.
+func columnStats(n Node, col string, cat stats.Catalog) (stats.ColumnStats, bool) {
+	switch x := n.(type) {
+	case *Scan:
+		ts, ok := cat[x.Table.Schema().Name]
+		if !ok {
+			return stats.ColumnStats{}, false
+		}
+		i := x.Table.Schema().Col(col)
+		if i < 0 || i >= len(ts.Columns) {
+			return stats.ColumnStats{}, false
+		}
+		return ts.Columns[i], true
+	case *Select:
+		return columnStats(x.Child, col, cat)
+	case *Project:
+		return columnStats(x.Child, col, cat)
+	default:
+		return stats.ColumnStats{}, false
+	}
+}
+
+func predSelectivityWith(child Node, p Pred, cat stats.Catalog) float64 {
+	switch x := p.(type) {
+	case Cmp:
+		cs, ok := columnStats(child, x.Col, cat)
+		if !ok {
+			return predSelectivity(p)
+		}
+		switch x.Op {
+		case Eq:
+			return cs.SelectivityEq(x.Val)
+		case Ne:
+			return 1 - cs.SelectivityEq(x.Val)
+		case Lt:
+			return cs.SelectivityLess(x.Val)
+		case Le:
+			return cs.SelectivityLess(x.Val) + cs.SelectivityEq(x.Val)
+		case Ge:
+			return 1 - cs.SelectivityLess(x.Val)
+		case Gt:
+			return 1 - cs.SelectivityLess(x.Val) - cs.SelectivityEq(x.Val)
+		default:
+			return predSelectivity(p)
+		}
+	case And:
+		s := 1.0
+		for _, q := range x {
+			s *= predSelectivityWith(child, q, cat)
+		}
+		return s
+	default:
+		return predSelectivity(p)
+	}
+}
+
+// OptimizeCostWith is OptimizeCost driven by measured statistics.
+func OptimizeCostWith(n Node, cat stats.Catalog) Node {
+	n = Optimize(n)
+	n = chooseJoinSidesWith(n, cat)
+	return Optimize(n)
+}
+
+func chooseJoinSidesWith(n Node, cat stats.Catalog) Node {
+	switch x := n.(type) {
+	case *Select:
+		return &Select{Child: chooseJoinSidesWith(x.Child, cat), Pred: x.Pred}
+	case *Project:
+		return &Project{Child: chooseJoinSidesWith(x.Child, cat), Cols: x.Cols}
+	case *Join:
+		left := chooseJoinSidesWith(x.Left, cat)
+		right := chooseJoinSidesWith(x.Right, cat)
+		if EstimateRowsWith(right, cat) <= EstimateRowsWith(left, cat) {
+			return &Join{Left: left, Right: right, LeftCol: x.LeftCol, RightCol: x.RightCol}
+		}
+		swapped := &Join{Left: right, Right: left, LeftCol: x.RightCol, RightCol: x.LeftCol}
+		orig := &Join{Left: left, Right: right, LeftCol: x.LeftCol, RightCol: x.RightCol}
+		return &Project{Child: swapped, Cols: orig.Schema().Cols}
+	default:
+		return n
+	}
+}

@@ -1,0 +1,141 @@
+package process
+
+import (
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+)
+
+func str(s string) core.Value { return core.Str(s) }
+
+// tupOfEmpties builds ⟨∅,…,∅⟩ with n components.
+func tupOfEmpties(n int) *core.Set {
+	xs := make([]core.Value, n)
+	for i := range xs {
+		xs[i] = core.Empty()
+	}
+	return core.Tuple(xs...)
+}
+
+// tupMember builds the member ⟨xs…⟩^⟨∅,…,∅⟩ used throughout Appendix A.
+func tupMember(xs ...core.Value) core.Member {
+	return core.M(core.Tuple(xs...), tupOfEmpties(len(xs)))
+}
+
+// appendixA builds the Appendix A sets and scope pairs.
+func appendixA() (f, g, p, h *core.Set, sigma, omega algebra.Sigma) {
+	f = core.NewSet(
+		tupMember(str("y"), str("z")),
+		tupMember(str("a"), str("x"), str("b"), str("k")),
+	)
+	g = core.NewSet(
+		tupMember(str("x"), str("y")),
+		tupMember(str("a"), str("b")),
+	)
+	p = core.NewSet(tupMember(str("x"), str("k")))
+	h = core.NewSet(tupMember(str("x")))
+	sigma = algebra.NewSigma(algebra.Positions(1, 3), algebra.Positions(2, 4))
+	omega = algebra.StdSigma()
+	return
+}
+
+// TestAppendixADomains checks the four stated σ/ω domains of f and g.
+func TestAppendixADomains(t *testing.T) {
+	f, g, _, _, sigma, omega := appendixA()
+	fp, gp := New(f, sigma), New(g, omega)
+
+	wantD1 := core.NewSet(
+		core.M(core.Tuple(str("y")), tupOfEmpties(1)),
+		core.M(core.Tuple(str("a"), str("b")), tupOfEmpties(2)),
+	)
+	if !core.Equal(fp.DomainSet(), wantD1) {
+		t.Fatalf("𝔇_{σ1}(f) = %v, want %v", fp.DomainSet(), wantD1)
+	}
+	wantD2 := core.NewSet(
+		core.M(core.Tuple(str("z")), tupOfEmpties(1)),
+		core.M(core.Tuple(str("x"), str("k")), tupOfEmpties(2)),
+	)
+	if !core.Equal(fp.CodomainSet(), wantD2) {
+		t.Fatalf("𝔇_{σ2}(f) = %v, want %v", fp.CodomainSet(), wantD2)
+	}
+	wantG1 := core.NewSet(
+		core.M(core.Tuple(str("x")), tupOfEmpties(1)),
+		core.M(core.Tuple(str("a")), tupOfEmpties(1)),
+	)
+	if !core.Equal(gp.DomainSet(), wantG1) {
+		t.Fatalf("𝔇_{ω1}(g) = %v, want %v", gp.DomainSet(), wantG1)
+	}
+	wantG2 := core.NewSet(
+		core.M(core.Tuple(str("y")), tupOfEmpties(1)),
+		core.M(core.Tuple(str("b")), tupOfEmpties(1)),
+	)
+	if !core.Equal(gp.CodomainSet(), wantG2) {
+		t.Fatalf("𝔇_{ω2}(g) = %v, want %v", gp.CodomainSet(), wantG2)
+	}
+}
+
+// TestAppendixASteps checks the four intermediate applications:
+// f_(σ)({⟨y⟩^⟨∅⟩}) = {⟨z⟩^⟨∅⟩}, f_(σ)(g) = {⟨x,k⟩^⟨∅,∅⟩},
+// g_(ω)(h) = {⟨y⟩^⟨∅⟩}, p_(ω)(h) = {⟨k⟩^⟨∅⟩}.
+func TestAppendixASteps(t *testing.T) {
+	f, g, p, h, sigma, omega := appendixA()
+	fp, gp, pp := New(f, sigma), New(g, omega), New(p, omega)
+
+	in := core.NewSet(tupMember(str("y")))
+	if got, want := fp.Apply(in), core.NewSet(tupMember(str("z"))); !core.Equal(got, want) {
+		t.Fatalf("f_(σ)({⟨y⟩}) = %v, want %v", got, want)
+	}
+	if got, want := fp.Apply(g), core.NewSet(tupMember(str("x"), str("k"))); !core.Equal(got, want) {
+		t.Fatalf("f_(σ)(g) = %v, want %v", got, want)
+	}
+	if got, want := gp.Apply(h), core.NewSet(tupMember(str("y"))); !core.Equal(got, want) {
+		t.Fatalf("g_(ω)(h) = %v, want %v", got, want)
+	}
+	if got, want := pp.Apply(h), core.NewSet(tupMember(str("k"))); !core.Equal(got, want) {
+		t.Fatalf("p_(ω)(h) = %v, want %v", got, want)
+	}
+}
+
+// TestAppendixAAmbiguity is the headline result: the two bracketings of
+// f_(σ) g_(ω) (h) are both non-empty and differ —
+// f_(σ)(g_(ω)(h)) = {⟨z⟩} while (f_(σ)(g_(ω)))(h) = {⟨k⟩}.
+func TestAppendixAAmbiguity(t *testing.T) {
+	f, g, _, h, sigma, omega := appendixA()
+	fp, gp := New(f, sigma), New(g, omega)
+
+	seq := fp.Apply(gp.Apply(h))        // f_(σ)(g_(ω)(h))
+	nested := fp.ApplyProc(gp).Apply(h) // (f_(σ)(g_(ω)))(h)
+	wantSeq := core.NewSet(tupMember(str("z")))
+	wantNested := core.NewSet(tupMember(str("k")))
+
+	if seq.IsEmpty() || nested.IsEmpty() {
+		t.Fatalf("both interpretations must be non-empty: seq=%v nested=%v", seq, nested)
+	}
+	if !core.Equal(seq, wantSeq) {
+		t.Fatalf("f_(σ)(g_(ω)(h)) = %v, want %v", seq, wantSeq)
+	}
+	if !core.Equal(nested, wantNested) {
+		t.Fatalf("(f_(σ)(g_(ω)))(h) = %v, want %v", nested, wantNested)
+	}
+	if core.Equal(seq, nested) {
+		t.Fatal("the two interpretations must differ")
+	}
+}
+
+// TestAppendixANestedCarrier checks that (f_(σ)(g_(ω))) equals the
+// process p_(ω) with carrier {⟨x,k⟩^⟨∅,∅⟩}.
+func TestAppendixANestedCarrier(t *testing.T) {
+	f, g, p, _, sigma, omega := appendixA()
+	fp, gp := New(f, sigma), New(g, omega)
+	np := fp.ApplyProc(gp)
+	if !core.Equal(np.F, p) {
+		t.Fatalf("nested carrier = %v, want %v", np.F, p)
+	}
+	if !np.Sig.Equal(omega) {
+		t.Fatalf("nested scope pair = %v, want %v", np.Sig, omega)
+	}
+	if !np.Equivalent(New(p, omega)) {
+		t.Fatal("nested process must be equivalent to p_(ω)")
+	}
+}

@@ -1,0 +1,152 @@
+package process
+
+import (
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+)
+
+// Appendix B: self-application over A = {⟨a⟩, ⟨b⟩}. One carrier f with
+// two scope pairs generates all four unary behaviors g1..g4 on A through
+// repeated self-application.
+
+func tup(xs ...string) *core.Set {
+	vs := make([]core.Value, len(xs))
+	for i, x := range xs {
+		vs[i] = core.Str(x)
+	}
+	return core.Tuple(vs...)
+}
+
+func appendixB() (f *core.Set, sigma, omega algebra.Sigma) {
+	f = core.S(
+		tup("a", "a", "a", "b", "b"),
+		tup("b", "b", "a", "a", "b"),
+	)
+	sigma = algebra.StdSigma()
+	omega = algebra.NewSigma(algebra.Positions(1), algebra.Positions(1, 3, 4, 5, 2))
+	return
+}
+
+func gCarrier(pairs ...[2]string) *core.Set {
+	b := core.NewBuilder(len(pairs))
+	for _, p := range pairs {
+		b.AddClassical(tup(p[0], p[1]))
+	}
+	return b.Set()
+}
+
+// TestAppendixBBaseApplications checks the four base evaluations:
+// f_(σ)({⟨a⟩}) = {⟨a⟩}, f_(σ)({⟨b⟩}) = {⟨b⟩},
+// f_(ω)({⟨a⟩}) = {⟨a,a,b,b,a⟩}, f_(ω)({⟨b⟩}) = {⟨b,b,a,a,b⟩}... per the
+// worked derivation (c)/(d) of Appendix B.
+func TestAppendixBBaseApplications(t *testing.T) {
+	f, sigma, omega := appendixB()
+	fs, fw := New(f, sigma), New(f, omega)
+
+	if got, want := fs.Apply(core.S(tup("a"))), core.S(tup("a")); !core.Equal(got, want) {
+		t.Fatalf("f_(σ)({⟨a⟩}) = %v, want %v", got, want)
+	}
+	if got, want := fs.Apply(core.S(tup("b"))), core.S(tup("b")); !core.Equal(got, want) {
+		t.Fatalf("f_(σ)({⟨b⟩}) = %v, want %v", got, want)
+	}
+	if got, want := fw.Apply(core.S(tup("a"))), core.S(tup("a", "a", "b", "b", "a")); !core.Equal(got, want) {
+		t.Fatalf("f_(ω)({⟨a⟩}) = %v, want %v", got, want)
+	}
+	if got, want := fw.Apply(core.S(tup("b"))), core.S(tup("b", "a", "a", "b", "b")); !core.Equal(got, want) {
+		t.Fatalf("f_(ω)({⟨b⟩}) = %v, want %v", got, want)
+	}
+}
+
+// TestAppendixBSelfApplication checks the headline chain: the single
+// carrier f yields all four unary behaviors over A via self-application:
+//
+//	(a) f_(σ)                         ≡ g1_(σ)   (identity)
+//	(b) f_(ω)(f_(σ))                  ≡ g2_(σ)
+//	(c) (f_(ω)(f_(ω)))(f_(σ))         ≡ g3_(σ)
+//	(d) (f_(ω)(f_(ω))(f_(ω)))(f_(σ))  ≡ g4_(σ)
+func TestAppendixBSelfApplication(t *testing.T) {
+	f, sigma, omega := appendixB()
+	fs, fw := New(f, sigma), New(f, omega)
+
+	g1 := New(gCarrier([2]string{"a", "a"}, [2]string{"b", "b"}), sigma)
+	g2 := New(gCarrier([2]string{"a", "a"}, [2]string{"b", "a"}), sigma)
+	g3 := New(gCarrier([2]string{"a", "b"}, [2]string{"b", "a"}), sigma)
+	g4 := New(gCarrier([2]string{"a", "b"}, [2]string{"b", "b"}), sigma)
+
+	// (a) f_(σ) ≡ g1_(σ) — and it is the identity on A.
+	if !fs.Equivalent(g1) {
+		t.Fatal("f_(σ) must be equivalent to g1_(σ)")
+	}
+	a := core.S(tup("a"), tup("b"))
+	if !fs.Equivalent(Identity(a)) {
+		t.Fatal("f_(σ) must be the identity on A")
+	}
+
+	// (b) f_(ω)(f_(σ)) — nested application produces an σ-process.
+	b := fw.ApplyProc(fs)
+	if !b.Equivalent(g2) {
+		t.Fatalf("f_(ω)(f_(σ)) ≡ %v, want g2", b.F)
+	}
+
+	// (c) (f_(ω)(f_(ω)))(f_(σ)): self-application of f_(ω) to itself,
+	// then application to f_(σ).
+	c := fw.ApplyProc(fw).ApplyProc(fs)
+	if !c.Equivalent(g3) {
+		t.Fatalf("(f_(ω)(f_(ω)))(f_(σ)) ≡ %v, want g3", c.F)
+	}
+
+	// (d) one more ω-round reaches g4.
+	d := fw.ApplyProc(fw).ApplyProc(fw).ApplyProc(fs)
+	if !d.Equivalent(g4) {
+		t.Fatalf("(f_(ω)(f_(ω))(f_(ω)))(f_(σ)) ≡ %v, want g4", d.F)
+	}
+}
+
+// TestAppendixBIntermediateCarriers pins the intermediate carrier sets
+// computed in the B.1 derivations.
+func TestAppendixBIntermediateCarriers(t *testing.T) {
+	f, _, omega := appendixB()
+	fw := New(f, omega)
+
+	h1 := fw.ApplyProc(fw) // carrier f[f]_ω
+	want1 := core.S(tup("a", "a", "b", "b", "a"), tup("b", "a", "a", "b", "b"))
+	if !core.Equal(h1.F, want1) {
+		t.Fatalf("f[f]_ω = %v, want %v", h1.F, want1)
+	}
+
+	h2 := h1.ApplyProc(fw) // carrier (f[f]_ω)[f]_ω — B.1(c) intermediate
+	want2 := core.S(tup("a", "b", "b", "a", "a"), tup("b", "a", "b", "b", "a"))
+	if !core.Equal(h2.F, want2) {
+		t.Fatalf("(f[f]_ω)[f]_ω = %v, want %v", h2.F, want2)
+	}
+
+	h3 := h2.ApplyProc(fw) // B.1(d) intermediate
+	want3 := core.S(tup("a", "b", "a", "a", "b"), tup("b", "b", "b", "a", "a"))
+	if !core.Equal(h3.F, want3) {
+		t.Fatalf("((f[f]_ω)[f]_ω)[f]_ω = %v, want %v", h3.F, want3)
+	}
+}
+
+// TestAppendixBFunctionality: all four derived behaviors are functions;
+// g3's inverse is a function too (it is a bijection) while g2's inverse
+// is not injective when read backwards.
+func TestAppendixBFunctionality(t *testing.T) {
+	_, sigma, _ := appendixB()
+	g2 := New(gCarrier([2]string{"a", "a"}, [2]string{"b", "a"}), sigma)
+	g3 := New(gCarrier([2]string{"a", "b"}, [2]string{"b", "a"}), sigma)
+	if !g2.IsFunction() || !g3.IsFunction() {
+		t.Fatal("g2 and g3 must be functions")
+	}
+	if g2.IsInjective() {
+		t.Fatal("g2 is many-to-one, not injective")
+	}
+	if !g3.IsInjective() {
+		t.Fatal("g3 is a bijection on A")
+	}
+	g2inv := New(g2.F, algebra.InverseStdSigma())
+	if g2inv.IsFunction() {
+		t.Fatal("inverse of g2 must not be a function")
+	}
+}

@@ -1,0 +1,56 @@
+package process_test
+
+import (
+	"fmt"
+
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+func ExampleProc_Apply() {
+	// A process is a behavior; application instantiates it on a set.
+	f := process.Std(core.S(
+		core.Pair(core.Str("a"), core.Str("x")),
+		core.Pair(core.Str("b"), core.Str("y")),
+	))
+	fmt.Println(f.Apply(core.S(core.Tuple(core.Str("a")))))
+	fmt.Println(f.IsFunction())
+	// Output:
+	// {<"x">}
+	// true
+}
+
+func ExampleProc_ApplyProc() {
+	// Applying a process to a process yields a process (Def 4.1), whose
+	// carrier is f[g]_σ.
+	f := process.Std(core.S(core.Pair(core.Str("p"), core.Str("q"))))
+	g := process.Std(core.S(core.Pair(core.Str("x"), core.Str("p"))))
+	nested := f.ApplyProc(g)
+	fmt.Println(nested.F)
+	// Output:
+	// {}
+}
+
+func ExampleMustStdCompose() {
+	f := process.Std(core.S(core.Pair(core.Str("a"), core.Str("b"))))
+	g := process.Std(core.S(core.Pair(core.Str("b"), core.Str("c"))))
+	h := process.MustStdCompose(g, f)
+	fmt.Println(h.F)
+	fmt.Println(h.Apply(core.S(core.Tuple(core.Str("a")))))
+	// Output:
+	// {<"a","c">}
+	// {<"c">}
+}
+
+func ExampleProc_Inverse() {
+	f := process.Std(core.S(
+		core.Pair(core.Str("a"), core.Str("z")),
+		core.Pair(core.Str("b"), core.Str("z")),
+	))
+	inv := f.Inverse()
+	fmt.Println(inv.Apply(core.S(core.Tuple(core.Str("z")))))
+	fmt.Println(inv.IsFunction())
+	// Output:
+	// {<"a">, <"b">}
+	// false
+}

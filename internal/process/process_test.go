@@ -1,0 +1,204 @@
+package process
+
+import (
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+func TestIsProcess(t *testing.T) {
+	// Standard pair carrier: every member survives σ2 → process.
+	f := Std(stdCarrier([2]string{"a", "b"}))
+	if !f.IsProcess() {
+		t.Fatal("pair carrier under std σ is a process")
+	}
+	// Empty carrier: not a process (no productive input).
+	if Std(core.Empty()).IsProcess() {
+		t.Fatal("∅ carrier is not a process")
+	}
+	// A member with no position 2 cannot produce output: the singleton
+	// sub-carrier violates Def 2.1's subset condition.
+	g := Std(core.S(
+		core.Pair(core.Str("a"), core.Str("b")),
+		core.Tuple(core.Str("lonely")),
+	))
+	if g.IsProcess() {
+		t.Fatal("carrier with unproductive member is not a process")
+	}
+}
+
+func TestProcessEqualityReflexiveAndScopeSensitive(t *testing.T) {
+	f := Std(stdCarrier([2]string{"a", "b"}, [2]string{"c", "d"}))
+	if !f.Equivalent(f) {
+		t.Fatal("equivalence must be reflexive")
+	}
+	inv := New(f.F, algebra.InverseStdSigma())
+	if f.Equivalent(inv) {
+		t.Fatal("same carrier, different σ: different behavior")
+	}
+}
+
+// TestProcessEqualityAcrossCarriers: Appendix B's point — distinct
+// carriers can define the same behavior (5-tuples vs pairs).
+func TestProcessEqualityAcrossCarriers(t *testing.T) {
+	five := Std(core.S(
+		core.Tuple(core.Str("a"), core.Str("a"), core.Str("x"), core.Str("y"), core.Str("z")),
+	))
+	pair := Std(stdCarrier([2]string{"a", "a"}))
+	if !five.Equivalent(pair) {
+		t.Fatal("5-tuple and pair carriers with equal σ-behavior must be equivalent")
+	}
+}
+
+func TestConsequenceB1DomainsAgree(t *testing.T) {
+	// f_(σ) = g_(γ) → 𝔇_{σ1}(f) = 𝔇_{γ1}(g) & 𝔇_{σ2}(f) = 𝔇_{γ2}(g).
+	r := xtest.NewRand(0xB1)
+	cfg := xtest.DefaultConfig()
+	checked := 0
+	for trial := 0; trial < 300 && checked < 40; trial++ {
+		f := Std(cfg.Relation(r, 1+r.Intn(5), 3, 3))
+		g := Std(cfg.Relation(r, 1+r.Intn(5), 3, 3))
+		if !f.Equivalent(g) {
+			continue
+		}
+		checked++
+		if !core.Equal(f.DomainSet(), g.DomainSet()) ||
+			!core.Equal(f.CodomainSet(), g.CodomainSet()) {
+			t.Fatalf("Consequence B.1 violated: f=%v g=%v", f.F, g.F)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no equivalent pairs sampled; generator too wide")
+	}
+}
+
+func TestApplyProcProducesProcessNotSet(t *testing.T) {
+	f := Std(stdCarrier([2]string{"a", "b"}))
+	g := Std(stdCarrier([2]string{"x", "a"}))
+	nested := f.ApplyProc(g)
+	// The nested result carries g's scope pair (Def 4.1).
+	if !nested.Sig.Equal(g.Sig) {
+		t.Fatal("nested application must keep the inner scope pair")
+	}
+	if !core.Equal(nested.F, f.Apply(g.F)) {
+		t.Fatal("nested carrier must be f[g]_σ")
+	}
+}
+
+func TestIdentityBehavior(t *testing.T) {
+	a := core.S(core.Tuple(core.Str("p")), core.Tuple(core.Str("q")))
+	id := Identity(a)
+	if !id.IsFunction() || !id.IsInjective() {
+		t.Fatal("identity is a bijection")
+	}
+	id.Singletons(func(in *core.Set) bool {
+		if !core.Equal(id.Apply(in), in) {
+			t.Fatalf("I(%v) = %v", in, id.Apply(in))
+		}
+		return true
+	})
+	// Identity over non-tuple elements pairs them directly.
+	b := core.S(core.Str("raw"))
+	idb := Identity(b)
+	if !core.Equal(idb.F, core.S(core.Pair(core.Str("raw"), core.Str("raw")))) {
+		t.Fatalf("identity over atoms = %v", idb.F)
+	}
+}
+
+func TestManyToOneOneToManyFlags(t *testing.T) {
+	m2one := Std(stdCarrier([2]string{"a", "z"}, [2]string{"b", "z"}))
+	if !m2one.HasManyToOne() || m2one.HasOneToMany() {
+		t.Fatal("m2one flags wrong")
+	}
+	one2m := Std(stdCarrier([2]string{"a", "x"}, [2]string{"a", "y"}))
+	if !one2m.HasOneToMany() || one2m.HasManyToOne() {
+		t.Fatal("one2m flags wrong")
+	}
+	bij := Std(stdCarrier([2]string{"a", "x"}, [2]string{"b", "y"}))
+	if bij.HasOneToMany() || bij.HasManyToOne() {
+		t.Fatal("bijection flags wrong")
+	}
+	if !bij.IsFunction() || !bij.IsInjective() {
+		t.Fatal("bijection predicates wrong")
+	}
+}
+
+func TestSingletonsVisitsRealizedDomain(t *testing.T) {
+	f := Std(stdCarrier([2]string{"a", "x"}, [2]string{"b", "y"}, [2]string{"a", "z"}))
+	n := 0
+	f.Singletons(func(in *core.Set) bool {
+		n++
+		if in.Len() != 1 {
+			t.Fatalf("probe %v is not a singleton", in)
+		}
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("visited %d probes, want 2 (⟨a⟩ and ⟨b⟩)", n)
+	}
+	// Early stop.
+	n = 0
+	f.Singletons(func(*core.Set) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("Singletons must stop early")
+	}
+}
+
+func TestProcString(t *testing.T) {
+	f := Std(core.S(core.Pair(core.Int(1), core.Int(2))))
+	if got := f.String(); got == "" {
+		t.Fatal("String must render something")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := Std(stdCarrier([2]string{"a", "x"}, [2]string{"b", "x"}))
+	inv := f.Inverse()
+	if !inv.Sig.Equal(algebra.InverseStdSigma()) {
+		t.Fatal("inverse sigma wrong")
+	}
+	// f is a many-to-one function; its inverse is one-to-many.
+	if !f.IsFunction() || inv.IsFunction() {
+		t.Fatal("inverse functionality wrong")
+	}
+	// Double inverse restores the behavior.
+	if !inv.Inverse().Equivalent(f) {
+		t.Fatal("double inverse must restore f")
+	}
+	// Inverse image agrees with Example 8.1(b)-style evaluation.
+	got := inv.Apply(core.S(core.Tuple(core.Str("x"))))
+	want := core.S(core.Tuple(core.Str("a")), core.Tuple(core.Str("b")))
+	if !core.Equal(got, want) {
+		t.Fatalf("inverse image = %v", got)
+	}
+}
+
+func TestRestrictProcess(t *testing.T) {
+	f := Std(stdCarrier([2]string{"a", "x"}, [2]string{"b", "y"}, [2]string{"c", "z"}))
+	sub := f.Restrict(core.S(core.Tuple(core.Str("a")), core.Tuple(core.Str("c"))))
+	// Carrier shrinks to the matched members.
+	want := stdCarrier([2]string{"a", "x"}, [2]string{"c", "z"})
+	if !core.Equal(sub.F, want) {
+		t.Fatalf("restricted carrier = %v, want %v", sub.F, want)
+	}
+	// Behavior on kept inputs is unchanged; dropped inputs go to ∅.
+	if !core.Equal(sub.Apply(core.S(core.Tuple(core.Str("a")))), f.Apply(core.S(core.Tuple(core.Str("a"))))) {
+		t.Fatal("restriction changed kept behavior")
+	}
+	if !sub.Apply(core.S(core.Tuple(core.Str("b")))).IsEmpty() {
+		t.Fatal("dropped input must map to ∅")
+	}
+	// Sub-carrier of a function is a function.
+	if !sub.IsFunction() {
+		t.Fatal("restriction must preserve functionality")
+	}
+	// Restriction is idempotent and monotone to ∅.
+	if !core.Equal(sub.Restrict(core.S(core.Tuple(core.Str("a")), core.Tuple(core.Str("c")))).F, sub.F) {
+		t.Fatal("restriction not idempotent")
+	}
+	if !f.Restrict(core.Empty()).F.IsEmpty() {
+		t.Fatal("restriction by ∅ must empty the carrier")
+	}
+}

@@ -1,0 +1,223 @@
+package relational
+
+import (
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// NestedLoopJoin joins left and right on LeftCol = RightCol by
+// rescanning the right child for every left row — the classic
+// record-at-a-time join with quadratic record touches. Output rows are
+// the concatenation left ++ right.
+type NestedLoopJoin struct {
+	Left, Right       Iterator
+	LeftCol, RightCol int
+	cur               table.Row // current left row
+	rightOpen         bool
+	open              bool
+}
+
+// Open implements Iterator.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.open = true
+	j.cur = nil
+	j.rightOpen = false
+	return nil
+}
+
+// Next implements Iterator.
+func (j *NestedLoopJoin) Next() (table.Row, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if j.cur == nil {
+			l, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = l
+			if j.rightOpen {
+				if err := j.Right.Close(); err != nil {
+					return nil, false, err
+				}
+			}
+			if err := j.Right.Open(); err != nil {
+				return nil, false, err
+			}
+			j.rightOpen = true
+		}
+		for {
+			r, ok, err := j.Right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.cur = nil
+				break
+			}
+			if core.Equal(j.cur[j.LeftCol], r[j.RightCol]) {
+				out := make(table.Row, 0, len(j.cur)+len(r))
+				out = append(out, j.cur...)
+				out = append(out, r...)
+				return out, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *NestedLoopJoin) Close() error {
+	j.open = false
+	if j.rightOpen {
+		j.rightOpen = false
+		if err := j.Right.Close(); err != nil {
+			j.Left.Close()
+			return err
+		}
+	}
+	return j.Left.Close()
+}
+
+// Schema implements Iterator.
+func (j *NestedLoopJoin) Schema() table.Schema {
+	l, r := j.Left.Schema(), j.Right.Schema()
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	for _, c := range l.Cols {
+		cols = append(cols, l.Name+"."+c)
+	}
+	for _, c := range r.Cols {
+		cols = append(cols, r.Name+"."+c)
+	}
+	return table.Schema{Name: l.Name + "⋈" + r.Name, Cols: cols}
+}
+
+// HashJoin materializes the right child into a hash table keyed on
+// RightCol, then streams the left child probing per row.
+type HashJoin struct {
+	Left, Right       Iterator
+	LeftCol, RightCol int
+	build             map[string][]table.Row
+	pending           []table.Row
+	cur               table.Row
+	open              bool
+}
+
+// Open implements Iterator.
+func (j *HashJoin) Open() error {
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.build = make(map[string][]table.Row, len(rows))
+	for _, r := range rows {
+		k := core.Key(r[j.RightCol])
+		j.build[k] = append(j.build[k], r)
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	j.open = true
+	j.pending = nil
+	return nil
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (table.Row, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			out := make(table.Row, 0, len(j.cur)+len(r))
+			out = append(out, j.cur...)
+			out = append(out, r...)
+			return out, true, nil
+		}
+		l, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = l
+		j.pending = j.build[core.Key(l[j.LeftCol])]
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.open = false
+	j.build = nil
+	return j.Left.Close()
+}
+
+// Schema implements Iterator.
+func (j *HashJoin) Schema() table.Schema {
+	nl := NestedLoopJoin{Left: j.Left, Right: j.Right}
+	return nl.Schema()
+}
+
+// GroupCount aggregates the child by column Col and emits (value, count)
+// rows in canonical value order.
+type GroupCount struct {
+	Child Iterator
+	Col   int
+	rows  []table.Row
+	pos   int
+}
+
+// Open implements Iterator.
+func (g *GroupCount) Open() error {
+	rows, err := Collect(g.Child)
+	if err != nil {
+		return err
+	}
+	counts := map[string]int{}
+	vals := map[string]core.Value{}
+	for _, r := range rows {
+		k := core.Key(r[g.Col])
+		counts[k]++
+		vals[k] = r[g.Col]
+	}
+	g.rows = g.rows[:0]
+	for k, v := range vals {
+		g.rows = append(g.rows, table.Row{v, core.Int(counts[k])})
+	}
+	sortRowsByCol(g.rows, 0)
+	g.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (g *GroupCount) Next() (table.Row, bool, error) {
+	if g.pos >= len(g.rows) {
+		return nil, false, nil
+	}
+	r := g.rows[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close implements Iterator.
+func (g *GroupCount) Close() error {
+	g.rows = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (g *GroupCount) Schema() table.Schema {
+	in := g.Child.Schema()
+	return table.Schema{Name: in.Name + "#", Cols: []string{in.Cols[g.Col], "count"}}
+}
+
+func sortRowsByCol(rows []table.Row, col int) {
+	sort.Slice(rows, func(i, j int) bool {
+		return core.Compare(rows[i][col], rows[j][col]) < 0
+	})
+}

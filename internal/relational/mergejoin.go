@@ -1,0 +1,96 @@
+package relational
+
+import (
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// MergeJoin joins two children on LeftCol = RightCol by sorting both
+// inputs on their keys and advancing two cursors — the third classic
+// join algorithm next to nested loops and hashing. Like Sort it
+// materializes its inputs; its advantage is ordered output and no hash
+// table. Matching key runs are joined run-against-run.
+type MergeJoin struct {
+	Left, Right       Iterator
+	LeftCol, RightCol int
+
+	lrows, rrows []table.Row
+	li, ri       int
+	pending      []table.Row
+	open         bool
+}
+
+// Open implements Iterator.
+func (j *MergeJoin) Open() error {
+	l, err := Collect(j.Left)
+	if err != nil {
+		return err
+	}
+	r, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	sortRowsByCol(l, j.LeftCol)
+	sortRowsByCol(r, j.RightCol)
+	j.lrows, j.rrows = l, r
+	j.li, j.ri = 0, 0
+	j.pending = nil
+	j.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (j *MergeJoin) Next() (table.Row, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if len(j.pending) > 0 {
+			out := j.pending[0]
+			j.pending = j.pending[1:]
+			return out, true, nil
+		}
+		if j.li >= len(j.lrows) || j.ri >= len(j.rrows) {
+			return nil, false, nil
+		}
+		lkey := j.lrows[j.li][j.LeftCol]
+		rkey := j.rrows[j.ri][j.RightCol]
+		switch c := core.Compare(lkey, rkey); {
+		case c < 0:
+			j.li++
+		case c > 0:
+			j.ri++
+		default:
+			lEnd := j.li
+			for lEnd < len(j.lrows) && core.Equal(j.lrows[lEnd][j.LeftCol], lkey) {
+				lEnd++
+			}
+			rEnd := j.ri
+			for rEnd < len(j.rrows) && core.Equal(j.rrows[rEnd][j.RightCol], rkey) {
+				rEnd++
+			}
+			for _, l := range j.lrows[j.li:lEnd] {
+				for _, r := range j.rrows[j.ri:rEnd] {
+					row := make(table.Row, 0, len(l)+len(r))
+					row = append(row, l...)
+					row = append(row, r...)
+					j.pending = append(j.pending, row)
+				}
+			}
+			j.li, j.ri = lEnd, rEnd
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *MergeJoin) Close() error {
+	j.open = false
+	j.lrows, j.rrows, j.pending = nil, nil, nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (j *MergeJoin) Schema() table.Schema {
+	nl := NestedLoopJoin{Left: j.Left, Right: j.Right}
+	return nl.Schema()
+}

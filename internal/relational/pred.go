@@ -1,0 +1,63 @@
+package relational
+
+import (
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// Pred is a row predicate.
+type Pred func(table.Row) bool
+
+// ColEq matches rows whose column col equals v.
+func ColEq(col int, v core.Value) Pred {
+	return func(r table.Row) bool { return core.Equal(r[col], v) }
+}
+
+// ColLess matches rows with row[col] < v in the canonical order.
+func ColLess(col int, v core.Value) Pred {
+	return func(r table.Row) bool { return core.Compare(r[col], v) < 0 }
+}
+
+// ColGE matches rows with row[col] >= v.
+func ColGE(col int, v core.Value) Pred {
+	return func(r table.Row) bool { return core.Compare(r[col], v) >= 0 }
+}
+
+// ColRange matches lo <= row[col] < hi.
+func ColRange(col int, lo, hi core.Value) Pred {
+	return func(r table.Row) bool {
+		return core.Compare(r[col], lo) >= 0 && core.Compare(r[col], hi) < 0
+	}
+}
+
+// ColEqCol matches rows whose columns a and b hold equal values.
+func ColEqCol(a, b int) Pred {
+	return func(r table.Row) bool { return core.Equal(r[a], r[b]) }
+}
+
+// And conjoins predicates.
+func And(ps ...Pred) Pred {
+	return func(r table.Row) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or disjoins predicates.
+func Or(ps ...Pred) Pred {
+	return func(r table.Row) bool {
+		for _, p := range ps {
+			if p(r) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return func(r table.Row) bool { return !p(r) } }

@@ -1,0 +1,84 @@
+package relational
+
+import (
+	"xst/internal/core"
+	"xst/internal/index"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// IndexRangeScan streams the rows with Lo <= column < Hi through a
+// B+tree index, in key order — the ordered prestructured access path.
+// Keys use core.OrderKey, whose byte order matches the canonical value
+// order for atoms. A nil Hi means unbounded above.
+type IndexRangeScan struct {
+	Table  *table.Table
+	Index  *index.BTree
+	Lo, Hi core.Value
+
+	rids []store.RID
+	pos  int
+	open bool
+}
+
+// BuildBTreeIndex scans the table once and indexes the given column in a
+// B+tree.
+func BuildBTreeIndex(t *table.Table, col int) (*index.BTree, error) {
+	bt := index.NewBTree()
+	err := t.Scan(func(rid store.RID, r table.Row) (bool, error) {
+		bt.Insert(core.OrderKey(r[col]), rid)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+// Open implements Iterator. The qualifying rids are gathered from the
+// leaf chain up front (they are small relative to the rows).
+func (s *IndexRangeScan) Open() error {
+	lo := ""
+	if s.Lo != nil {
+		lo = core.OrderKey(s.Lo)
+	}
+	hi := ""
+	if s.Hi != nil {
+		hi = core.OrderKey(s.Hi)
+	}
+	s.rids = s.rids[:0]
+	s.Index.Range(lo, hi, func(_ string, rids []store.RID) bool {
+		s.rids = append(s.rids, rids...)
+		return true
+	})
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *IndexRangeScan) Next() (table.Row, bool, error) {
+	if !s.open {
+		return nil, false, ErrNotOpen
+	}
+	if s.pos >= len(s.rids) {
+		return nil, false, nil
+	}
+	rid := s.rids[s.pos]
+	s.pos++
+	row, err := s.Table.Get(rid)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// Close implements Iterator.
+func (s *IndexRangeScan) Close() error {
+	s.open = false
+	s.rids = nil
+	return nil
+}
+
+// Schema implements Iterator.
+func (s *IndexRangeScan) Schema() table.Schema { return s.Table.Schema() }

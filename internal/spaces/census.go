@@ -1,0 +1,272 @@
+package spaces
+
+import (
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+// Census is an exhaustive enumeration of every process from a domain of
+// 1-tuples A = {⟨a1⟩,…} to a codomain B = {⟨b1⟩,…} under the standard
+// scope pair: every non-empty relation f ⊆ {⟨ai,bj⟩} is built, classified
+// and recorded. It is the engine behind experiments E1 and E2 (the
+// Appendix D/E lattice figures).
+type Census struct {
+	DomSize, CodSize int
+	// Profiles holds one profile per enumerated process, in enumeration
+	// order (relation bitmask order, empty relation excluded).
+	Profiles []Profile
+}
+
+// atoms returns the atom values a1..an used for tuple components.
+func atoms(prefix string, n int) []core.Value {
+	out := make([]core.Value, n)
+	for i := range out {
+		out[i] = core.Str(prefix + string(rune('1'+i)))
+	}
+	return out
+}
+
+// Universe builds the domain and codomain sets used by TakeCensus.
+func Universe(domSize, codSize int) (a, b *core.Set) {
+	ab := core.NewBuilder(domSize)
+	for _, v := range atoms("a", domSize) {
+		ab.AddClassical(core.Tuple(v))
+	}
+	bb := core.NewBuilder(codSize)
+	for _, v := range atoms("b", codSize) {
+		bb.AddClassical(core.Tuple(v))
+	}
+	return ab.Set(), bb.Set()
+}
+
+// TakeCensus enumerates all 2^(dom·cod) − 1 non-empty relations from A
+// to B and classifies each. Sizes are limited to keep enumeration around
+// a few thousand processes (dom·cod ≤ 16).
+func TakeCensus(domSize, codSize int) *Census {
+	if domSize*codSize > 16 {
+		panic("spaces: census universe too large")
+	}
+	a, b := Universe(domSize, codSize)
+	dom := atoms("a", domSize)
+	cod := atoms("b", codSize)
+
+	type edge struct{ d, c int }
+	edges := make([]edge, 0, domSize*codSize)
+	for i := 0; i < domSize; i++ {
+		for j := 0; j < codSize; j++ {
+			edges = append(edges, edge{i, j})
+		}
+	}
+	c := &Census{DomSize: domSize, CodSize: codSize}
+	total := 1 << uint(len(edges))
+	for mask := 1; mask < total; mask++ {
+		bld := core.NewBuilder(len(edges))
+		for k, e := range edges {
+			if mask&(1<<uint(k)) != 0 {
+				bld.AddClassical(core.Pair(dom[e.d], cod[e.c]))
+			}
+		}
+		p := process.Std(bld.Set())
+		c.Profiles = append(c.Profiles, Classify(p, a, b))
+	}
+	return c
+}
+
+// Count returns how many enumerated processes a spec admits.
+func (c *Census) Count(s Spec) int {
+	n := 0
+	for _, p := range c.Profiles {
+		if s.Admits(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Extension returns the admission bit-vector of a spec over the census.
+func (c *Census) Extension(s Spec) []bool {
+	out := make([]bool, len(c.Profiles))
+	for i, p := range c.Profiles {
+		out[i] = s.Admits(p)
+	}
+	return out
+}
+
+// DistinctNonEmpty returns how many semantically distinct, non-empty
+// extensions the given specs produce over this census, together with one
+// representative spec per extension (sorted by rendered name).
+func (c *Census) DistinctNonEmpty(specs []Spec) (int, []Spec) {
+	seen := map[string]Spec{}
+	for _, s := range specs {
+		ext := c.Extension(s)
+		key := make([]byte, len(ext))
+		empty := true
+		for i, b := range ext {
+			if b {
+				key[i] = 1
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		k := string(key)
+		if prev, ok := seen[k]; !ok || s.String() < prev.String() {
+			seen[k] = s
+		}
+	}
+	reps := make([]Spec, 0, len(seen))
+	for _, s := range seen {
+		reps = append(reps, s)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].String() < reps[j].String() })
+	return len(reps), reps
+}
+
+// Family is a collection of censuses over differently-shaped universes.
+// Space distinctness is a cross-universe notion: two specs denote the
+// same space only if their extensions agree over *every* universe, so a
+// family separates spaces that any single finite universe collapses by
+// pigeonhole (e.g. with |A| = |B| every onto function is automatically
+// on A, merging 𝓕(A,B] with 𝓕[A,B]).
+type Family []*Census
+
+// DefaultFamily enumerates the seven universe shapes (2,2) (2,3) (3,2)
+// (3,3) (4,2) (4,3) (3,4) — small enough to stay exhaustive, shaped to
+// realize and separate every basic space. The (4,2) shape matters: it is
+// the smallest in which an onto many-to-one function need not be on its
+// domain, separating 𝓕(A,B]> from 𝓕[A,B]>.
+func DefaultFamily() Family {
+	shapes := [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}, {4, 3}, {3, 4}}
+	fam := make(Family, len(shapes))
+	for i, s := range shapes {
+		fam[i] = TakeCensus(s[0], s[1])
+	}
+	return fam
+}
+
+// Extension concatenates the spec's extensions across the family.
+func (f Family) Extension(s Spec) []bool {
+	var out []bool
+	for _, c := range f {
+		out = append(out, c.Extension(s)...)
+	}
+	return out
+}
+
+// Count sums admissions across the family.
+func (f Family) Count(s Spec) int {
+	n := 0
+	for _, c := range f {
+		n += c.Count(s)
+	}
+	return n
+}
+
+// DistinctNonEmpty returns how many semantically distinct, somewhere-
+// non-empty extensions the specs produce across the family, with one
+// representative per extension.
+func (f Family) DistinctNonEmpty(specs []Spec) (int, []Spec) {
+	seen := map[string]Spec{}
+	for _, s := range specs {
+		ext := f.Extension(s)
+		key := make([]byte, len(ext))
+		empty := true
+		for i, b := range ext {
+			if b {
+				key[i] = 1
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		k := string(key)
+		if prev, ok := seen[k]; !ok || s.String() < prev.String() {
+			seen[k] = s
+		}
+	}
+	reps := make([]Spec, 0, len(seen))
+	for _, s := range seen {
+		reps = append(reps, s)
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].String() < reps[j].String() })
+	return len(reps), reps
+}
+
+// LatticeEdges computes direct containments over the family extensions.
+func (f Family) LatticeEdges(specs []Spec) [][2]int {
+	exts := make([][]bool, len(specs))
+	for i, s := range specs {
+		exts[i] = f.Extension(s)
+	}
+	return latticeEdges(exts)
+}
+
+// AtomClassCount returns how many of the 16 conceivable property atoms
+// (on±, onto±, many-to-one±, one-to-many±) are realized by at least one
+// enumerated process — the partition underlying the Appendix D figure.
+func (c *Census) AtomClassCount() int {
+	seen := map[[4]bool]bool{}
+	for _, p := range c.Profiles {
+		if !p.InSpace {
+			continue
+		}
+		seen[[4]bool{p.On, p.Onto, p.ManyToOne, p.OneToMany}] = true
+	}
+	return len(seen)
+}
+
+// LatticeEdges returns every direct containment between the given specs
+// over this census: pairs (i, j) where specs[i]'s extension strictly
+// contains specs[j]'s with no spec strictly between them.
+func (c *Census) LatticeEdges(specs []Spec) [][2]int {
+	exts := make([][]bool, len(specs))
+	for i, s := range specs {
+		exts[i] = c.Extension(s)
+	}
+	return latticeEdges(exts)
+}
+
+func latticeEdges(exts [][]bool) [][2]int {
+	contains := func(a, b []bool) bool { // a ⊇ b
+		for i := range a {
+			if b[i] && !a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	strictly := func(a, b []bool) bool {
+		if !contains(a, b) {
+			return false
+		}
+		for i := range a {
+			if a[i] && !b[i] {
+				return true
+			}
+		}
+		return false
+	}
+	var edges [][2]int
+	for i := range exts {
+		for j := range exts {
+			if i == j || !strictly(exts[i], exts[j]) {
+				continue
+			}
+			direct := true
+			for k := range exts {
+				if k != i && k != j && strictly(exts[i], exts[k]) && strictly(exts[k], exts[j]) {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return edges
+}

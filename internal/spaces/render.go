@@ -1,0 +1,97 @@
+package spaces
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderLattice draws the containment lattice of the given specs over a
+// family as indented text, widest space first:
+//
+//	P(A,B)
+//	├─ F(A,B)
+//	│  ├─ F[A,B)
+//	…
+//
+// Each spec appears once, under its first (alphabetically smallest)
+// direct parent; additional parents are listed in brackets. This is the
+// textual form of the Appendix D/E figures.
+func RenderLattice(fam Family, specs []Spec) string {
+	edges := fam.LatticeEdges(specs)
+	children := map[int][]int{}
+	parents := map[int][]int{}
+	for _, e := range edges {
+		children[e[0]] = append(children[e[0]], e[1])
+		parents[e[1]] = append(parents[e[1]], e[0])
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return specs[c[i]].String() < specs[c[j]].String() })
+	}
+
+	// Roots: specs with no parents.
+	var roots []int
+	for i := range specs {
+		if len(parents[i]) == 0 {
+			roots = append(roots, i)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return specs[roots[i]].String() < specs[roots[j]].String() })
+
+	var b strings.Builder
+	drawn := map[int]bool{}
+	var draw func(i int, prefix string, last bool, top bool)
+	draw = func(i int, prefix string, last bool, top bool) {
+		label := specs[i].String()
+		if len(parents[i]) > 1 {
+			extra := make([]string, 0, len(parents[i])-1)
+			for _, p := range parents[i] {
+				extra = append(extra, specs[p].String())
+			}
+			sort.Strings(extra)
+			label += "  (also ⊂ " + strings.Join(extra, ", ") + ")"
+		}
+		switch {
+		case top:
+			fmt.Fprintf(&b, "%s\n", label)
+		case last:
+			fmt.Fprintf(&b, "%s└─ %s\n", prefix, label)
+		default:
+			fmt.Fprintf(&b, "%s├─ %s\n", prefix, label)
+		}
+		if drawn[i] {
+			return
+		}
+		drawn[i] = true
+		kids := children[i]
+		// Draw a child here only if this is its alphabetically first
+		// parent, so each spec has one home in the tree.
+		var mine []int
+		for _, k := range kids {
+			first := parents[k][0]
+			for _, p := range parents[k] {
+				if specs[p].String() < specs[first].String() {
+					first = p
+				}
+			}
+			if first == i {
+				mine = append(mine, k)
+			}
+		}
+		for j, k := range mine {
+			childPrefix := prefix
+			if !top {
+				if last {
+					childPrefix += "   "
+				} else {
+					childPrefix += "│  "
+				}
+			}
+			draw(k, childPrefix, j == len(mine)-1, false)
+		}
+	}
+	for _, r := range roots {
+		draw(r, "", true, true)
+	}
+	return b.String()
+}

@@ -1,0 +1,21 @@
+package spaces
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderLatticeFunctionSpaces(t *testing.T) {
+	fam := DefaultFamily()
+	out := RenderLattice(fam, FunctionSpaces())
+	t.Logf("\n%s", out)
+	for _, want := range []string{"F(A,B)", "F*[A,B]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lattice missing %q:\n%s", want, out)
+		}
+	}
+	// Every one of the 8 spaces appears exactly once as a node label.
+	if n := strings.Count(out, "F*[A,B]"); n < 1 {
+		t.Fatalf("bottom element missing: %d", n)
+	}
+}

@@ -1,0 +1,254 @@
+// Package spaces implements §5–§6 and Appendices D/E of the formal text:
+// process spaces 𝒫(A,B), function spaces 𝓕(A,B) and their refinements
+// under the five markers on "[", onto "]", many-to-one ">", one-to-one
+// "-" and one-to-many "<". It provides a classifier assigning every
+// process its property profile relative to a domain/codomain pair, a
+// catalog of the 16 basic spaces (8 function spaces, Appendix D) and the
+// refined marker spaces (Appendix E), and lattice-containment checks
+// (Consequence 6.1).
+package spaces
+
+import (
+	"fmt"
+	"strings"
+
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+// Profile captures the atomic properties of one process f_(σ) relative
+// to a domain A and codomain B.
+type Profile struct {
+	// InSpace reports f ∈σ 𝒫(A,B) (Def 5.1): non-empty realized domain
+	// inside A, non-empty realized codomain inside B, and every
+	// application result contained in B.
+	InSpace bool
+	// On reports 𝔇_{σ1}(f) = A (Def 6.1).
+	On bool
+	// Onto reports 𝔇_{σ2}(f) = B (Def 6.2).
+	Onto bool
+	// ManyToOne reports that two distinct domain singletons share a
+	// non-empty result (the ">" association).
+	ManyToOne bool
+	// OneToMany reports that some domain singleton has a multi-member
+	// result (the "<" association).
+	OneToMany bool
+}
+
+// IsFunction reports membership in 𝓕(A,B) (Def 5.2): in the process
+// space and free of one-to-many associations.
+func (p Profile) IsFunction() bool { return p.InSpace && !p.OneToMany }
+
+// IsInjective reports the "-" (1-1) property (Def 6.3).
+func (p Profile) IsInjective() bool { return !p.ManyToOne }
+
+// Classify computes the profile of proc relative to (A, B).
+func Classify(proc process.Proc, a, b *core.Set) Profile {
+	dom := proc.DomainSet()
+	cod := proc.CodomainSet()
+	pr := Profile{
+		On:        core.Equal(dom, a),
+		Onto:      core.Equal(cod, b),
+		ManyToOne: proc.HasManyToOne(),
+		OneToMany: proc.HasOneToMany(),
+	}
+	pr.InSpace = core.NonEmptySubset(dom, a) && core.NonEmptySubset(cod, b)
+	if pr.InSpace {
+		proc.Singletons(func(in *core.Set) bool {
+			if !core.Subset(proc.Apply(in), b) {
+				pr.InSpace = false
+				return false
+			}
+			return true
+		})
+	}
+	return pr
+}
+
+// Spec is a space specification: a conjunction of markers imposed on the
+// full process space 𝒫(A,B). The zero Spec is 𝒫(A,B) itself.
+type Spec struct {
+	On   bool // "[" — 𝔇_{σ1}(f) = A
+	Onto bool // "]" — 𝔇_{σ2}(f) = B
+	// Function requires no one-to-many association (𝓕 spaces).
+	Function bool
+	// OneToOne requires the "-" marker (injective).
+	OneToOne bool
+	// ReqManyToOne requires a ">" association to be present.
+	ReqManyToOne bool
+	// ReqOneToMany requires a "<" association to be present.
+	ReqOneToMany bool
+}
+
+// Legal reports whether the marker combination is consistent: ">" with
+// "-" is contradictory (an injective process has no many-to-one
+// association) and "<" with Function likewise.
+func (s Spec) Legal() bool {
+	if s.ReqManyToOne && s.OneToOne {
+		return false
+	}
+	if s.ReqOneToMany && s.Function {
+		return false
+	}
+	return true
+}
+
+// Admits reports whether a profile satisfies the specification. Every
+// spec implies membership in 𝒫(A,B).
+func (s Spec) Admits(p Profile) bool {
+	if !p.InSpace {
+		return false
+	}
+	if s.On && !p.On {
+		return false
+	}
+	if s.Onto && !p.Onto {
+		return false
+	}
+	if s.Function && p.OneToMany {
+		return false
+	}
+	if s.OneToOne && p.ManyToOne {
+		return false
+	}
+	if s.ReqManyToOne && !p.ManyToOne {
+		return false
+	}
+	if s.ReqOneToMany && !p.OneToMany {
+		return false
+	}
+	return true
+}
+
+// Subsumes reports the syntactic lattice order: s subsumes t when every
+// constraint of s also binds in t, so t's extension is contained in s's.
+func (s Spec) Subsumes(t Spec) bool {
+	imp := func(a, b bool) bool { return !a || b }
+	return imp(s.On, t.On) && imp(s.Onto, t.Onto) &&
+		imp(s.Function, t.Function) && imp(s.OneToOne, t.OneToOne) &&
+		imp(s.ReqManyToOne, t.ReqManyToOne) && imp(s.ReqOneToMany, t.ReqOneToMany)
+}
+
+// String renders the spec in the paper's bracket notation: 𝒫 or 𝓕,
+// optional "*" for 1-1, "[" / "(" on the domain side, "]" / ")" on the
+// codomain side, with ">" / "<" requirement markers appended.
+func (s Spec) String() string {
+	var b strings.Builder
+	if s.Function {
+		b.WriteString("F")
+	} else {
+		b.WriteString("P")
+	}
+	if s.OneToOne {
+		b.WriteString("*")
+	}
+	if s.On {
+		b.WriteString("[")
+	} else {
+		b.WriteString("(")
+	}
+	b.WriteString("A,B")
+	if s.Onto {
+		b.WriteString("]")
+	} else {
+		b.WriteString(")")
+	}
+	if s.ReqManyToOne {
+		b.WriteString(">")
+	}
+	if s.ReqOneToMany {
+		b.WriteString("<")
+	}
+	return b.String()
+}
+
+// Named spaces of §6.
+var (
+	// ProcessSpace is 𝒫(A,B) (Def 5.1).
+	ProcessSpace = Spec{}
+	// FunctionSpace is 𝓕(A,B) (Def 5.2).
+	FunctionSpace = Spec{Function: true}
+	// Injective is 𝓕*[A,B) (Def 6.4).
+	Injective = Spec{Function: true, OneToOne: true, On: true}
+	// Surjective is 𝓕[A,B] (Def 6.5).
+	Surjective = Spec{Function: true, On: true, Onto: true}
+	// Bijective is 𝓕*[A,B] (Def 6.6).
+	Bijective = Spec{Function: true, OneToOne: true, On: true, Onto: true}
+)
+
+// BasicSpaces returns the 16 basic process spaces of Appendix D: all
+// combinations of the restrictions {on, onto, 1-1, function} imposed on
+// 𝒫(A,B). Exactly 8 of them carry the function restriction.
+func BasicSpaces() []Spec {
+	out := make([]Spec, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		out = append(out, Spec{
+			On:       mask&1 != 0,
+			Onto:     mask&2 != 0,
+			OneToOne: mask&4 != 0,
+			Function: mask&8 != 0,
+		})
+	}
+	return out
+}
+
+// RefinedSpaces returns every legal marker specification over the five
+// refinement conditions of Appendix E: on "[", onto "]", many-to-one
+// ">", one-to-one "-", one-to-many "<", plus the function restriction.
+// Illegal combinations (> with -, < with function) are excluded.
+func RefinedSpaces() []Spec {
+	var out []Spec
+	for mask := 0; mask < 64; mask++ {
+		s := Spec{
+			On:           mask&1 != 0,
+			Onto:         mask&2 != 0,
+			OneToOne:     mask&4 != 0,
+			Function:     mask&8 != 0,
+			ReqManyToOne: mask&16 != 0,
+			ReqOneToMany: mask&32 != 0,
+		}
+		if s.Legal() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FunctionSpaces returns the 8 basic function spaces of the §6 lattice:
+// 𝓕(A,B) refined by the optional restrictions {on, onto, 1-1}.
+func FunctionSpaces() []Spec {
+	var out []Spec
+	for _, s := range BasicSpaces() {
+		if s.Function {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Consequence61 verifies the four containments of Consequence 6.1 on the
+// syntactic lattice:
+//
+//	(a) 𝓕[A,B) ⊆ 𝓕(A,B)   (b) 𝓕(A,B] ⊆ 𝓕(A,B)
+//	(c) 𝓕[A,B] ⊆ 𝓕(A,B]   (d) 𝓕[A,B] ⊆ 𝓕[A,B)
+func Consequence61() error {
+	fAB := FunctionSpace
+	fOn := Spec{Function: true, On: true}
+	fOnto := Spec{Function: true, Onto: true}
+	fBoth := Spec{Function: true, On: true, Onto: true}
+	cases := []struct {
+		wide, narrow Spec
+		name         string
+	}{
+		{fAB, fOn, "(a)"},
+		{fAB, fOnto, "(b)"},
+		{fOnto, fBoth, "(c)"},
+		{fOn, fBoth, "(d)"},
+	}
+	for _, c := range cases {
+		if !c.wide.Subsumes(c.narrow) {
+			return fmt.Errorf("spaces: Consequence 6.1%s violated: %v ⊄ %v", c.name, c.narrow, c.wide)
+		}
+	}
+	return nil
+}

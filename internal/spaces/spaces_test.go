@@ -1,0 +1,274 @@
+package spaces
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/process"
+)
+
+func carrier(kv ...[2]string) *core.Set {
+	b := core.NewBuilder(len(kv))
+	for _, p := range kv {
+		b.AddClassical(core.Pair(core.Str(p[0]), core.Str(p[1])))
+	}
+	return b.Set()
+}
+
+func universe2() (*core.Set, *core.Set) {
+	a := core.S(core.Tuple(core.Str("a1")), core.Tuple(core.Str("a2")))
+	b := core.S(core.Tuple(core.Str("b1")), core.Tuple(core.Str("b2")))
+	return a, b
+}
+
+func TestClassifyBijection(t *testing.T) {
+	a, b := universe2()
+	p := process.Std(carrier([2]string{"a1", "b1"}, [2]string{"a2", "b2"}))
+	pr := Classify(p, a, b)
+	want := Profile{InSpace: true, On: true, Onto: true}
+	if pr != want {
+		t.Fatalf("profile = %+v, want %+v", pr, want)
+	}
+	if !Bijective.Admits(pr) || !Injective.Admits(pr) || !Surjective.Admits(pr) {
+		t.Fatal("bijection must live in all three named spaces")
+	}
+}
+
+func TestClassifyManyToOne(t *testing.T) {
+	a, b := universe2()
+	p := process.Std(carrier([2]string{"a1", "b1"}, [2]string{"a2", "b1"}))
+	pr := Classify(p, a, b)
+	if !pr.InSpace || !pr.On || pr.Onto || !pr.ManyToOne || pr.OneToMany {
+		t.Fatalf("profile = %+v", pr)
+	}
+	if !pr.IsFunction() || pr.IsInjective() {
+		t.Fatal("many-to-one function flags wrong")
+	}
+	if Injective.Admits(pr) {
+		t.Fatal("not injective")
+	}
+	if !(Spec{Function: true, ReqManyToOne: true}).Admits(pr) {
+		t.Fatal("must satisfy the > requirement")
+	}
+}
+
+func TestClassifyOneToMany(t *testing.T) {
+	a, b := universe2()
+	p := process.Std(carrier([2]string{"a1", "b1"}, [2]string{"a1", "b2"}))
+	pr := Classify(p, a, b)
+	if !pr.InSpace || pr.On || !pr.Onto || pr.ManyToOne || !pr.OneToMany {
+		t.Fatalf("profile = %+v", pr)
+	}
+	if pr.IsFunction() {
+		t.Fatal("one-to-many is not a function")
+	}
+	if FunctionSpace.Admits(pr) {
+		t.Fatal("𝓕(A,B) must exclude one-to-many")
+	}
+	if !ProcessSpace.Admits(pr) {
+		t.Fatal("𝒫(A,B) must include it")
+	}
+}
+
+func TestClassifyOutsideSpace(t *testing.T) {
+	a, b := universe2()
+	// Output b9 ∉ B.
+	p := process.Std(carrier([2]string{"a1", "b9"}))
+	pr := Classify(p, a, b)
+	if pr.InSpace {
+		t.Fatal("codomain violation must leave the space")
+	}
+	// Input a9 ∉ A.
+	p2 := process.Std(carrier([2]string{"a9", "b1"}))
+	if Classify(p2, a, b).InSpace {
+		t.Fatal("domain violation must leave the space")
+	}
+	// Empty carrier: no realized domain.
+	if Classify(process.Std(core.Empty()), a, b).InSpace {
+		t.Fatal("empty carrier is outside every process space")
+	}
+}
+
+func TestSpecLegal(t *testing.T) {
+	if (Spec{ReqManyToOne: true, OneToOne: true}).Legal() {
+		t.Fatal("> with - is contradictory")
+	}
+	if (Spec{ReqOneToMany: true, Function: true}).Legal() {
+		t.Fatal("< with 𝓕 is contradictory")
+	}
+	if !(Spec{ReqManyToOne: true, ReqOneToMany: true}).Legal() {
+		t.Fatal("> with < is a legitimate process space")
+	}
+}
+
+func TestSpecNotation(t *testing.T) {
+	cases := map[string]Spec{
+		"P(A,B)":   ProcessSpace,
+		"F(A,B)":   FunctionSpace,
+		"F*[A,B)":  Injective,
+		"F[A,B]":   Surjective,
+		"F*[A,B]":  Bijective,
+		"P(A,B)><": {ReqManyToOne: true, ReqOneToMany: true},
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%+v renders %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCatalogSizes(t *testing.T) {
+	if n := len(BasicSpaces()); n != 16 {
+		t.Fatalf("basic spaces = %d, want 16", n)
+	}
+	if n := len(FunctionSpaces()); n != 8 {
+		t.Fatalf("basic function spaces = %d, want 8", n)
+	}
+	for _, s := range RefinedSpaces() {
+		if !s.Legal() {
+			t.Fatalf("illegal spec in refined catalog: %v", s)
+		}
+	}
+}
+
+func TestConsequence61(t *testing.T) {
+	if err := Consequence61(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsumesSemanticConsistency(t *testing.T) {
+	// Syntactic subsumption must imply extension containment.
+	c := TakeCensus(2, 2)
+	specs := RefinedSpaces()
+	for _, s := range specs {
+		for _, u := range specs {
+			if !s.Subsumes(u) {
+				continue
+			}
+			es, eu := c.Extension(s), c.Extension(u)
+			for i := range eu {
+				if eu[i] && !es[i] {
+					t.Fatalf("%v subsumes %v but misses process %d", s, u, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCensus22(t *testing.T) {
+	c := TakeCensus(2, 2)
+	if len(c.Profiles) != 15 {
+		t.Fatalf("census over 2x2 has %d processes, want 15", len(c.Profiles))
+	}
+	// Bijections over |A|=|B|=2: exactly 2.
+	if n := c.Count(Bijective); n != 2 {
+		t.Fatalf("bijections = %d, want 2", n)
+	}
+	// Functions ON A: |B|^|A| = 4.
+	if n := c.Count(Spec{Function: true, On: true}); n != 4 {
+		t.Fatalf("total functions on A = %d, want 4", n)
+	}
+	// Injections ON A: 2·1 = 2.
+	if n := c.Count(Injective); n != 2 {
+		t.Fatalf("injections = %d, want 2", n)
+	}
+}
+
+func TestCensus32Counts(t *testing.T) {
+	c := TakeCensus(3, 2)
+	// Functions on A: 2^3 = 8; surjections on A onto B: 2^3 − 2 = 6;
+	// injections on A: none (pigeonhole).
+	if n := c.Count(Spec{Function: true, On: true}); n != 8 {
+		t.Fatalf("functions on A = %d, want 8", n)
+	}
+	if n := c.Count(Surjective); n != 6 {
+		t.Fatalf("surjections = %d, want 6", n)
+	}
+	if n := c.Count(Injective); n != 0 {
+		t.Fatalf("injections = %d, want 0", n)
+	}
+	if n := c.Count(Bijective); n != 0 {
+		t.Fatalf("bijections = %d, want 0", n)
+	}
+}
+
+func TestCensus23Injections(t *testing.T) {
+	c := TakeCensus(2, 3)
+	// Injections on A into B: 3·2 = 6; surjections impossible.
+	if n := c.Count(Injective); n != 6 {
+		t.Fatalf("injections = %d, want 6", n)
+	}
+	if n := c.Count(Surjective); n != 0 {
+		t.Fatalf("surjections = %d, want 0", n)
+	}
+}
+
+func TestAtomClassesRealized(t *testing.T) {
+	// Over a 3×3 universe, many property atoms are realized; the count
+	// is stable and at most 16.
+	c := TakeCensus(3, 3)
+	n := c.AtomClassCount()
+	if n < 10 || n > 16 {
+		t.Fatalf("atom classes = %d, outside plausible range", n)
+	}
+}
+
+func TestPigeonholeCollapseSingleUniverse(t *testing.T) {
+	// Over |A| = |B| = 3 alone, onto functions are automatically on, so
+	// the 8 basic function spaces collapse to 4 extensions — the reason
+	// space distinctness must be judged across a family of universes.
+	c := TakeCensus(3, 3)
+	n, _ := c.DistinctNonEmpty(FunctionSpaces())
+	if n != 4 {
+		t.Fatalf("distinct basic function spaces over 3×3 = %d, want 4 (collapse)", n)
+	}
+	if got, want := c.Count(Spec{Function: true, Onto: true}), c.Count(Surjective); got != want {
+		t.Fatal("onto must imply on at |A| = |B|")
+	}
+}
+
+func TestFamilySeparatesBasicFunctionLattice(t *testing.T) {
+	// Across the default universe family the 8 basic function spaces are
+	// pairwise distinct and somewhere non-empty, and form the Boolean
+	// lattice on {on, onto, 1-1}: 12 direct edges.
+	fam := DefaultFamily()
+	specs := FunctionSpaces()
+	n, _ := fam.DistinctNonEmpty(specs)
+	if n != 8 {
+		t.Fatalf("distinct non-empty basic function spaces = %d, want 8", n)
+	}
+	edges := fam.LatticeEdges(specs)
+	if len(edges) != 12 {
+		t.Fatalf("function lattice has %d direct edges, want 12", len(edges))
+	}
+}
+
+func TestFamilyRefinedFunctionSpaces(t *testing.T) {
+	// Appendix E: exactly 12 distinct non-empty refined function spaces
+	// (3 association options {unmarked, >, -} × 4 on/onto options).
+	fam := DefaultFamily()
+	var fnSpecs []Spec
+	for _, s := range RefinedSpaces() {
+		if s.Function {
+			fnSpecs = append(fnSpecs, s)
+		}
+	}
+	n, reps := fam.DistinctNonEmpty(fnSpecs)
+	if n != 12 {
+		for _, r := range reps {
+			t.Logf("rep: %v", r)
+		}
+		t.Fatalf("distinct non-empty refined function spaces = %d, want 12", n)
+	}
+}
+
+func TestFamilyBasicSpaces16(t *testing.T) {
+	// Appendix D: the 16 basic process spaces are pairwise distinct and
+	// non-empty across the family.
+	fam := DefaultFamily()
+	n, _ := fam.DistinctNonEmpty(BasicSpaces())
+	if n != 16 {
+		t.Fatalf("distinct non-empty basic spaces = %d, want 16", n)
+	}
+}

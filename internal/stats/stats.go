@@ -1,0 +1,139 @@
+// Package stats collects per-table, per-column statistics — row counts,
+// exact distinct counts, min/max and equi-depth histograms — and answers
+// selectivity questions. The planner uses these to replace its
+// System-R-style constants with measured estimates (plan.EstimateRowsWith).
+package stats
+
+import (
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// histogramBuckets is the equi-depth bucket count.
+const histogramBuckets = 16
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	// Distinct is the exact number of distinct values.
+	Distinct int
+	// Min and Max bound the column under the canonical order.
+	Min, Max core.Value
+	// bounds holds the histogram bucket upper bounds (equi-depth).
+	bounds []core.Value
+	// rows is the total row count the histogram describes.
+	rows int
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Rows    int
+	Columns []ColumnStats
+}
+
+// Collect scans the table once and builds statistics for every column.
+func Collect(t *table.Table) (*TableStats, error) {
+	arity := t.Schema().Arity()
+	values := make([][]core.Value, arity)
+	distinct := make([]map[string]bool, arity)
+	for i := range distinct {
+		distinct[i] = map[string]bool{}
+	}
+	rows := 0
+	err := t.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		rows++
+		for i, v := range r {
+			values[i] = append(values[i], v)
+			distinct[i][core.Key(v)] = true
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := &TableStats{Rows: rows, Columns: make([]ColumnStats, arity)}
+	for i := range ts.Columns {
+		ts.Columns[i] = buildColumn(values[i], len(distinct[i]))
+	}
+	return ts, nil
+}
+
+func buildColumn(vals []core.Value, distinct int) ColumnStats {
+	cs := ColumnStats{Distinct: distinct, rows: len(vals)}
+	if len(vals) == 0 {
+		return cs
+	}
+	sorted := make([]core.Value, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return core.Compare(sorted[i], sorted[j]) < 0 })
+	cs.Min, cs.Max = sorted[0], sorted[len(sorted)-1]
+	buckets := histogramBuckets
+	if buckets > len(sorted) {
+		buckets = len(sorted)
+	}
+	for b := 1; b <= buckets; b++ {
+		idx := b*len(sorted)/buckets - 1
+		cs.bounds = append(cs.bounds, sorted[idx])
+	}
+	return cs
+}
+
+// SelectivityEq estimates the fraction of rows with column = v, using
+// the uniform-within-distinct assumption bounded by the histogram.
+func (c ColumnStats) SelectivityEq(v core.Value) float64 {
+	if c.rows == 0 || c.Distinct == 0 {
+		return 0
+	}
+	if c.Min != nil && (core.Compare(v, c.Min) < 0 || core.Compare(v, c.Max) > 0) {
+		return 0
+	}
+	return 1.0 / float64(c.Distinct)
+}
+
+// SelectivityLess estimates the fraction of rows with column < v from
+// the equi-depth histogram: the fraction of bucket bounds below v.
+func (c ColumnStats) SelectivityLess(v core.Value) float64 {
+	if c.rows == 0 || len(c.bounds) == 0 {
+		return 0
+	}
+	if core.Compare(v, c.Min) <= 0 {
+		return 0
+	}
+	if core.Compare(v, c.Max) > 0 {
+		return 1
+	}
+	below := 0
+	for _, b := range c.bounds {
+		if core.Compare(b, v) < 0 {
+			below++
+		}
+	}
+	return float64(below) / float64(len(c.bounds))
+}
+
+// SelectivityRange estimates lo <= column < hi.
+func (c ColumnStats) SelectivityRange(lo, hi core.Value) float64 {
+	s := c.SelectivityLess(hi) - c.SelectivityLess(lo)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Catalog maps table names to their statistics.
+type Catalog map[string]*TableStats
+
+// CollectAll gathers statistics for several tables.
+func CollectAll(tables ...*table.Table) (Catalog, error) {
+	cat := Catalog{}
+	for _, t := range tables {
+		ts, err := Collect(t)
+		if err != nil {
+			return nil, err
+		}
+		cat[t.Schema().Name] = ts
+	}
+	return cat, nil
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+func statTable(t *testing.T, n int) *table.Table {
+	t.Helper()
+	pool := store.NewBufferPool(store.NewMemPager(), 64)
+	tbl, err := table.Create(pool, table.Schema{Name: "t", Cols: []string{"id", "bucket", "label"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tbl.Insert(table.Row{
+			core.Int(i),
+			core.Int(i % 10),
+			core.Str("label-" + string(rune('a'+i%3))),
+		})
+	}
+	return tbl
+}
+
+func TestCollectBasics(t *testing.T) {
+	ts, err := Collect(statTable(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 1000 {
+		t.Fatalf("rows = %d", ts.Rows)
+	}
+	if ts.Columns[0].Distinct != 1000 {
+		t.Fatalf("id distinct = %d", ts.Columns[0].Distinct)
+	}
+	if ts.Columns[1].Distinct != 10 {
+		t.Fatalf("bucket distinct = %d", ts.Columns[1].Distinct)
+	}
+	if ts.Columns[2].Distinct != 3 {
+		t.Fatalf("label distinct = %d", ts.Columns[2].Distinct)
+	}
+	if !core.Equal(ts.Columns[0].Min, core.Int(0)) || !core.Equal(ts.Columns[0].Max, core.Int(999)) {
+		t.Fatalf("min/max = %v/%v", ts.Columns[0].Min, ts.Columns[0].Max)
+	}
+}
+
+func TestSelectivityEq(t *testing.T) {
+	ts, _ := Collect(statTable(t, 1000))
+	c := ts.Columns[1] // 10 distinct buckets
+	if got := c.SelectivityEq(core.Int(3)); got != 0.1 {
+		t.Fatalf("eq selectivity = %v", got)
+	}
+	// Out of range → 0.
+	if got := c.SelectivityEq(core.Int(99)); got != 0 {
+		t.Fatalf("out-of-range selectivity = %v", got)
+	}
+}
+
+func TestSelectivityLess(t *testing.T) {
+	ts, _ := Collect(statTable(t, 1000))
+	c := ts.Columns[0] // uniform ids 0..999
+	cases := []struct {
+		v  int
+		lo float64
+		hi float64
+	}{
+		{0, 0, 0},
+		{500, 0.4, 0.6},
+		{1000, 0.9, 1.0},
+	}
+	for _, tc := range cases {
+		got := c.SelectivityLess(core.Int(tc.v))
+		if got < tc.lo || got > tc.hi {
+			t.Fatalf("P(id < %d) = %v, want in [%v, %v]", tc.v, got, tc.lo, tc.hi)
+		}
+	}
+	// Range selectivity ~ 0.25 for a quarter of the domain.
+	r := c.SelectivityRange(core.Int(250), core.Int(500))
+	if r < 0.15 || r > 0.35 {
+		t.Fatalf("range selectivity = %v", r)
+	}
+	if c.SelectivityRange(core.Int(500), core.Int(250)) != 0 {
+		t.Fatal("inverted range must be 0")
+	}
+}
+
+func TestEmptyTableStats(t *testing.T) {
+	pool := store.NewBufferPool(store.NewMemPager(), 8)
+	tbl, _ := table.Create(pool, table.Schema{Name: "e", Cols: []string{"x"}})
+	ts, err := Collect(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 0 {
+		t.Fatal("rows must be 0")
+	}
+	c := ts.Columns[0]
+	if c.SelectivityEq(core.Int(1)) != 0 || c.SelectivityLess(core.Int(1)) != 0 {
+		t.Fatal("empty selectivities must be 0")
+	}
+}
+
+func TestCollectAll(t *testing.T) {
+	a := statTable(t, 10)
+	cat, err := CollectAll(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat["t"] == nil || cat["t"].Rows != 10 {
+		t.Fatal("catalog wrong")
+	}
+}
+
+func TestSmallTableHistogram(t *testing.T) {
+	// Fewer rows than buckets must not panic or misbehave.
+	ts, err := Collect(statTable(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ts.Columns[0]
+	if got := c.SelectivityLess(core.Int(2)); got <= 0 || got > 1 {
+		t.Fatalf("small-table selectivity = %v", got)
+	}
+}

@@ -1,0 +1,197 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stats counts buffer-pool activity. The set-vs-record experiments read
+// these counters to compare page-touch behavior.
+type Stats struct {
+	Hits      uint64 // page found in pool
+	Misses    uint64 // page read from the pager
+	Evictions uint64 // frames reclaimed
+	Writes    uint64 // dirty pages written back
+}
+
+// ErrPoolExhausted reports that every frame is pinned.
+var ErrPoolExhausted = errors.New("store: buffer pool exhausted (all frames pinned)")
+
+// Frame is a pinned page in the pool. Callers must Unpin when done and
+// MarkDirty after mutating Data.
+type Frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element // position in LRU list when unpinned
+	pool  *BufferPool
+}
+
+// ID returns the page id held by the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes. Valid while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page must be written back before eviction.
+func (f *Frame) MarkDirty() {
+	f.pool.mu.Lock()
+	f.dirty = true
+	f.pool.mu.Unlock()
+}
+
+// Unpin releases one pin. Unpinned frames become eviction candidates.
+func (f *Frame) Unpin() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.pins <= 0 {
+		panic("store: Unpin of unpinned frame")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = f.pool.lru.PushBack(f)
+	}
+}
+
+// BufferPool caches pages over a pager with LRU replacement.
+type BufferPool struct {
+	mu     sync.Mutex
+	pager  Pager
+	frames map[PageID]*Frame
+	lru    *list.List // unpinned frames, front = oldest
+	cap    int
+	stats  Stats
+}
+
+// NewBufferPool builds a pool with the given frame capacity (≥ 1).
+func NewBufferPool(p Pager, frames int) *BufferPool {
+	if frames < 1 {
+		panic("store: buffer pool needs at least one frame")
+	}
+	return &BufferPool{
+		pager:  p,
+		frames: make(map[PageID]*Frame, frames),
+		lru:    list.New(),
+		cap:    frames,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	bp.stats = Stats{}
+	bp.mu.Unlock()
+}
+
+// Get pins the page into the pool, reading it from the pager on a miss.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		if f.pins == 0 {
+			bp.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	bp.stats.Misses++
+	if len(bp.frames) >= bp.cap {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1, pool: bp}
+	if err := bp.pager.ReadPage(id, f.data); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// Allocate creates a fresh page and returns it pinned.
+func (bp *BufferPool) Allocate() (*Frame, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.frames) >= bp.cap {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, PageSize), pins: 1, pool: bp}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	front := bp.lru.Front()
+	if front == nil {
+		return ErrPoolExhausted
+	}
+	victim := front.Value.(*Frame)
+	bp.lru.Remove(front)
+	victim.elem = nil
+	if victim.dirty {
+		if err := bp.pager.WritePage(victim.id, victim.data); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+	}
+	delete(bp.frames, victim.id)
+	bp.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty frame back to the pager. Pinned frames are
+// flushed but stay resident.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.pager.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		bp.stats.Writes++
+	}
+	return nil
+}
+
+// PinnedCount reports how many frames are currently pinned (for tests
+// and leak checks).
+func (bp *BufferPool) PinnedCount() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (bp *BufferPool) String() string {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return fmt.Sprintf("pool{frames=%d/%d hits=%d misses=%d evictions=%d writes=%d}",
+		len(bp.frames), bp.cap, bp.stats.Hits, bp.stats.Misses, bp.stats.Evictions, bp.stats.Writes)
+}

@@ -1,0 +1,57 @@
+package store
+
+// HeapCursor is a pull-style record cursor over a heap file. Unlike
+// Scan, which holds one pin per page while pushing records, the cursor
+// pins and unpins the page on *every* Next call — the record-at-a-time
+// access discipline whose page-touch cost the set-processing experiments
+// measure.
+type HeapCursor struct {
+	heap *HeapFile
+	page PageID
+	slot int
+	done bool
+}
+
+// NewCursor returns a cursor positioned before the first record.
+func (h *HeapFile) NewCursor() *HeapCursor {
+	return &HeapCursor{heap: h, page: h.first}
+}
+
+// Next returns the next live record (copied) and its rid. ok is false at
+// the end of the heap.
+func (c *HeapCursor) Next() (RID, []byte, bool, error) {
+	for !c.done {
+		fr, err := c.heap.pool.Get(c.page)
+		if err != nil {
+			return RID{}, nil, false, err
+		}
+		p := SlottedPage(fr.Data())
+		n := p.NumSlots()
+		for c.slot < n {
+			slot := c.slot
+			c.slot++
+			if rec, ok := p.Get(slot); ok {
+				out := make([]byte, len(rec))
+				copy(out, rec)
+				fr.Unpin()
+				return RID{Page: c.page, Slot: uint16(slot)}, out, true, nil
+			}
+		}
+		next := p.Next()
+		fr.Unpin()
+		if next == InvalidPage {
+			c.done = true
+			break
+		}
+		c.page = next
+		c.slot = 0
+	}
+	return RID{}, nil, false, nil
+}
+
+// Reset repositions the cursor at the beginning.
+func (c *HeapCursor) Reset() {
+	c.page = c.heap.first
+	c.slot = 0
+	c.done = false
+}

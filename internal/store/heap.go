@@ -1,0 +1,211 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RID identifies a record inside a heap file.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// ErrRecordTooLarge reports a record that cannot fit in an empty page.
+var ErrRecordTooLarge = errors.New("store: record larger than page payload")
+
+// ErrNoRecord reports a Get/Delete of a missing record.
+var ErrNoRecord = errors.New("store: no such record")
+
+// HeapFile is an append-oriented record collection: a chain of slotted
+// pages reached through a buffer pool. It is the physical home of stored
+// extended sets.
+type HeapFile struct {
+	pool  *BufferPool
+	first PageID
+	last  PageID
+	count int
+}
+
+// CreateHeap starts a heap file with one empty page.
+func CreateHeap(pool *BufferPool) (*HeapFile, error) {
+	f, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	InitPage(f.Data())
+	f.MarkDirty()
+	id := f.ID()
+	f.Unpin()
+	return &HeapFile{pool: pool, first: id, last: id}, nil
+}
+
+// OpenHeap reattaches to an existing chain headed at first. The record
+// count is recomputed by walking the chain.
+func OpenHeap(pool *BufferPool, first PageID) (*HeapFile, error) {
+	h := &HeapFile{pool: pool, first: first, last: first}
+	id := first
+	for id != InvalidPage {
+		fr, err := pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		p := SlottedPage(fr.Data())
+		p.Each(func(int, []byte) bool { h.count++; return true })
+		next := p.Next()
+		h.last = id
+		fr.Unpin()
+		id = next
+	}
+	return h, nil
+}
+
+// FirstPage returns the head page id (persist it to reopen the heap).
+func (h *HeapFile) FirstPage() PageID { return h.first }
+
+// Count returns the number of live records.
+func (h *HeapFile) Count() int { return h.count }
+
+// Pages walks the chain and returns the page ids in order.
+func (h *HeapFile) Pages() ([]PageID, error) {
+	var out []PageID
+	id := h.first
+	for id != InvalidPage {
+		out = append(out, id)
+		fr, err := h.pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		id = SlottedPage(fr.Data()).Next()
+		fr.Unpin()
+	}
+	return out, nil
+}
+
+// Append stores rec at the tail, growing the chain as needed.
+func (h *HeapFile) Append(rec []byte) (RID, error) {
+	if len(rec) > PageSize-pageHeaderSize-slotSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	fr, err := h.pool.Get(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	p := SlottedPage(fr.Data())
+	if slot, ok := p.Insert(rec); ok {
+		fr.MarkDirty()
+		fr.Unpin()
+		h.count++
+		return RID{Page: h.last, Slot: uint16(slot)}, nil
+	}
+	// Grow the chain.
+	nf, err := h.pool.Allocate()
+	if err != nil {
+		fr.Unpin()
+		return RID{}, err
+	}
+	InitPage(nf.Data())
+	np := SlottedPage(nf.Data())
+	slot, ok := np.Insert(rec)
+	if !ok {
+		nf.Unpin()
+		fr.Unpin()
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	nf.MarkDirty()
+	p.SetNext(nf.ID())
+	fr.MarkDirty()
+	fr.Unpin()
+	h.last = nf.ID()
+	nf.Unpin()
+	h.count++
+	return RID{Page: h.last, Slot: uint16(slot)}, nil
+}
+
+// Get copies the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	fr, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Unpin()
+	rec, ok := SlottedPage(fr.Data()).Get(int(rid.Slot))
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoRecord, rid)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	fr, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer fr.Unpin()
+	if !SlottedPage(fr.Data()).Delete(int(rid.Slot)) {
+		return fmt.Errorf("%w: %v", ErrNoRecord, rid)
+	}
+	fr.MarkDirty()
+	h.count--
+	return nil
+}
+
+// Scan visits every live record in chain order. The record bytes passed
+// to fn alias the pinned page and must not be retained; fn returning
+// false stops the scan.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
+	id := h.first
+	for id != InvalidPage {
+		fr, err := h.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := SlottedPage(fr.Data())
+		stop := false
+		p.Each(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		next := p.Next()
+		fr.Unpin()
+		if stop {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}
+
+// ScanPages visits whole pages in chain order, the set-at-a-time access
+// path: fn receives every live record of one page in a single call.
+func (h *HeapFile) ScanPages(fn func(page PageID, recs [][]byte) bool) error {
+	id := h.first
+	for id != InvalidPage {
+		fr, err := h.pool.Get(id)
+		if err != nil {
+			return err
+		}
+		p := SlottedPage(fr.Data())
+		var recs [][]byte
+		p.Each(func(_ int, rec []byte) bool {
+			recs = append(recs, rec)
+			return true
+		})
+		next := p.Next()
+		cont := fn(id, recs)
+		fr.Unpin()
+		if !cont {
+			return nil
+		}
+		id = next
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package store implements the paged storage substrate beneath the
+// extended-set processing engine: fixed-size pages provided by a pager
+// (in-memory or file-backed), a buffer pool with LRU replacement and
+// pin/unpin accounting, slotted pages holding variable-length records,
+// and heap files chaining pages into scannable collections.
+//
+// The 1977 paper targets very large, distributed, backend stores; this
+// package is the laptop-scale simulation of that substrate (see
+// DESIGN.md §3). Its purpose in the reproduction is to make page touches
+// *observable*: every experiment that compares set-at-a-time against
+// record-at-a-time processing reads this package's counters.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within a pager.
+type PageID uint32
+
+// InvalidPage is the nil page id (page 0 is valid; the invalid marker is
+// the all-ones id).
+const InvalidPage = PageID(^uint32(0))
+
+// Pager provides raw page storage.
+type Pager interface {
+	// Allocate appends a zeroed page and returns its id.
+	Allocate() (PageID, error)
+	// ReadPage fills buf (PageSize bytes) with the page contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage stores buf (PageSize bytes) as the page contents.
+	WritePage(id PageID, buf []byte) error
+	// NumPages reports how many pages have been allocated.
+	NumPages() int
+	// Close releases resources.
+	Close() error
+}
+
+// ErrPageBounds reports access to an unallocated page.
+var ErrPageBounds = errors.New("store: page id out of bounds")
+
+// MemPager is an in-memory pager.
+type MemPager struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemPager returns an empty in-memory pager.
+func NewMemPager() *MemPager { return &MemPager{} }
+
+// Allocate implements Pager.
+func (m *MemPager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// ReadPage implements Pager.
+func (m *MemPager) ReadPage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Pager.
+func (m *MemPager) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// NumPages implements Pager.
+func (m *MemPager) NumPages() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pages)
+}
+
+// Close implements Pager.
+func (m *MemPager) Close() error { return nil }
+
+// FilePager is a file-backed pager.
+type FilePager struct {
+	mu   sync.Mutex
+	f    *os.File
+	n    int
+	path string
+}
+
+// OpenFilePager opens or creates a page file at path.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("store: %s has partial page (size %d)", path, st.Size())
+	}
+	return &FilePager{f: f, n: int(st.Size() / PageSize), path: path}, nil
+}
+
+// Allocate implements Pager.
+func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.n)
+	zero := make([]byte, PageSize)
+	if _, err := p.f.WriteAt(zero, int64(p.n)*PageSize); err != nil {
+		return 0, err
+	}
+	p.n++
+	return id, nil
+}
+
+// ReadPage implements Pager.
+func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.n {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements Pager.
+func (p *FilePager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(id) >= p.n {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// NumPages implements Pager.
+func (p *FilePager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Sync flushes the file to stable storage.
+func (p *FilePager) Sync() error { return p.f.Sync() }
+
+// Close implements Pager.
+func (p *FilePager) Close() error { return p.f.Close() }

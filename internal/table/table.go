@@ -1,0 +1,291 @@
+// Package table provides the stored-relation substrate shared by the two
+// query engines: a Schema names tuple positions, a Row is a flat tuple of
+// atom values, and a Table persists rows into a heap file through the
+// buffer pool. Both the record-at-a-time engine (internal/relational)
+// and the set-at-a-time XSP engine (internal/xsp) read the same tables
+// through the same codec, so their performance difference is purely the
+// processing discipline — exactly the comparison the paper's set-
+// processing thesis calls for.
+package table
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xst/internal/core"
+	"xst/internal/store"
+)
+
+// Schema names the positions of a stored tuple. Position i holds the
+// attribute Cols[i] — the XST reading is that each row is the extended
+// set {v1^1, …, vn^n} with the schema mapping positions to names by
+// re-scope.
+type Schema struct {
+	Name string
+	Cols []string
+}
+
+// Col returns the index of a column name, or -1.
+func (s Schema) Col(name string) int {
+	for i, c := range s.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the column count.
+func (s Schema) Arity() int { return len(s.Cols) }
+
+// Row is one stored tuple.
+type Row []core.Value
+
+// Clone copies the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Tuple renders the row as the XST n-tuple {v1^1, …, vn^n}.
+func (r Row) Tuple() *core.Set { return core.Tuple(r...) }
+
+// ErrSchema reports a row/schema arity mismatch.
+var ErrSchema = errors.New("table: row arity does not match schema")
+
+// EncodeRow appends the row codec: uvarint arity then each value in the
+// canonical core encoding.
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = core.AppendEncode(dst, v)
+	}
+	return dst
+}
+
+// DecodeRow parses one encoded row.
+func DecodeRow(buf []byte) (Row, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 || n > uint64(len(buf)) {
+		return nil, core.ErrCorrupt
+	}
+	off := k
+	out := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, used, err := core.Decode(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		off += used
+	}
+	if off != len(buf) {
+		return nil, core.ErrCorrupt
+	}
+	return out, nil
+}
+
+// Table is a schema-tagged heap of rows.
+type Table struct {
+	schema Schema
+	heap   *store.HeapFile
+	pool   *store.BufferPool
+}
+
+// Create makes an empty table in the pool.
+func Create(pool *store.BufferPool, schema Schema) (*Table, error) {
+	h, err := store.CreateHeap(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{schema: schema, heap: h, pool: pool}, nil
+}
+
+// Open reattaches to a table whose heap chain starts at first (see
+// FirstPage); the row count is recomputed from the chain.
+func Open(pool *store.BufferPool, schema Schema, first store.PageID) (*Table, error) {
+	h, err := store.OpenHeap(pool, first)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{schema: schema, heap: h, pool: pool}, nil
+}
+
+// FirstPage returns the head page of the table's heap chain; persist it
+// (e.g. in a catalog) to Open the table later.
+func (t *Table) FirstPage() store.PageID { return t.heap.FirstPage() }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Count returns the live row count.
+func (t *Table) Count() int { return t.heap.Count() }
+
+// Pool exposes the buffer pool for statistics collection.
+func (t *Table) Pool() *store.BufferPool { return t.pool }
+
+// Insert appends a row.
+func (t *Table) Insert(r Row) (store.RID, error) {
+	if len(r) != t.schema.Arity() {
+		return store.RID{}, fmt.Errorf("%w: got %d, want %d", ErrSchema, len(r), t.schema.Arity())
+	}
+	return t.heap.Append(EncodeRow(nil, r))
+}
+
+// InsertAll appends many rows.
+func (t *Table) InsertAll(rows []Row) error {
+	for _, r := range rows {
+		if _, err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches one row by rid.
+func (t *Table) Get(rid store.RID) (Row, error) {
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRow(rec)
+}
+
+// Delete removes one row by rid.
+func (t *Table) Delete(rid store.RID) error { return t.heap.Delete(rid) }
+
+// Scan visits rows one at a time (the record-processing access path).
+func (t *Table) Scan(fn func(rid store.RID, r Row) (bool, error)) error {
+	var outer error
+	err := t.heap.Scan(func(rid store.RID, rec []byte) bool {
+		r, err := DecodeRow(rec)
+		if err != nil {
+			outer = err
+			return false
+		}
+		cont, err := fn(rid, r)
+		if err != nil {
+			outer = err
+			return false
+		}
+		return cont
+	})
+	if outer != nil {
+		return outer
+	}
+	return err
+}
+
+// ScanBatches visits rows page-at-a-time (the set-processing access
+// path): fn receives all rows of one page together.
+func (t *Table) ScanBatches(fn func(page store.PageID, rows []Row) (bool, error)) error {
+	var outer error
+	err := t.heap.ScanPages(func(page store.PageID, recs [][]byte) bool {
+		rows := make([]Row, 0, len(recs))
+		for _, rec := range recs {
+			r, err := DecodeRow(rec)
+			if err != nil {
+				outer = err
+				return false
+			}
+			rows = append(rows, r)
+		}
+		cont, err := fn(page, rows)
+		if err != nil {
+			outer = err
+			return false
+		}
+		return cont
+	})
+	if outer != nil {
+		return outer
+	}
+	return err
+}
+
+// PageIDs returns the ids of the table's heap pages in chain order, for
+// partitioned (parallel) scans.
+func (t *Table) PageIDs() ([]store.PageID, error) { return t.heap.Pages() }
+
+// ReadPageRows decodes every live row of one heap page.
+func (t *Table) ReadPageRows(id store.PageID) ([]Row, error) {
+	fr, err := t.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Unpin()
+	var rows []Row
+	var derr error
+	store.SlottedPage(fr.Data()).Each(func(_ int, rec []byte) bool {
+		r, err := DecodeRow(rec)
+		if err != nil {
+			derr = err
+			return false
+		}
+		rows = append(rows, r)
+		return true
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	return rows, nil
+}
+
+// Cursor pulls one decoded row per Next — the record-at-a-time access
+// path, pinning the page on every call (see store.HeapCursor).
+type Cursor struct {
+	hc *store.HeapCursor
+}
+
+// NewCursor returns a cursor positioned before the first row.
+func (t *Table) NewCursor() *Cursor { return &Cursor{hc: t.heap.NewCursor()} }
+
+// Next returns the next row; ok is false at end of table.
+func (c *Cursor) Next() (store.RID, Row, bool, error) {
+	rid, rec, ok, err := c.hc.Next()
+	if err != nil || !ok {
+		return store.RID{}, nil, false, err
+	}
+	row, err := DecodeRow(rec)
+	if err != nil {
+		return store.RID{}, nil, false, err
+	}
+	return rid, row, true, nil
+}
+
+// Reset repositions the cursor at the beginning.
+func (c *Cursor) Reset() { c.hc.Reset() }
+
+// Vacuum rewrites the table into a fresh heap without tombstoned slots
+// or partially-filled interior pages, returning the compacted table.
+// Record ids change; indexes must be rebuilt.
+func (t *Table) Vacuum() (*Table, error) {
+	out, err := Create(t.pool, t.schema)
+	if err != nil {
+		return nil, err
+	}
+	err = t.Scan(func(_ store.RID, r Row) (bool, error) {
+		_, err := out.Insert(r)
+		return true, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ToXST materializes the whole table as the extended set of its row
+// tuples — the bridge from stored data to the symbolic algebra.
+func (t *Table) ToXST() (*core.Set, error) {
+	b := core.NewBuilder(t.Count())
+	err := t.Scan(func(_ store.RID, r Row) (bool, error) {
+		b.AddClassical(r.Tuple())
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Set(), nil
+}

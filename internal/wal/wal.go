@@ -1,0 +1,359 @@
+// Package wal adds the reliability substrate the paper's introduction
+// promises ("intrinsically reliable systems"): a physical write-ahead
+// log over the store.Pager interface with atomic transactions and
+// crash recovery.
+//
+// The design is redo-only page-image logging:
+//
+//   - A transaction buffers page writes in a shadow map; readers inside
+//     the transaction see their own writes.
+//   - Commit appends each dirty page's after-image plus a commit marker
+//     to the log, *then* applies the images to the base pager. The log
+//     is the authority: a crash between log append and base apply is
+//     repaired by redo.
+//   - Recover scans the log and re-applies the page images of every
+//     committed transaction, in log order. Uncommitted tails are
+//     ignored, so torn transactions vanish atomically.
+//
+// The log itself lives behind a tiny append-only interface with an
+// in-memory and a file implementation, and the crash tests cut the log
+// at every possible record boundary.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"xst/internal/store"
+)
+
+// Log is an append-only record store.
+type Log interface {
+	// Append adds one record.
+	Append(rec []byte) error
+	// Records returns all records in append order.
+	Records() ([][]byte, error)
+	// Sync makes appended records durable.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// record kinds.
+const (
+	recPage   = 0x50 // 'P': txn u64, page u32, image [PageSize]byte
+	recCommit = 0x43 // 'C': txn u64
+	recAlloc  = 0x41 // 'A': txn u64, page u32 — page allocation
+)
+
+// MemLog is an in-memory log (tests, crash simulation).
+type MemLog struct {
+	mu   sync.Mutex
+	recs [][]byte
+}
+
+// NewMemLog returns an empty in-memory log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (l *MemLog) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	l.recs = append(l.recs, cp)
+	return nil
+}
+
+// Records implements Log.
+func (l *MemLog) Records() ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.recs))
+	copy(out, l.recs)
+	return out, nil
+}
+
+// Sync implements Log.
+func (l *MemLog) Sync() error { return nil }
+
+// Close implements Log.
+func (l *MemLog) Close() error { return nil }
+
+// Truncate keeps only the first n records — the crash-injection hook.
+func (l *MemLog) Truncate(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < len(l.recs) {
+		l.recs = l.recs[:n]
+	}
+}
+
+// Len returns the record count.
+func (l *MemLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// FileLog is a length-prefixed file log.
+type FileLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenFileLog opens or creates a log file.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileLog{f: f}, nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := l.f.Write(rec)
+	return err
+}
+
+// Records implements Log. Truncated trailing records (torn writes) are
+// dropped silently — exactly the crash semantics recovery needs.
+func (l *FileLog) Records() ([][]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	raw, err := os.ReadFile(l.f.Name())
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for len(raw) >= 4 {
+		n := binary.LittleEndian.Uint32(raw)
+		if uint32(len(raw)-4) < n {
+			break // torn tail
+		}
+		out = append(out, raw[4:4+n])
+		raw = raw[4+n:]
+	}
+	return out, nil
+}
+
+// Sync implements Log.
+func (l *FileLog) Sync() error { return l.f.Sync() }
+
+// Close implements Log.
+func (l *FileLog) Close() error { return l.f.Close() }
+
+// ErrTxnDone reports use of a finished transaction.
+var ErrTxnDone = errors.New("wal: transaction already finished")
+
+// Manager coordinates transactions over a base pager and a log.
+type Manager struct {
+	mu      sync.Mutex
+	base    store.Pager
+	log     Log
+	nextTxn uint64
+}
+
+// NewManager builds a manager. Call Recover first when reopening
+// existing storage.
+func NewManager(base store.Pager, log Log) *Manager {
+	return &Manager{base: base, log: log, nextTxn: 1}
+}
+
+// Txn is one atomic unit of page writes.
+type Txn struct {
+	mgr    *Manager
+	id     uint64
+	shadow map[store.PageID][]byte
+	allocs []store.PageID
+	done   bool
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	id := m.nextTxn
+	m.nextTxn++
+	m.mu.Unlock()
+	return &Txn{mgr: m, id: id, shadow: map[store.PageID][]byte{}}
+}
+
+// Allocate adds a page within the transaction. The allocation itself is
+// immediate on the base pager (page ids are never reused, so an aborted
+// allocation merely leaves a zero page), but the page contents become
+// visible only on commit.
+func (t *Txn) Allocate() (store.PageID, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	id, err := t.mgr.base.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	t.allocs = append(t.allocs, id)
+	t.shadow[id] = make([]byte, store.PageSize)
+	return id, nil
+}
+
+// ReadPage reads through the shadow map, falling back to the base.
+func (t *Txn) ReadPage(id store.PageID, buf []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if img, ok := t.shadow[id]; ok {
+		copy(buf, img)
+		return nil
+	}
+	return t.mgr.base.ReadPage(id, buf)
+}
+
+// WritePage buffers a page write in the transaction.
+func (t *Txn) WritePage(id store.PageID, buf []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	img, ok := t.shadow[id]
+	if !ok {
+		img = make([]byte, store.PageSize)
+		t.shadow[id] = img
+	}
+	copy(img, buf)
+	return nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	t.done = true
+	t.shadow = nil
+}
+
+// Commit logs every dirty page and the commit marker, syncs the log,
+// then applies the images to the base pager.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	for _, id := range t.allocs {
+		rec := make([]byte, 1+8+4)
+		rec[0] = recAlloc
+		binary.LittleEndian.PutUint64(rec[1:], t.id)
+		binary.LittleEndian.PutUint32(rec[9:], uint32(id))
+		if err := t.mgr.log.Append(rec); err != nil {
+			return err
+		}
+	}
+	for id, img := range t.shadow {
+		rec := make([]byte, 1+8+4+store.PageSize)
+		rec[0] = recPage
+		binary.LittleEndian.PutUint64(rec[1:], t.id)
+		binary.LittleEndian.PutUint32(rec[9:], uint32(id))
+		copy(rec[13:], img)
+		if err := t.mgr.log.Append(rec); err != nil {
+			return err
+		}
+	}
+	commit := make([]byte, 1+8)
+	commit[0] = recCommit
+	binary.LittleEndian.PutUint64(commit[1:], t.id)
+	if err := t.mgr.log.Append(commit); err != nil {
+		return err
+	}
+	if err := t.mgr.log.Sync(); err != nil {
+		return err
+	}
+	// Apply after the log is durable.
+	for id, img := range t.shadow {
+		if err := t.mgr.base.WritePage(id, img); err != nil {
+			return err
+		}
+	}
+	t.shadow = nil
+	return nil
+}
+
+// Recover replays the log onto the base pager: the page images of every
+// committed transaction are re-applied in log order; pages of
+// uncommitted transactions are ignored. Missing pages are allocated so
+// redo works on an empty base. It returns the number of transactions
+// redone.
+func Recover(base store.Pager, log Log) (int, error) {
+	recs, err := log.Records()
+	if err != nil {
+		return 0, err
+	}
+	committed := map[uint64]bool{}
+	maxTxn := uint64(0)
+	for _, rec := range recs {
+		if len(rec) >= 9 && rec[0] == recCommit {
+			committed[binary.LittleEndian.Uint64(rec[1:])] = true
+		}
+		if len(rec) >= 9 {
+			if id := binary.LittleEndian.Uint64(rec[1:]); id > maxTxn {
+				maxTxn = id
+			}
+		}
+	}
+	redone := map[uint64]bool{}
+	for _, rec := range recs {
+		if len(rec) < 13 {
+			continue
+		}
+		txn := binary.LittleEndian.Uint64(rec[1:])
+		if !committed[txn] {
+			continue
+		}
+		page := store.PageID(binary.LittleEndian.Uint32(rec[9:]))
+		switch rec[0] {
+		case recAlloc:
+			for store.PageID(base.NumPages()) <= page {
+				if _, err := base.Allocate(); err != nil {
+					return 0, err
+				}
+			}
+		case recPage:
+			if len(rec) != 13+store.PageSize {
+				return 0, fmt.Errorf("wal: corrupt page record (%d bytes)", len(rec))
+			}
+			for store.PageID(base.NumPages()) <= page {
+				if _, err := base.Allocate(); err != nil {
+					return 0, err
+				}
+			}
+			if err := base.WritePage(page, rec[13:]); err != nil {
+				return 0, err
+			}
+			redone[txn] = true
+		}
+	}
+	return len(redone), nil
+}
+
+// ResumeManager builds a manager whose next transaction id follows
+// everything in the log (use after Recover).
+func ResumeManager(base store.Pager, log Log) (*Manager, error) {
+	recs, err := log.Records()
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	for _, rec := range recs {
+		if len(rec) >= 9 {
+			if id := binary.LittleEndian.Uint64(rec[1:]); id >= next {
+				next = id + 1
+			}
+		}
+	}
+	return &Manager{base: base, log: log, nextTxn: next}, nil
+}

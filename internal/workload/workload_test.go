@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := Spec{Seed: 7, Users: 200, Orders: 400, Cities: 10}
+	a, err := Build(spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Users.Count() != 200 || a.Orders.Count() != 400 {
+		t.Fatalf("counts = %d/%d", a.Users.Count(), a.Orders.Count())
+	}
+	// Same seed → identical tables.
+	var rowsA, rowsB []table.Row
+	a.Users.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		rowsA = append(rowsA, r.Clone())
+		return true, nil
+	})
+	b.Users.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		rowsB = append(rowsB, r.Clone())
+		return true, nil
+	})
+	for i := range rowsA {
+		for j := range rowsA[i] {
+			if !core.Equal(rowsA[i][j], rowsB[i][j]) {
+				t.Fatalf("row %d differs between same-seed builds", i)
+			}
+		}
+	}
+}
+
+func TestOrdersReferenceUsers(t *testing.T) {
+	d, err := Build(Spec{Seed: 1, Users: 50, Orders: 300, Cities: 5}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Orders.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		uid := int(r[1].(core.Int))
+		if uid < 0 || uid >= 50 {
+			t.Fatalf("dangling uid %d", uid)
+		}
+		return true, nil
+	})
+}
+
+func TestSkewConcentratesReferences(t *testing.T) {
+	uniform, _ := Build(Spec{Seed: 3, Users: 100, Orders: 5000, Cities: 5, Skew: 0}, 128)
+	skewed, _ := Build(Spec{Seed: 3, Users: 100, Orders: 5000, Cities: 5, Skew: 1.2}, 128)
+	countTop := func(d *Dataset) int {
+		counts := map[int]int{}
+		d.Orders.Scan(func(_ store.RID, r table.Row) (bool, error) {
+			counts[int(r[1].(core.Int))]++
+			return true, nil
+		})
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if countTop(skewed) <= 2*countTop(uniform) {
+		t.Fatalf("skewed top = %d, uniform top = %d: skew too weak",
+			countTop(skewed), countTop(uniform))
+	}
+}
+
+func TestRandomChainComposable(t *testing.T) {
+	chain := RandomChain(5, 4, 16)
+	if len(chain) != 4 {
+		t.Fatal("chain length")
+	}
+	for _, c := range chain {
+		if c.Len() != 16 {
+			t.Fatalf("stage has %d pairs, want total function", c.Len())
+		}
+	}
+}
+
+func TestLookupKeysBounds(t *testing.T) {
+	for _, skew := range []float64{0, 1.0} {
+		keys := LookupKeys(9, 500, 64, skew)
+		if len(keys) != 500 {
+			t.Fatal("key count")
+		}
+		for _, k := range keys {
+			v := int(k.(core.Int))
+			if v < 0 || v >= 64 {
+				t.Fatalf("key %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestDefaultSpecShape(t *testing.T) {
+	s := DefaultSpec()
+	if s.Users <= 0 || s.Orders <= 0 || s.Cities <= 0 {
+		t.Fatal("default spec degenerate")
+	}
+	if SelectivityValue(s.Cities) == nil {
+		t.Fatal("selectivity value nil")
+	}
+}

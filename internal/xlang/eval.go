@@ -1,0 +1,255 @@
+package xlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+)
+
+// Env holds variable bindings for evaluation. Unbound identifiers
+// evaluate to string atoms (symbols), so `{<a,b>}` means the set holding
+// the pair of symbols a and b — matching the paper's notation. Bind a
+// name with `name := expr` to shadow the symbol reading.
+type Env struct {
+	vars map[string]core.Value
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{vars: map[string]core.Value{}} }
+
+// Bind sets a variable.
+func (e *Env) Bind(name string, v core.Value) { e.vars[name] = v }
+
+// Lookup fetches a variable.
+func (e *Env) Lookup(name string) (core.Value, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// Names returns the bound variable names (unsorted).
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EvalError reports an evaluation problem at a source offset.
+type EvalError struct {
+	Pos int
+	Msg string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("eval error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func evalErr(pos int, format string, args ...any) error {
+	return &EvalError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval parses and evaluates one statement against the environment. For
+// assignments the bound value is returned.
+func Eval(env *Env, src string) (core.Value, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return evalNode(env, n)
+}
+
+// EvalProgram evaluates a multi-line program (one statement per line,
+// blank lines and #-comments skipped) and returns the value of the last
+// statement. Errors carry the 1-based line number.
+func EvalProgram(env *Env, src string) (core.Value, error) {
+	var last core.Value = core.Empty()
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := Eval(env, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		last = v
+	}
+	return last, nil
+}
+
+func evalNode(env *Env, n node) (core.Value, error) {
+	switch x := n.(type) {
+	case *assignNode:
+		v, err := evalNode(env, x.expr)
+		if err != nil {
+			return nil, err
+		}
+		env.Bind(x.name, v)
+		return v, nil
+	case *litNode:
+		return evalLit(x)
+	case *identNode:
+		if v, ok := env.Lookup(x.name); ok {
+			return v, nil
+		}
+		return core.Str(x.name), nil
+	case *setNode:
+		b := core.NewBuilder(len(x.members))
+		for _, m := range x.members {
+			elem, err := evalNode(env, m.elem)
+			if err != nil {
+				return nil, err
+			}
+			scope := core.Value(core.Empty())
+			if m.scope != nil {
+				if scope, err = evalNode(env, m.scope); err != nil {
+					return nil, err
+				}
+			}
+			b.Add(elem, scope)
+		}
+		return b.Set(), nil
+	case *tupleNode:
+		elems := make([]core.Value, len(x.elems))
+		for i, e := range x.elems {
+			v, err := evalNode(env, e)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = v
+		}
+		return core.Tuple(elems...), nil
+	case *binNode:
+		return evalBin(env, x)
+	case *imageNode:
+		return evalImage(env, x)
+	case *callNode:
+		return evalCall(env, x)
+	default:
+		return nil, evalErr(n.pos(), "unknown node %T", n)
+	}
+}
+
+func evalLit(x *litNode) (core.Value, error) {
+	switch x.val.kind {
+	case tokInt:
+		i, err := strconv.ParseInt(x.val.text, 10, 64)
+		if err != nil {
+			return nil, evalErr(x.at, "bad integer %q", x.val.text)
+		}
+		if x.val.neg {
+			i = -i
+		}
+		return core.Int(i), nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(x.val.text, 64)
+		if err != nil {
+			return nil, evalErr(x.at, "bad float %q", x.val.text)
+		}
+		if x.val.neg {
+			f = -f
+		}
+		return core.Float(f), nil
+	case tokString:
+		return core.Str(x.val.text), nil
+	case tokIdent:
+		return core.Bool(x.val.text == "true"), nil
+	default:
+		return nil, evalErr(x.at, "bad literal kind %v", x.val.kind)
+	}
+}
+
+func asSet(pos int, v core.Value, role string) (*core.Set, error) {
+	s, ok := v.(*core.Set)
+	if !ok {
+		return nil, evalErr(pos, "%s must be a set, found %v", role, v)
+	}
+	return s, nil
+}
+
+func evalBin(env *Env, x *binNode) (core.Value, error) {
+	lv, err := evalNode(env, x.l)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := evalNode(env, x.r)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case tokEq:
+		return core.Bool(core.Equal(lv, rv)), nil
+	case tokLE:
+		ls, err := asSet(x.at, lv, "subset operand")
+		if err != nil {
+			return nil, err
+		}
+		rs, err := asSet(x.at, rv, "subset operand")
+		if err != nil {
+			return nil, err
+		}
+		return core.Bool(core.Subset(ls, rs)), nil
+	}
+	ls, err := asSet(x.at, lv, "operand")
+	if err != nil {
+		return nil, err
+	}
+	rs, err := asSet(x.at, rv, "operand")
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case tokPlus:
+		return core.Union(ls, rs), nil
+	case tokTilde:
+		return core.Diff(ls, rs), nil
+	case tokAmp:
+		return core.Intersect(ls, rs), nil
+	default:
+		return nil, evalErr(x.at, "unknown operator %v", x.op)
+	}
+}
+
+func evalImage(env *Env, x *imageNode) (core.Value, error) {
+	rv, err := evalNode(env, x.rel)
+	if err != nil {
+		return nil, err
+	}
+	av, err := evalNode(env, x.arg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := asSet(x.at, rv, "image relation")
+	if err != nil {
+		return nil, err
+	}
+	a, err := asSet(x.at, av, "image argument")
+	if err != nil {
+		return nil, err
+	}
+	sig := algebra.StdSigma()
+	if x.s1 != nil {
+		s1v, err := evalNode(env, x.s1)
+		if err != nil {
+			return nil, err
+		}
+		s2v, err := evalNode(env, x.s2)
+		if err != nil {
+			return nil, err
+		}
+		s1, err := asSet(x.at, s1v, "σ1")
+		if err != nil {
+			return nil, err
+		}
+		s2, err := asSet(x.at, s2v, "σ2")
+		if err != nil {
+			return nil, err
+		}
+		sig = algebra.NewSigma(s1, s2)
+	}
+	return algebra.Image(r, a, sig), nil
+}

@@ -1,0 +1,27 @@
+package xlang_test
+
+import (
+	"fmt"
+
+	"xst/internal/xlang"
+)
+
+func ExampleEval() {
+	env := xlang.NewEnv()
+	v, _ := xlang.Eval(env, "{1,2} + {2,3}")
+	fmt.Println(v)
+	// Output:
+	// {1, 2, 3}
+}
+
+func ExampleEvalProgram() {
+	env := xlang.NewEnv()
+	v, _ := xlang.EvalProgram(env, `
+		# phone book as a set of pairs
+		f := {<alice, x100>, <bob, x200>}
+		f[{<alice>}]
+	`)
+	fmt.Println(v)
+	// Output:
+	// {<"x100">}
+}

@@ -1,0 +1,37 @@
+package xlang
+
+import "testing"
+
+// FuzzEval checks that arbitrary input strings never panic the lexer,
+// parser or evaluator — they either produce a value or an error.
+func FuzzEval(f *testing.F) {
+	seeds := []string{
+		"{1, 2} + {3}",
+		"f := {<a,b>}",
+		"f[{<a>}]",
+		"f[{<a>}; pos(1), pos(2)]",
+		`{"str"^<1,2>, x^{y^z}}`,
+		"relprod({<a,b>}, {<b,c>}, {1^1}, {2^1}, {1^1}, {2^2})",
+		"((((",
+		"}{",
+		"<a, <b, <c>>>",
+		"# just a comment",
+		"-",
+		`"unterminated`,
+		"image(f, g, pos(1), pos(2))[h][i][j]",
+		"power(power({1,2,3}))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // bound pathological inputs
+		}
+		env := NewEnv()
+		v, err := Eval(env, src)
+		if err == nil && v == nil {
+			t.Fatal("nil value without error")
+		}
+	})
+}

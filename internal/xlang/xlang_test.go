@@ -1,0 +1,337 @@
+package xlang
+
+import (
+	"strings"
+	"testing"
+
+	"xst/internal/core"
+)
+
+func eval(t *testing.T, env *Env, src string) core.Value {
+	t.Helper()
+	v, err := Eval(env, src)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func evalWant(t *testing.T, env *Env, src string, want core.Value) {
+	t.Helper()
+	if got := eval(t, env, src); !core.Equal(got, want) {
+		t.Fatalf("Eval(%q) = %v, want %v", src, got, want)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "42", core.Int(42))
+	evalWant(t, env, "-7", core.Int(-7))
+	evalWant(t, env, "2.5", core.Float(2.5))
+	evalWant(t, env, "-2.5", core.Float(-2.5))
+	evalWant(t, env, `"hello world"`, core.Str("hello world"))
+	evalWant(t, env, `"esc\"aped\n"`, core.Str("esc\"aped\n"))
+	evalWant(t, env, "true", core.Bool(true))
+	evalWant(t, env, "false", core.Bool(false))
+}
+
+func TestSymbolsAndVariables(t *testing.T) {
+	env := NewEnv()
+	// Unbound identifier is a symbol atom.
+	evalWant(t, env, "a", core.Str("a"))
+	// Binding shadows the symbol reading.
+	eval(t, env, "a := {1, 2}")
+	evalWant(t, env, "a", core.S(core.Int(1), core.Int(2)))
+	if _, ok := env.Lookup("a"); !ok {
+		t.Fatal("binding must persist")
+	}
+	if len(env.Names()) != 1 {
+		t.Fatal("Names wrong")
+	}
+}
+
+func TestSetAndTupleLiterals(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "{}", core.Empty())
+	evalWant(t, env, "{1, 2, 2}", core.S(core.Int(1), core.Int(2)))
+	evalWant(t, env, "{a^1, b^2}", core.Pair(core.Str("a"), core.Str("b")))
+	evalWant(t, env, "<a, b>", core.Pair(core.Str("a"), core.Str("b")))
+	evalWant(t, env, "<>", core.Empty())
+	evalWant(t, env, "{<a,b>^<x,y>}",
+		core.NewSet(core.M(core.Pair(core.Str("a"), core.Str("b")), core.Pair(core.Str("x"), core.Str("y")))))
+	// Nested sets.
+	evalWant(t, env, "{{1}}", core.S(core.S(core.Int(1))))
+}
+
+func TestBooleanOperators(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "{1,2} + {2,3}", core.S(core.Int(1), core.Int(2), core.Int(3)))
+	evalWant(t, env, "{1,2} & {2,3}", core.S(core.Int(2)))
+	evalWant(t, env, "{1,2} ~ {2,3}", core.S(core.Int(1)))
+	// Precedence: & binds tighter than + and ~.
+	evalWant(t, env, "{1} + {2} & {2,3}", core.S(core.Int(1), core.Int(2)))
+	evalWant(t, env, "({1} + {2}) & {2,3}", core.S(core.Int(2)))
+	// Left associativity of +/~.
+	evalWant(t, env, "{1,2,3} ~ {1} ~ {2}", core.S(core.Int(3)))
+}
+
+func TestComparisons(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "{1,2} = {2,1}", core.Bool(true))
+	evalWant(t, env, "{1} = {2}", core.Bool(false))
+	evalWant(t, env, "{1} <= {1,2}", core.Bool(true))
+	evalWant(t, env, "{3} <= {1,2}", core.Bool(false))
+}
+
+func TestImageSyntax(t *testing.T) {
+	env := NewEnv()
+	eval(t, env, "f := {<a,x>, <b,y>}")
+	evalWant(t, env, "f[{<a>}]", core.S(core.Tuple(core.Str("x"))))
+	// Explicit σ: inverse direction.
+	evalWant(t, env, "f[{<x>}; pos(2), pos(1)]", core.S(core.Tuple(core.Str("a"))))
+	// Chained postfix.
+	eval(t, env, "g := {<x,q>}")
+	evalWant(t, env, "g[f[{<a>}]]", core.S(core.Tuple(core.Str("q"))))
+}
+
+func TestBuiltins(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "card({1^a, 1^b, 2})", core.Int(2))
+	evalWant(t, env, "len({1^a, 1^b, 2})", core.Int(3))
+	evalWant(t, env, "union({1},{2})", core.S(core.Int(1), core.Int(2)))
+	evalWant(t, env, "sing({5})", core.Bool(true))
+	evalWant(t, env, "tup(<a,b,c>)", core.Int(3))
+	evalWant(t, env, "tup({1})", core.Int(-1))
+	evalWant(t, env, "concat(<a>, <b>)", core.Pair(core.Str("a"), core.Str("b")))
+	evalWant(t, env, "card(power({1,2,3}))", core.Int(8))
+	evalWant(t, env, "dom1({<k,v>})", core.S(core.Tuple(core.Str("k"))))
+	evalWant(t, env, "dom2({<k,v>})", core.S(core.Tuple(core.Str("v"))))
+	evalWant(t, env, "dom({<a,b,c>}, pos(3,1))", core.S(core.Pair(core.Str("c"), core.Str("a"))))
+	evalWant(t, env, "value({<7>})", core.Int(7))
+	evalWant(t, env, "cartesian({p},{q})", core.S(core.Pair(core.Str("p"), core.Str("q"))))
+	evalWant(t, env, "cross({<p>},{<q>})", core.S(core.Pair(core.Str("p"), core.Str("q"))))
+	evalWant(t, env, "is_function({<a,x>,<b,x>})", core.Bool(true))
+	evalWant(t, env, "is_function({<a,x>,<a,y>})", core.Bool(false))
+	evalWant(t, env, "is_injective({<a,x>,<b,x>})", core.Bool(false))
+	evalWant(t, env, "compose({<a,b>}, {<b,c>})", core.Empty())
+	evalWant(t, env, "compose({<b,c>}, {<a,b>})", core.S(core.Pair(core.Str("a"), core.Str("c"))))
+	evalWant(t, env, "id({<a>})", core.S(core.Pair(core.Str("a"), core.Str("a"))))
+	evalWant(t, env, "domset({<a,x>})", core.S(core.Tuple(core.Str("a"))))
+	evalWant(t, env, "codset({<a,x>})", core.S(core.Tuple(core.Str("x"))))
+}
+
+func TestRescopeBuiltins(t *testing.T) {
+	env := NewEnv()
+	// Paper Def 7.3 example.
+	eval(t, env, `A := {"a"^x, "b"^y, "c"^z}`)
+	eval(t, env, `s := {x^1, y^2, z^3}`)
+	evalWant(t, env, "rescope_scope(A, s)",
+		core.NewSet(core.M(core.Str("a"), core.Int(1)), core.M(core.Str("b"), core.Int(2)), core.M(core.Str("c"), core.Int(3))))
+	// Paper Def 7.5 example.
+	eval(t, env, `B := {"a"^1, "b"^2, "c"^3}`)
+	eval(t, env, `w := {u^1, v^2, t^3}`)
+	evalWant(t, env, "rescope_elem(B, w)",
+		core.NewSet(core.M(core.Str("a"), core.Str("u")), core.M(core.Str("b"), core.Str("v")), core.M(core.Str("c"), core.Str("t"))))
+}
+
+func TestRelprodBuiltin(t *testing.T) {
+	env := NewEnv()
+	// §10 case 1 (CST relative product).
+	got := eval(t, env,
+		"relprod({<a,b>}, {<b,c>}, {1^1}, {2^1}, {1^1}, {2^2})")
+	evalWant(t, env, "{<a,c>}", got)
+}
+
+func TestRestrictImageBuiltinAgree(t *testing.T) {
+	env := NewEnv()
+	eval(t, env, "f := {<a,x>, <b,y>, <c,x>}")
+	a := eval(t, env, "image(f, {<a>}, pos(1), pos(2))")
+	b := eval(t, env, "f[{<a>}]")
+	if !core.Equal(a, b) {
+		t.Fatalf("image builtin %v ≠ bracket image %v", a, b)
+	}
+	c := eval(t, env, "dom(restrict(f, pos(1), {<a>}), pos(2))")
+	if !core.Equal(a, c) {
+		t.Fatalf("two-step %v ≠ image %v", c, a)
+	}
+}
+
+func TestComments(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "{1, 2} # trailing comment", core.S(core.Int(1), core.Int(2)))
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	env := NewEnv()
+	bad := []string{
+		"{1, 2",           // unclosed brace
+		"<a, b",           // unclosed tuple
+		"(1",              // unclosed paren
+		"f[",              // unclosed image
+		`"open`,           // unterminated string
+		"1 2",             // trailing token
+		"@",               // bad character
+		"f[x; 1]",         // missing σ2
+		":",               // lone colon
+		"- a",             // minus before non-number
+		`"bad \q escape"`, // bad escape
+	}
+	for _, src := range bad {
+		if _, err := Eval(env, src); err == nil {
+			t.Errorf("Eval(%q) must fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := NewEnv()
+	bad := []string{
+		"1 + 2",               // operands must be sets
+		"{1} <= 2",            // subset of atom
+		"1[{2}]",              // image of atom
+		"{1}[2]",              // image argument atom
+		"nosuch(1)",           // unknown builtin
+		"card(1, 2)",          // arity
+		"card(5)",             // set arg required
+		"value({})",           // undefined value
+		"value_at({}, s)",     // undefined σ-value
+		"concat(1, 2)",        // non-tuples
+		"pos(a)",              // bad pos arg
+		"compose({<a,b>}, 1)", // non-set compose
+	}
+	for _, src := range bad {
+		if _, err := Eval(env, src); err == nil {
+			t.Errorf("Eval(%q) must fail", src)
+		}
+	}
+}
+
+func TestErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Eval(NewEnv(), "{1} + @")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %v must carry an offset", err)
+	}
+}
+
+func TestBuiltinsListing(t *testing.T) {
+	list := Builtins()
+	if len(list) != len(builtins) {
+		t.Fatal("Builtins() incomplete")
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1] >= list[i] {
+			t.Fatal("Builtins() must be sorted")
+		}
+	}
+}
+
+// TestAppendixAInLanguage replays the Appendix A ambiguity entirely in
+// the expression language.
+func TestAppendixAInLanguage(t *testing.T) {
+	env := NewEnv()
+	eval(t, env, "e := {}")
+	eval(t, env, "f := {<y,z>^<e,e>, <a,x,b,k>^<e,e,e,e>}")
+	eval(t, env, "g := {<x,y>^<e,e>, <a,b>^<e,e>}")
+	eval(t, env, "h := {<x>^<e>}")
+	eval(t, env, "s1 := pos(1,3)")
+	eval(t, env, "s2 := pos(2,4)")
+	// Sequential: f[g[h]]_σ.
+	seq := eval(t, env, "image(f, g[h], s1, s2)")
+	// Nested: (f[g]_σ)[h]_ω.
+	nested := eval(t, env, "image(f, g, s1, s2)[h]")
+	if core.Equal(seq, nested) {
+		t.Fatal("the two interpretations must differ")
+	}
+	wantSeq := eval(t, env, "{<z>^<e>}")
+	wantNested := eval(t, env, "{<k>^<e>}")
+	if !core.Equal(seq, wantSeq) || !core.Equal(nested, wantNested) {
+		t.Fatalf("seq=%v nested=%v", seq, nested)
+	}
+}
+
+func TestEvalProgram(t *testing.T) {
+	env := NewEnv()
+	v, err := EvalProgram(env, `
+# build a relation and query it
+f := {<a,x>, <b,y>}
+g := {<x,q>, <y,r>}
+h := compose(g, f)
+h[{<a>}]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Equal(v, core.S(core.Tuple(core.Str("q")))) {
+		t.Fatalf("program result = %v", v)
+	}
+	// Errors carry line numbers.
+	_, err = EvalProgram(NewEnv(), "ok := {1}\n}{bad")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v must carry line number", err)
+	}
+	// Empty program yields ∅.
+	v, err = EvalProgram(NewEnv(), "\n# only comments\n")
+	if err != nil || !core.Equal(v, core.Empty()) {
+		t.Fatalf("empty program = %v, %v", v, err)
+	}
+}
+
+func TestClosureBuiltins(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "tclose({<1,2>, <2,3>})",
+		core.S(
+			core.Pair(core.Int(1), core.Int(2)),
+			core.Pair(core.Int(2), core.Int(3)),
+			core.Pair(core.Int(1), core.Int(3)),
+		))
+	evalWant(t, env, "card(rtclose({<1,2>}))", core.Int(3))
+	evalWant(t, env, "bigunion({{1},{2,3}})", core.S(core.Int(1), core.Int(2), core.Int(3)))
+	evalWant(t, env, "inverse({<a,b>})", core.S(core.Pair(core.Str("b"), core.Str("a"))))
+	// Inverse is an involution.
+	evalWant(t, env, "inverse(inverse({<a,b>, <c,d>})) = {<a,b>, <c,d>}", core.Bool(true))
+}
+
+func TestClassifyBuiltin(t *testing.T) {
+	env := NewEnv()
+	eval(t, env, "A := {<a>, <b>}")
+	eval(t, env, "B := {<x>, <y>}")
+	// A bijection A→B.
+	got := eval(t, env, "classify({<a,x>, <b,y>}, A, B)")
+	want := core.NewSet(
+		core.M(core.Bool(true), core.Str("in_space")),
+		core.M(core.Bool(true), core.Str("on")),
+		core.M(core.Bool(true), core.Str("onto")),
+		core.M(core.Bool(false), core.Str("many_to_one")),
+		core.M(core.Bool(false), core.Str("one_to_many")),
+		core.M(core.Bool(true), core.Str("function")),
+	)
+	if !core.Equal(got, want) {
+		t.Fatalf("classify = %v", got)
+	}
+	// One-to-many is not a function.
+	got = eval(t, env, "classify({<a,x>, <a,y>}, A, B)")
+	gs := got.(*core.Set)
+	if !gs.Has(core.Bool(true), core.Str("one_to_many")) ||
+		!gs.Has(core.Bool(false), core.Str("function")) {
+		t.Fatalf("one-to-many classify = %v", got)
+	}
+	if _, err := Eval(env, "classify(1, A, B)"); err == nil {
+		t.Fatal("atom carrier must fail")
+	}
+}
+
+func TestIntrospectionBuiltins(t *testing.T) {
+	env := NewEnv()
+	evalWant(t, env, "at(<p,q,r>, 2)", core.Str("q"))
+	evalWant(t, env, "elems({1^a, 1^b, 2})", core.S(core.Int(1), core.Int(2)))
+	evalWant(t, env, "scopes({1^a, 2^b, 3})",
+		core.S(core.Str("a"), core.Str("b"), core.Empty()))
+	for _, bad := range []string{
+		"at(<p>, 0)", "at(<p>, 2)", "at({1}, 1)", "at(<p>, x)",
+		"elems(1)", "scopes(1)",
+	} {
+		if _, err := Eval(env, bad); err == nil {
+			t.Errorf("Eval(%q) must fail", bad)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package xsp
+
+import (
+	"fmt"
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// AggKind selects an aggregate function.
+type AggKind uint8
+
+// Aggregate kinds. Sum/Min/Max apply to the canonical order (Sum
+// requires integer or float columns).
+const (
+	Count AggKind = iota
+	Sum
+	Min
+	Max
+)
+
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "min", "max"}[k]
+}
+
+// Agg describes one aggregate over a column.
+type Agg struct {
+	Kind AggKind
+	Col  int // ignored for Count
+}
+
+// GroupAgg aggregates a pipeline by a key column, set-at-a-time: batches
+// stream through once, accumulators update in place. Output rows are
+// (key, agg1, agg2, …) in canonical key order.
+func GroupAgg(p *Pipeline, keyCol int, aggs ...Agg) ([]table.Row, error) {
+	type acc struct {
+		key    core.Value
+		counts []int64
+		sums   []float64
+		isInt  []bool
+		mins   []core.Value
+		maxs   []core.Value
+	}
+	groups := map[string]*acc{}
+	err := p.Run(func(rows []table.Row) error {
+		for _, r := range rows {
+			k := core.Key(r[keyCol])
+			g := groups[k]
+			if g == nil {
+				g = &acc{
+					key:    r[keyCol],
+					counts: make([]int64, len(aggs)),
+					sums:   make([]float64, len(aggs)),
+					isInt:  make([]bool, len(aggs)),
+					mins:   make([]core.Value, len(aggs)),
+					maxs:   make([]core.Value, len(aggs)),
+				}
+				for i := range g.isInt {
+					g.isInt[i] = true
+				}
+				groups[k] = g
+			}
+			for i, a := range aggs {
+				switch a.Kind {
+				case Count:
+					g.counts[i]++
+				case Sum:
+					switch v := r[a.Col].(type) {
+					case core.Int:
+						g.sums[i] += float64(v)
+					case core.Float:
+						g.sums[i] += float64(v)
+						g.isInt[i] = false
+					default:
+						return fmt.Errorf("xsp: sum over non-numeric %v", v)
+					}
+				case Min:
+					if g.mins[i] == nil || core.Compare(r[a.Col], g.mins[i]) < 0 {
+						g.mins[i] = r[a.Col]
+					}
+				case Max:
+					if g.maxs[i] == nil || core.Compare(r[a.Col], g.maxs[i]) > 0 {
+						g.maxs[i] = r[a.Col]
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]table.Row, 0, len(groups))
+	for _, g := range groups {
+		row := make(table.Row, 0, 1+len(aggs))
+		row = append(row, g.key)
+		for i, a := range aggs {
+			switch a.Kind {
+			case Count:
+				row = append(row, core.Int(g.counts[i]))
+			case Sum:
+				if g.isInt[i] {
+					row = append(row, core.Int(int64(g.sums[i])))
+				} else {
+					row = append(row, core.Float(g.sums[i]))
+				}
+			case Min:
+				row = append(row, g.mins[i])
+			case Max:
+				row = append(row, g.maxs[i])
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return core.Compare(out[i][0], out[j][0]) < 0 })
+	return out, nil
+}
+
+// OrderBy materializes the pipeline and returns rows sorted by the given
+// column under the canonical order (descending if desc).
+func OrderBy(p *Pipeline, col int, desc bool) ([]table.Row, error) {
+	rows, err := p.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		c := core.Compare(rows[i][col], rows[j][col])
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	return rows, nil
+}
+
+// TopN returns the n largest rows by column col without sorting the
+// whole result: a bounded selection maintained set-at-a-time.
+func TopN(p *Pipeline, col, n int) ([]table.Row, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var top []table.Row
+	err := p.Run(func(rows []table.Row) error {
+		for _, r := range rows {
+			if len(top) < n {
+				top = append(top, r.Clone())
+				if len(top) == n {
+					sortRows(top, col)
+				}
+				continue
+			}
+			// top is ascending by col; top[0] is the current minimum.
+			if core.Compare(r[col], top[0][col]) <= 0 {
+				continue
+			}
+			top[0] = r.Clone()
+			// Restore order by bubbling the new row up.
+			for i := 1; i < len(top) && core.Compare(top[i-1][col], top[i][col]) > 0; i++ {
+				top[i-1], top[i] = top[i], top[i-1]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(top) < n {
+		sortRows(top, col)
+	}
+	// Return descending (largest first).
+	for i, j := 0, len(top)-1; i < j; i, j = i+1, j-1 {
+		top[i], top[j] = top[j], top[i]
+	}
+	return top, nil
+}

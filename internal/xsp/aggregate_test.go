@@ -1,0 +1,148 @@
+package xsp
+
+import (
+	"sort"
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+func TestGroupAggCountSum(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 90) // cities rotate a,b,c; score = i%10
+	rows, err := GroupAgg(NewPipeline(tbl), 1,
+		Agg{Kind: Count},
+		Agg{Kind: Sum, Col: 2},
+		Agg{Kind: Min, Col: 2},
+		Agg{Kind: Max, Col: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !core.Equal(r[1], core.Int(30)) {
+			t.Fatalf("count = %v", r[1])
+		}
+		// Scores 0..9 appear 3× per city → sum 135.
+		if !core.Equal(r[2], core.Int(135)) {
+			t.Fatalf("sum = %v", r[2])
+		}
+		if !core.Equal(r[3], core.Int(0)) || !core.Equal(r[4], core.Int(9)) {
+			t.Fatalf("min/max = %v/%v", r[3], r[4])
+		}
+	}
+	// Keys sorted canonically.
+	for i := 1; i < len(rows); i++ {
+		if core.Compare(rows[i-1][0], rows[i][0]) >= 0 {
+			t.Fatal("group keys unsorted")
+		}
+	}
+}
+
+func TestGroupAggSumFloatPromotion(t *testing.T) {
+	pool := newPool()
+	tbl, _ := table.Create(pool, table.Schema{Name: "m", Cols: []string{"k", "v"}})
+	tbl.Insert(table.Row{core.Str("a"), core.Int(1)})
+	tbl.Insert(table.Row{core.Str("a"), core.Float(0.5)})
+	rows, err := GroupAgg(NewPipeline(tbl), 0, Agg{Kind: Sum, Col: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.Equal(rows[0][1], core.Float(1.5)) {
+		t.Fatalf("mixed sum = %v", rows[0][1])
+	}
+}
+
+func TestGroupAggSumNonNumeric(t *testing.T) {
+	pool := newPool()
+	tbl, _ := table.Create(pool, table.Schema{Name: "m", Cols: []string{"k", "v"}})
+	tbl.Insert(table.Row{core.Str("a"), core.Str("nope")})
+	if _, err := GroupAgg(NewPipeline(tbl), 0, Agg{Kind: Sum, Col: 1}); err == nil {
+		t.Fatal("sum over strings must fail")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 50)
+	asc, err := OrderBy(NewPipeline(tbl), 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(asc); i++ {
+		if core.Compare(asc[i-1][2], asc[i][2]) > 0 {
+			t.Fatal("ascending order violated")
+		}
+	}
+	desc, err := OrderBy(NewPipeline(tbl), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(desc); i++ {
+		if core.Compare(desc[i-1][2], desc[i][2]) < 0 {
+			t.Fatal("descending order violated")
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 200) // ids 0..199 in column 0
+	top, err := TopN(NewPipeline(tbl), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("top = %d rows", len(top))
+	}
+	for i, want := range []int{199, 198, 197, 196, 195} {
+		if !core.Equal(top[i][0], core.Int(want)) {
+			t.Fatalf("top[%d] = %v, want %d", i, top[i][0], want)
+		}
+	}
+	// TopN agrees with full sort for random columns.
+	full, err := OrderBy(NewPipeline(tbl), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2, err := TopN(NewPipeline(tbl), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := make([]string, 7)
+	for i := 0; i < 7; i++ {
+		wantVals[i] = core.Key(full[i][2])
+	}
+	gotVals := make([]string, 7)
+	for i := 0; i < 7; i++ {
+		gotVals[i] = core.Key(top2[i][2])
+	}
+	sort.Strings(wantVals)
+	sort.Strings(gotVals)
+	for i := range wantVals {
+		if wantVals[i] != gotVals[i] {
+			t.Fatalf("TopN values disagree with sort at %d", i)
+		}
+	}
+}
+
+func TestTopNEdgeCases(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 3)
+	if rows, _ := TopN(NewPipeline(tbl), 0, 0); rows != nil {
+		t.Fatal("TopN(0) must be empty")
+	}
+	rows, err := TopN(NewPipeline(tbl), 0, 10)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("TopN larger than table: %d %v", len(rows), err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if core.Compare(rows[i-1][0], rows[i][0]) < 0 {
+			t.Fatal("descending order violated in short TopN")
+		}
+	}
+}

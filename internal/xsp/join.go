@@ -1,0 +1,119 @@
+package xsp
+
+import (
+	"sort"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// Join executes the relative product of two stored tables set-at-a-time:
+// the right table is absorbed page-by-page into a hash table on its key
+// position (the ω1 re-scope), then the left table streams through in
+// page batches probing on its key position (the σ2 re-scope). Output
+// rows are left ++ right — the z = x^{/σ1/} ∪ y^{/ω2/} construction with
+// the contributions kept at disjoint positions.
+type Join struct {
+	Left, Right       *table.Table
+	LeftCol, RightCol int
+	stats             Stats
+}
+
+// Stats returns the last run's counters (left-side batches/rows).
+func (j *Join) Stats() Stats { return j.stats }
+
+// Schema returns the joined schema.
+func (j *Join) Schema() table.Schema {
+	l, r := j.Left.Schema(), j.Right.Schema()
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	for _, c := range l.Cols {
+		cols = append(cols, l.Name+"."+c)
+	}
+	for _, c := range r.Cols {
+		cols = append(cols, r.Name+"."+c)
+	}
+	return table.Schema{Name: l.Name + "⋈" + r.Name, Cols: cols}
+}
+
+// Run streams joined batches to emit. leftOps are applied to left
+// batches before probing (composed restriction), rightOps to right
+// batches before building.
+func (j *Join) Run(leftOps, rightOps []Op, emit func(rows []table.Row) error) error {
+	j.stats = Stats{}
+	build := map[string][]table.Row{}
+	err := j.Right.ScanBatches(func(_ store.PageID, rows []table.Row) (bool, error) {
+		for _, op := range rightOps {
+			rows = op.Process(rows)
+		}
+		for _, r := range rows {
+			k := core.Key(r[j.RightCol])
+			build[k] = append(build[k], r.Clone())
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	var out []table.Row
+	return j.Left.ScanBatches(func(_ store.PageID, rows []table.Row) (bool, error) {
+		j.stats.Batches++
+		j.stats.RowsIn += len(rows)
+		for _, op := range leftOps {
+			rows = op.Process(rows)
+		}
+		out = out[:0]
+		for _, l := range rows {
+			for _, r := range build[core.Key(l[j.LeftCol])] {
+				joined := make(table.Row, 0, len(l)+len(r))
+				joined = append(joined, l...)
+				joined = append(joined, r...)
+				out = append(out, joined)
+			}
+		}
+		if len(out) == 0 {
+			return true, nil
+		}
+		j.stats.RowsOut += len(out)
+		return true, emit(out)
+	})
+}
+
+// Collect materializes the join result.
+func (j *Join) Collect(leftOps, rightOps []Op) ([]table.Row, error) {
+	var out []table.Row
+	err := j.Run(leftOps, rightOps, func(rows []table.Row) error {
+		out = append(out, rows...)
+		return nil
+	})
+	return out, err
+}
+
+// Restructure materializes the source pipeline into a fresh table whose
+// rows are reordered by the key column — the paper's "dynamic data
+// restructuring": instead of maintaining a prebuilt access structure,
+// the set is re-shaped on demand by one set-level pass (a σ-domain
+// re-scope at the physical layer). The new table clusters equal keys
+// adjacently, so subsequent scans answer key lookups with sequential
+// access.
+func Restructure(pool *store.BufferPool, p *Pipeline, col int) (*table.Table, error) {
+	rows, err := p.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sortRows(rows, col)
+	out, err := table.Create(pool, p.Schema())
+	if err != nil {
+		return nil, err
+	}
+	if err := out.InsertAll(rows); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func sortRows(rows []table.Row, col int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return core.Compare(rows[i][col], rows[j][col]) < 0
+	})
+}

@@ -1,0 +1,158 @@
+package xsp
+
+import (
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// MergeJoinSorted joins two tables that are already clustered on their
+// join keys (e.g. by Restructure): both sides stream through in page
+// batches and a co-sequential merge pairs equal-key runs. No hash table
+// is built — the restructured physical order *is* the access structure,
+// which is exactly the paper's "dynamic restructuring instead of
+// prestructured storage" discipline applied to joins.
+//
+// Both inputs must be non-decreasing on their key columns; Run returns
+// ErrUnsorted when it observes a violation.
+type MergeJoinSorted struct {
+	Left, Right       *table.Table
+	LeftCol, RightCol int
+}
+
+// ErrUnsorted reports an input that is not clustered on its key.
+type ErrUnsorted struct {
+	Side string
+}
+
+func (e *ErrUnsorted) Error() string {
+	return "xsp: merge join input not sorted on key: " + e.Side
+}
+
+// rowStream pulls rows page-batch-at-a-time with one-row lookahead.
+type rowStream struct {
+	rows  []table.Row
+	pos   int
+	pages []store.PageID
+	next  int
+	src   *table.Table
+}
+
+func newRowStream(t *table.Table) (*rowStream, error) {
+	pages, err := t.PageIDs()
+	if err != nil {
+		return nil, err
+	}
+	return &rowStream{pages: pages, src: t}, nil
+}
+
+// peek returns the current row without consuming it; nil at EOF.
+func (s *rowStream) peek() (table.Row, error) {
+	for s.pos >= len(s.rows) {
+		if s.next >= len(s.pages) {
+			return nil, nil
+		}
+		rows, err := s.src.ReadPageRows(s.pages[s.next])
+		if err != nil {
+			return nil, err
+		}
+		s.next++
+		s.rows = rows
+		s.pos = 0
+	}
+	return s.rows[s.pos], nil
+}
+
+func (s *rowStream) advance() { s.pos++ }
+
+// run collects the maximal run of rows sharing the current key.
+func (s *rowStream) run(col int, side string) ([]table.Row, core.Value, error) {
+	first, err := s.peek()
+	if err != nil || first == nil {
+		return nil, nil, err
+	}
+	key := first[col]
+	var out []table.Row
+	for {
+		r, err := s.peek()
+		if err != nil {
+			return nil, nil, err
+		}
+		if r == nil {
+			return out, key, nil
+		}
+		c := core.Compare(r[col], key)
+		if c < 0 {
+			return nil, nil, &ErrUnsorted{Side: side}
+		}
+		if c > 0 {
+			return out, key, nil
+		}
+		out = append(out, r.Clone())
+		s.advance()
+	}
+}
+
+// Run streams joined batches (one batch per key-run pair) to emit.
+func (j *MergeJoinSorted) Run(emit func(rows []table.Row) error) error {
+	ls, err := newRowStream(j.Left)
+	if err != nil {
+		return err
+	}
+	rs, err := newRowStream(j.Right)
+	if err != nil {
+		return err
+	}
+	lrun, lkey, err := ls.run(j.LeftCol, "left")
+	if err != nil {
+		return err
+	}
+	rrun, rkey, err := rs.run(j.RightCol, "right")
+	if err != nil {
+		return err
+	}
+	for lrun != nil && rrun != nil {
+		switch c := core.Compare(lkey, rkey); {
+		case c < 0:
+			if lrun, lkey, err = ls.run(j.LeftCol, "left"); err != nil {
+				return err
+			}
+		case c > 0:
+			if rrun, rkey, err = rs.run(j.RightCol, "right"); err != nil {
+				return err
+			}
+		default:
+			out := make([]table.Row, 0, len(lrun)*len(rrun))
+			for _, l := range lrun {
+				for _, r := range rrun {
+					row := make(table.Row, 0, len(l)+len(r))
+					row = append(row, l...)
+					row = append(row, r...)
+					out = append(out, row)
+				}
+			}
+			if len(out) > 0 {
+				if err := emit(out); err != nil {
+					return err
+				}
+			}
+			if lrun, lkey, err = ls.run(j.LeftCol, "left"); err != nil {
+				return err
+			}
+			if rrun, rkey, err = rs.run(j.RightCol, "right"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Collect materializes the join result.
+func (j *MergeJoinSorted) Collect() ([]table.Row, error) {
+	var out []table.Row
+	err := j.Run(func(rows []table.Row) error {
+		out = append(out, rows...)
+		return nil
+	})
+	return out, err
+}

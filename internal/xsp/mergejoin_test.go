@@ -1,0 +1,98 @@
+package xsp
+
+import (
+	"sort"
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/table"
+	"xst/internal/xtest"
+)
+
+func TestMergeJoinSortedMatchesHashJoin(t *testing.T) {
+	pool := newPool()
+	l, _ := table.Create(pool, table.Schema{Name: "l", Cols: []string{"k", "a"}})
+	r, _ := table.Create(pool, table.Schema{Name: "r", Cols: []string{"k", "b"}})
+	rnd := xtest.NewRand(0x77)
+	for i := 0; i < 200; i++ {
+		l.Insert(table.Row{core.Int(rnd.Intn(30)), core.Int(i)})
+		r.Insert(table.Row{core.Int(rnd.Intn(30)), core.Int(1000 + i)})
+	}
+	// Restructure both sides on the key, then merge.
+	ls, err := Restructure(pool, NewPipeline(l), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Restructure(pool, NewPipeline(r), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj := &MergeJoinSorted{Left: ls, Right: rs, LeftCol: 0, RightCol: 0}
+	merged, err := mj.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj := &Join{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	hashed, err := hj.Collect(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(hashed) {
+		t.Fatalf("merge %d rows vs hash %d rows", len(merged), len(hashed))
+	}
+	a := make([]string, len(merged))
+	b := make([]string, len(hashed))
+	for i := range merged {
+		a[i] = string(table.EncodeRow(nil, merged[i]))
+		b[i] = string(table.EncodeRow(nil, hashed[i]))
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row multiset mismatch at %d", i)
+		}
+	}
+	// Merge output is key-ordered.
+	for i := 1; i < len(merged); i++ {
+		if core.Compare(merged[i-1][0], merged[i][0]) > 0 {
+			t.Fatal("merge join output unordered")
+		}
+	}
+}
+
+func TestMergeJoinSortedDetectsUnsorted(t *testing.T) {
+	pool := newPool()
+	l, _ := table.Create(pool, table.Schema{Name: "l", Cols: []string{"k"}})
+	r, _ := table.Create(pool, table.Schema{Name: "r", Cols: []string{"k"}})
+	l.Insert(table.Row{core.Int(5)})
+	l.Insert(table.Row{core.Int(1)}) // violation
+	r.Insert(table.Row{core.Int(1)})
+	r.Insert(table.Row{core.Int(5)})
+	mj := &MergeJoinSorted{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	_, err := mj.Collect()
+	if err == nil {
+		t.Fatal("unsorted input must be rejected")
+	}
+	if _, ok := err.(*ErrUnsorted); !ok {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func TestMergeJoinSortedEmptyAndDisjoint(t *testing.T) {
+	pool := newPool()
+	l, _ := table.Create(pool, table.Schema{Name: "l", Cols: []string{"k"}})
+	r, _ := table.Create(pool, table.Schema{Name: "r", Cols: []string{"k"}})
+	mj := &MergeJoinSorted{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	if rows, err := mj.Collect(); err != nil || len(rows) != 0 {
+		t.Fatalf("empty join = %d rows, %v", len(rows), err)
+	}
+	// Disjoint keys join to nothing.
+	l.Insert(table.Row{core.Int(1)})
+	l.Insert(table.Row{core.Int(2)})
+	r.Insert(table.Row{core.Int(3)})
+	r.Insert(table.Row{core.Int(4)})
+	if rows, err := mj.Collect(); err != nil || len(rows) != 0 {
+		t.Fatalf("disjoint join = %d rows, %v", len(rows), err)
+	}
+}

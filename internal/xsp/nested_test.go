@@ -1,0 +1,139 @@
+package xsp
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// XST's selling point over flat relational storage: fields can hold
+// whole extended sets — hierarchy without a separate document model.
+// These tests store nested sets in table rows and query them with
+// set-level predicates, through the same pipeline machinery.
+
+func nestedTable(t testing.TB) *table.Table {
+	t.Helper()
+	pool := store.NewBufferPool(store.NewMemPager(), 32)
+	tbl, err := table.Create(pool, table.Schema{Name: "docs", Cols: []string{"id", "tags", "address"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := func(ss ...string) *core.Set {
+		b := core.NewBuilder(len(ss))
+		for _, s := range ss {
+			b.AddClassical(core.Str(s))
+		}
+		return b.Set()
+	}
+	addr := func(city, zip string) *core.Set {
+		return core.NewSet(
+			core.M(core.Str(city), core.Str("city")),
+			core.M(core.Str(zip), core.Str("zip")),
+		)
+	}
+	rows := []table.Row{
+		{core.Int(1), tags("db", "theory"), addr("ann-arbor", "48104")},
+		{core.Int(2), tags("db", "systems"), addr("boston", "02134")},
+		{core.Int(3), tags("theory"), addr("ann-arbor", "48105")},
+		{core.Int(4), tags(), addr("chicago", "60601")},
+	}
+	for _, r := range rows {
+		if _, err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestNestedSetsRoundTripThroughStorage(t *testing.T) {
+	tbl := nestedTable(t)
+	var got []table.Row
+	tbl.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		got = append(got, r.Clone())
+		return true, nil
+	})
+	if len(got) != 4 {
+		t.Fatalf("rows = %d", len(got))
+	}
+	tags, ok := got[0][1].(*core.Set)
+	if !ok || !tags.HasClassical(core.Str("db")) {
+		t.Fatalf("nested set lost: %v", got[0][1])
+	}
+	addr, ok := got[0][2].(*core.Set)
+	if !ok || len(addr.ElemsUnder(core.Str("city"))) != 1 {
+		t.Fatalf("scoped nested set lost: %v", got[0][2])
+	}
+}
+
+func TestQueryBySetMembership(t *testing.T) {
+	tbl := nestedTable(t)
+	// σ(“db” ∈ tags): a membership predicate over a nested field.
+	p := NewPipeline(tbl, &Restrict{
+		Pred: func(r table.Row) bool {
+			s, ok := r[1].(*core.Set)
+			return ok && s.HasClassical(core.Str("db"))
+		},
+		Name: "db∈tags",
+	})
+	rows, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("db-tagged rows = %d, want 2", len(rows))
+	}
+}
+
+func TestQueryBySubset(t *testing.T) {
+	tbl := nestedTable(t)
+	want := core.S(core.Str("db"), core.Str("theory"))
+	p := NewPipeline(tbl, &Restrict{
+		Pred: func(r table.Row) bool {
+			s, ok := r[1].(*core.Set)
+			return ok && core.Subset(want, s)
+		},
+		Name: "{db,theory}⊆tags",
+	})
+	rows, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !core.Equal(rows[0][0], core.Int(1)) {
+		t.Fatalf("subset query = %v", rows)
+	}
+}
+
+func TestQueryByScopedField(t *testing.T) {
+	tbl := nestedTable(t)
+	// σ(address.city = ann-arbor): read a scoped member inside the
+	// nested set — the XST reading of a field access.
+	p := NewPipeline(tbl, &Restrict{
+		Pred: func(r table.Row) bool {
+			s, ok := r[2].(*core.Set)
+			return ok && s.Has(core.Str("ann-arbor"), core.Str("city"))
+		},
+		Name: "city=ann-arbor",
+	})
+	n, err := p.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ann-arbor rows = %d, want 2", n)
+	}
+}
+
+func TestGroupByNestedField(t *testing.T) {
+	tbl := nestedTable(t)
+	// Group by the whole nested tags value: equal sets group together.
+	rows, err := GroupCount(NewPipeline(tbl), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four distinct tag sets in the fixture.
+	if len(rows) != 4 {
+		t.Fatalf("tag groups = %d, want 4", len(rows))
+	}
+}

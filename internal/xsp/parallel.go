@@ -1,0 +1,125 @@
+package xsp
+
+import (
+	"fmt"
+	"sync"
+
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// OpFactory builds a fresh operator chain. Parallel execution needs one
+// chain per worker because operators carry scratch state (selection
+// buffers, distinct filters).
+type OpFactory func() []Op
+
+// ParallelPipeline executes a stage chain over a table with several
+// workers, each owning a disjoint partition of the heap pages — the
+// paper-era "backend processors" form of set processing: the set is
+// physically partitioned and every partition is processed as a set, in
+// parallel. Emit is called from worker goroutines and must be
+// thread-safe (Count and Collect below wrap it safely).
+type ParallelPipeline struct {
+	Source  *table.Table
+	Factory OpFactory
+	Workers int
+}
+
+// Run streams result batches to emit from Workers goroutines.
+func (p *ParallelPipeline) Run(emit func(rows []table.Row) error) error {
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	pages, err := p.Source.PageIDs()
+	if err != nil {
+		return err
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+	}
+	// Round-robin page assignment balances chains whose fill varies.
+	assign := make([][]store.PageID, workers)
+	for i, pg := range pages {
+		assign[i%workers] = append(assign[i%workers], pg)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(mine []store.PageID) {
+			defer wg.Done()
+			ops := p.Factory()
+			for _, pg := range mine {
+				rows, err := p.Source.ReadPageRows(pg)
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, op := range ops {
+					rows = op.Process(rows)
+					if len(rows) == 0 {
+						break
+					}
+				}
+				if len(rows) == 0 {
+					continue
+				}
+				if err := emit(rows); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(assign[w])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Count runs the pipeline and returns the result row count.
+func (p *ParallelPipeline) Count() (int, error) {
+	var mu sync.Mutex
+	n := 0
+	err := p.Run(func(rows []table.Row) error {
+		mu.Lock()
+		n += len(rows)
+		mu.Unlock()
+		return nil
+	})
+	return n, err
+}
+
+// Collect materializes the result rows (order unspecified).
+func (p *ParallelPipeline) Collect() ([]table.Row, error) {
+	var mu sync.Mutex
+	var out []table.Row
+	err := p.Run(func(rows []table.Row) error {
+		mu.Lock()
+		for _, r := range rows {
+			out = append(out, r.Clone())
+		}
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+// Validate reports a misconfigured pipeline early.
+func (p *ParallelPipeline) Validate() error {
+	if p.Source == nil {
+		return fmt.Errorf("xsp: parallel pipeline without source")
+	}
+	if p.Factory == nil {
+		return fmt.Errorf("xsp: parallel pipeline without op factory")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package xsp
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 600)
+	factory := func() []Op {
+		return []Op{
+			&Restrict{Pred: colEq(1, core.Str("boston")), Name: "city"},
+			&Project{Cols: []int{0}},
+		}
+	}
+	seq, err := NewPipeline(tbl, factory()...).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		pp := &ParallelPipeline{Source: tbl, Factory: factory, Workers: workers}
+		if err := pp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		par, err := pp.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d rows vs sequential %d", workers, len(par), len(seq))
+		}
+		a := make([]string, len(par))
+		b := make([]string, len(seq))
+		for i := range par {
+			a[i] = string(table.EncodeRow(nil, par[i]))
+			b[i] = string(table.EncodeRow(nil, seq[i]))
+		}
+		sort.Strings(a)
+		sort.Strings(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: row multiset mismatch", workers)
+			}
+		}
+	}
+}
+
+func TestParallelCount(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 900)
+	pp := &ParallelPipeline{
+		Source:  tbl,
+		Factory: func() []Op { return nil },
+		Workers: 8,
+	}
+	n, err := pp.Count()
+	if err != nil || n != 900 {
+		t.Fatalf("parallel count = %d, %v", n, err)
+	}
+}
+
+func TestParallelEmitError(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 300)
+	boom := errors.New("boom")
+	pp := &ParallelPipeline{Source: tbl, Factory: func() []Op { return nil }, Workers: 4}
+	err := pp.Run(func([]table.Row) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParallelEmptyTable(t *testing.T) {
+	pool := newPool()
+	tbl, _ := table.Create(pool, table.Schema{Name: "e", Cols: []string{"x"}})
+	pp := &ParallelPipeline{Source: tbl, Factory: func() []Op { return nil }, Workers: 4}
+	n, err := pp.Count()
+	if err != nil || n != 0 {
+		t.Fatalf("empty parallel count = %d, %v", n, err)
+	}
+}
+
+func TestParallelValidate(t *testing.T) {
+	if err := (&ParallelPipeline{}).Validate(); err == nil {
+		t.Fatal("missing source must fail")
+	}
+	pool := newPool()
+	tbl := makeUsers(t, pool, 1)
+	if err := (&ParallelPipeline{Source: tbl}).Validate(); err == nil {
+		t.Fatal("missing factory must fail")
+	}
+}

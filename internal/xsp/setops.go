@@ -1,0 +1,110 @@
+package xsp
+
+import (
+	"fmt"
+
+	"xst/internal/table"
+)
+
+// Engine-level boolean operations: the classical set algebra executed
+// set-at-a-time over stored tables. Rows compare as whole tuples
+// (canonical row encoding), so these are exactly core.Union/Diff/
+// Intersect lifted from symbolic sets to paged data —
+// TestSetOpsMatchAlgebra pins that identity.
+
+// ErrSchemaMismatch reports set operands with different arities.
+var ErrSchemaMismatch = fmt.Errorf("xsp: set operation over mismatched schemas")
+
+func rowKeySet(p *Pipeline) (map[string]bool, error) {
+	seen := map[string]bool{}
+	err := p.Run(func(rows []table.Row) error {
+		for _, r := range rows {
+			seen[string(table.EncodeRow(nil, r))] = true
+		}
+		return nil
+	})
+	return seen, err
+}
+
+func checkArity(a, b *Pipeline) error {
+	if a.Schema().Arity() != b.Schema().Arity() {
+		return fmt.Errorf("%w: %d vs %d columns", ErrSchemaMismatch,
+			a.Schema().Arity(), b.Schema().Arity())
+	}
+	return nil
+}
+
+// Union returns the set union of two pipelines' results (duplicates
+// collapse, including duplicates within one input).
+func Union(a, b *Pipeline) ([]table.Row, error) {
+	if err := checkArity(a, b); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []table.Row
+	add := func(rows []table.Row) error {
+		for _, r := range rows {
+			k := string(table.EncodeRow(nil, r))
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r.Clone())
+			}
+		}
+		return nil
+	}
+	if err := a.Run(add); err != nil {
+		return nil, err
+	}
+	if err := b.Run(add); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Minus returns a ∼ b: rows of a absent from b (set semantics).
+func Minus(a, b *Pipeline) ([]table.Row, error) {
+	if err := checkArity(a, b); err != nil {
+		return nil, err
+	}
+	bKeys, err := rowKeySet(b)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []table.Row
+	err = a.Run(func(rows []table.Row) error {
+		for _, r := range rows {
+			k := string(table.EncodeRow(nil, r))
+			if !bKeys[k] && !seen[k] {
+				seen[k] = true
+				out = append(out, r.Clone())
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Intersect returns a ∩ b (set semantics).
+func Intersect(a, b *Pipeline) ([]table.Row, error) {
+	if err := checkArity(a, b); err != nil {
+		return nil, err
+	}
+	bKeys, err := rowKeySet(b)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []table.Row
+	err = a.Run(func(rows []table.Row) error {
+		for _, r := range rows {
+			k := string(table.EncodeRow(nil, r))
+			if bKeys[k] && !seen[k] {
+				seen[k] = true
+				out = append(out, r.Clone())
+			}
+		}
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,153 @@
+package xsp
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+func setOpTables(t *testing.T) (*Pipeline, *Pipeline) {
+	t.Helper()
+	pool := newPool()
+	a, _ := table.Create(pool, table.Schema{Name: "a", Cols: []string{"x"}})
+	b, _ := table.Create(pool, table.Schema{Name: "b", Cols: []string{"x"}})
+	for i := 0; i < 10; i++ { // a = {0..9}, with duplicates
+		a.Insert(table.Row{core.Int(i)})
+		if i%2 == 0 {
+			a.Insert(table.Row{core.Int(i)})
+		}
+	}
+	for i := 5; i < 15; i++ { // b = {5..14}
+		b.Insert(table.Row{core.Int(i)})
+	}
+	return NewPipeline(a), NewPipeline(b)
+}
+
+func rowSet(rows []table.Row) map[int]bool {
+	out := map[int]bool{}
+	for _, r := range rows {
+		out[int(r[0].(core.Int))] = true
+	}
+	return out
+}
+
+func TestEngineUnion(t *testing.T) {
+	a, b := setOpTables(t)
+	rows, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("union = %d rows, want 15 (dedup)", len(rows))
+	}
+	got := rowSet(rows)
+	for i := 0; i < 15; i++ {
+		if !got[i] {
+			t.Fatalf("missing %d", i)
+		}
+	}
+}
+
+func TestEngineMinus(t *testing.T) {
+	a, b := setOpTables(t)
+	rows, err := Minus(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("minus = %d rows, want 5", len(rows))
+	}
+	got := rowSet(rows)
+	for i := 0; i < 5; i++ {
+		if !got[i] {
+			t.Fatalf("missing %d", i)
+		}
+	}
+	if got[5] {
+		t.Fatal("shared row leaked through minus")
+	}
+}
+
+func TestEngineIntersect(t *testing.T) {
+	a, b := setOpTables(t)
+	rows, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("intersect = %d rows, want 5 (5..9)", len(rows))
+	}
+	got := rowSet(rows)
+	for i := 5; i < 10; i++ {
+		if !got[i] {
+			t.Fatalf("missing %d", i)
+		}
+	}
+}
+
+func TestSetOpsSchemaMismatch(t *testing.T) {
+	pool := newPool()
+	a, _ := table.Create(pool, table.Schema{Name: "a", Cols: []string{"x"}})
+	b, _ := table.Create(pool, table.Schema{Name: "b", Cols: []string{"x", "y"}})
+	if _, err := Union(NewPipeline(a), NewPipeline(b)); err == nil {
+		t.Fatal("union arity mismatch must fail")
+	}
+	if _, err := Minus(NewPipeline(a), NewPipeline(b)); err == nil {
+		t.Fatal("minus arity mismatch must fail")
+	}
+	if _, err := Intersect(NewPipeline(a), NewPipeline(b)); err == nil {
+		t.Fatal("intersect arity mismatch must fail")
+	}
+}
+
+// TestSetOpsMatchAlgebra pins the engine ops to the symbolic algebra:
+// the engine result equals core.Union/Diff/Intersect of the tables'
+// extended sets.
+func TestSetOpsMatchAlgebra(t *testing.T) {
+	a, b := setOpTables(t)
+	ax, err := a.Source.ToXST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, err := b.Source.ToXST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toSet := func(rows []table.Row) *core.Set {
+		bd := core.NewBuilder(len(rows))
+		for _, r := range rows {
+			bd.AddClassical(r.Tuple())
+		}
+		return bd.Set()
+	}
+	u, _ := Union(a, b)
+	if !core.Equal(toSet(u), core.Union(ax, bx)) {
+		t.Fatal("engine union ≠ core.Union")
+	}
+	m, _ := Minus(a, b)
+	if !core.Equal(toSet(m), core.Diff(ax, bx)) {
+		t.Fatal("engine minus ≠ core.Diff")
+	}
+	i, _ := Intersect(a, b)
+	if !core.Equal(toSet(i), core.Intersect(ax, bx)) {
+		t.Fatal("engine intersect ≠ core.Intersect")
+	}
+}
+
+// TestSetOpsWithRestrictions: set ops compose with pipeline stages.
+func TestSetOpsWithRestrictions(t *testing.T) {
+	a, b := setOpTables(t)
+	evenA := NewPipeline(a.Source, &Restrict{
+		Pred: func(r table.Row) bool { return r[0].(core.Int)%2 == 0 },
+		Name: "even",
+	})
+	rows, err := Intersect(evenA, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowSet(rows)
+	if len(got) != 2 || !got[6] || !got[8] {
+		t.Fatalf("filtered intersect = %v", got)
+	}
+}

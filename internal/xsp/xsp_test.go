@@ -1,0 +1,312 @@
+package xsp
+
+import (
+	"testing"
+
+	"xst/internal/algebra"
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+func newPool() *store.BufferPool {
+	return store.NewBufferPool(store.NewMemPager(), 64)
+}
+
+func makeUsers(t testing.TB, pool *store.BufferPool, n int) *table.Table {
+	t.Helper()
+	tbl, err := table.Create(pool, table.Schema{Name: "users", Cols: []string{"id", "city", "score"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cities := []string{"ann-arbor", "boston", "chicago"}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Insert(table.Row{core.Int(i), core.Str(cities[i%3]), core.Int(i % 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func colEq(col int, v core.Value) Pred {
+	return func(r table.Row) bool { return core.Equal(r[col], v) }
+}
+
+func TestRestrictBatch(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 90)
+	p := NewPipeline(tbl, &Restrict{Pred: colEq(1, core.Str("boston")), Name: "city=boston"})
+	n, err := p.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("restricted to %d rows, want 30", n)
+	}
+	st := p.Stats()
+	if st.RowsIn != 90 || st.RowsOut != 30 || st.Batches == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProjectBatch(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 10)
+	p := NewPipeline(tbl, &Project{Cols: []int{2, 0}})
+	rows, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 || len(rows[0]) != 2 {
+		t.Fatalf("projection shape wrong: %v", rows[0])
+	}
+	if !core.Equal(rows[4][1], core.Int(4)) {
+		t.Fatalf("row 4 = %v", rows[4])
+	}
+	sch := p.Schema()
+	if sch.Cols[0] != "score" || sch.Cols[1] != "id" {
+		t.Fatalf("schema = %v", sch.Cols)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 60)
+	p := NewPipeline(tbl, &Project{Cols: []int{1}}, &Distinct{})
+	rows, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct cities = %d, want 3", len(rows))
+	}
+}
+
+func TestPipelineComposedEqualsStaged(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 200)
+	ops := []Op{
+		&Restrict{Pred: colEq(1, core.Str("chicago")), Name: "city"},
+		&Restrict{Pred: func(r table.Row) bool { return core.Compare(r[2], core.Int(5)) < 0 }, Name: "score<5"},
+		&Project{Cols: []int{0}},
+	}
+	p := NewPipeline(tbl, ops...)
+	composed, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := NewPipeline(tbl, ops...).RunStaged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(composed) != len(staged) {
+		t.Fatalf("composed %d rows vs staged %d rows", len(composed), len(staged))
+	}
+	for i := range composed {
+		if !core.Equal(composed[i][0], staged[i][0]) {
+			t.Fatalf("row %d: %v vs %v", i, composed[i], staged[i])
+		}
+	}
+}
+
+func TestGroupCountXSP(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 99)
+	rows, err := GroupCount(NewPipeline(tbl), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !core.Equal(r[1], core.Int(33)) {
+			t.Fatalf("group %v = %v", r[0], r[1])
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	pool := newPool()
+	users := makeUsers(t, pool, 12)
+	orders, err := table.Create(pool, table.Schema{Name: "orders", Cols: []string{"uid", "amount"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		orders.Insert(table.Row{core.Int(i % 12), core.Int(i)})
+	}
+	j := &Join{Left: orders, Right: users, LeftCol: 0, RightCol: 0}
+	rows, err := j.Collect(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("join rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !core.Equal(r[0], r[2]) {
+			t.Fatalf("key mismatch: %v", r)
+		}
+	}
+	if j.Schema().Cols[0] != "orders.uid" {
+		t.Fatalf("schema = %v", j.Schema().Cols)
+	}
+	if j.Stats().RowsOut != 30 {
+		t.Fatalf("stats = %+v", j.Stats())
+	}
+}
+
+func TestJoinWithSidedOps(t *testing.T) {
+	pool := newPool()
+	users := makeUsers(t, pool, 30)
+	orders, _ := table.Create(pool, table.Schema{Name: "orders", Cols: []string{"uid", "amount"}})
+	for i := 0; i < 90; i++ {
+		orders.Insert(table.Row{core.Int(i % 30), core.Int(i)})
+	}
+	j := &Join{Left: orders, Right: users, LeftCol: 0, RightCol: 0}
+	rows, err := j.Collect(
+		[]Op{&Restrict{Pred: func(r table.Row) bool { return core.Compare(r[1], core.Int(45)) < 0 }, Name: "amount<45"}},
+		[]Op{&Restrict{Pred: colEq(1, core.Str("boston")), Name: "city=boston"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if core.Compare(r[1], core.Int(45)) >= 0 || !core.Equal(r[3], core.Str("boston")) {
+			t.Fatalf("sided op leak: %v", r)
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatal("expected some joined rows")
+	}
+}
+
+// TestXSPMatchesAlgebra is the reproduction's engine↔algebra anchor: the
+// XSP restriction over stored pages computes exactly the symbolic
+// σ-Restriction of the table's extended set, and XSP projection matches
+// the σ-Domain.
+func TestXSPMatchesAlgebra(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 45)
+
+	// Engine side: σ(city = boston).
+	p := NewPipeline(tbl, &Restrict{Pred: colEq(1, core.Str("boston")), Name: "city"})
+	engineRows, err := p.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := core.NewBuilder(len(engineRows))
+	for _, r := range engineRows {
+		eb.AddClassical(r.Tuple())
+	}
+	engineSet := eb.Set()
+
+	// Symbolic side: the selector is the 1-tuple ⟨boston⟩ under
+	// σ1 = {2¹}, which re-scopes the pattern onto position 2 of the
+	// candidate tuples: a^{\σ1\} = {boston²} ⊆ z.
+	whole, err := tbl.ToXST()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := core.S(core.Tuple(core.Str("boston")))
+	sigma1 := algebra.ScopeSet([2]int{2, 1})
+	sym := algebra.SigmaRestrict(whole, sigma1, pattern)
+	if !core.Equal(engineSet, sym) {
+		t.Fatalf("engine restriction ≠ σ-Restriction:\nengine=%v\nsym=%v", engineSet, sym)
+	}
+
+	// Projection: π(id) vs 𝔇_⟨1⟩.
+	proj := NewPipeline(tbl, &Project{Cols: []int{0}})
+	projRows, err := proj.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := core.NewBuilder(len(projRows))
+	for _, r := range projRows {
+		pb.AddClassical(r.Tuple())
+	}
+	symProj := algebra.SigmaDomain(whole, algebra.Positions(1))
+	if got := pb.Set(); !core.Equal(got, symProj) {
+		t.Fatalf("engine projection %v ≠ σ-Domain %v", got, symProj)
+	}
+}
+
+// TestXSPJoinMatchesRelativeProduct ties the engine join to Def 10.1
+// (§10 case 8 shape: match on key positions, concatenate the rest).
+func TestXSPJoinMatchesRelativeProduct(t *testing.T) {
+	pool := newPool()
+	l, _ := table.Create(pool, table.Schema{Name: "l", Cols: []string{"k", "a"}})
+	r, _ := table.Create(pool, table.Schema{Name: "r", Cols: []string{"k", "b"}})
+	for i := 0; i < 12; i++ {
+		l.Insert(table.Row{core.Int(i % 4), core.Str("a" + string(rune('0'+i)))})
+		r.Insert(table.Row{core.Int(i % 3), core.Str("b" + string(rune('0'+i)))})
+	}
+	j := &Join{Left: l, Right: r, LeftCol: 0, RightCol: 0}
+	rows, err := j.Collect(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.NewBuilder(len(rows))
+	for _, row := range rows {
+		engine.AddClassical(row.Tuple())
+	}
+
+	lx, _ := l.ToXST()
+	rx, _ := r.ToXST()
+	// σ keeps left positions 1,2 and keys on position 1; ω keys on
+	// position 1 and contributes G's pair at positions 3,4.
+	spec := algebra.RelProdSpec{
+		Sigma: algebra.NewSigma(
+			algebra.ScopeSet([2]int{1, 1}, [2]int{2, 2}),
+			algebra.ScopeSet([2]int{1, 1}),
+		),
+		Omega: algebra.NewSigma(
+			algebra.ScopeSet([2]int{1, 1}),
+			algebra.ScopeSet([2]int{1, 3}, [2]int{2, 4}),
+		),
+	}
+	sym := spec.Apply(lx, rx)
+	if !core.Equal(engine.Set(), sym) {
+		t.Fatalf("engine join ≠ relative product:\nengine=%v\nsym=%v", engine.Set(), sym)
+	}
+}
+
+func TestRestructureClustersKeys(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 60)
+	re, err := Restructure(pool, NewPipeline(tbl), 1) // cluster by city
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != 60 {
+		t.Fatalf("restructured count = %d", re.Count())
+	}
+	var last core.Value
+	changes := 0
+	re.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		if last != nil && !core.Equal(last, r[1]) {
+			changes++
+		}
+		last = r[1]
+		return true, nil
+	})
+	if changes != 2 {
+		t.Fatalf("city changes along scan = %d, want 2 (clustered)", changes)
+	}
+}
+
+func TestBatchTouchesPoolPerPage(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 300)
+	pool.ResetStats()
+	if _, err := NewPipeline(tbl).Count(); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	p := NewPipeline(tbl)
+	p.Run(func([]table.Row) error { return nil })
+	if int(st.Hits+st.Misses) > p.Stats().Batches+1 {
+		t.Fatalf("set scan touched pool %d times for %d pages", st.Hits+st.Misses, p.Stats().Batches)
+	}
+}
