@@ -8,15 +8,20 @@
 package xst_test
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
+	"time"
 
 	"xst/internal/algebra"
 	"xst/internal/bench"
+	"xst/internal/catalog"
 	"xst/internal/core"
 	"xst/internal/dist"
 	"xst/internal/process"
 	"xst/internal/relational"
+	"xst/internal/server"
 	"xst/internal/store"
 	"xst/internal/table"
 	"xst/internal/wal"
@@ -52,6 +57,58 @@ func BenchmarkE10Restructuring(b *testing.B)    { runExperiment(b, "E10") }
 func BenchmarkE11DistributedJoin(b *testing.B)  { runExperiment(b, "E11") }
 func BenchmarkE12PlanOptimization(b *testing.B) { runExperiment(b, "E12") }
 func BenchmarkE13ParallelSetProc(b *testing.B)  { runExperiment(b, "E13") }
+func BenchmarkE14ServerThroughput(b *testing.B) { runExperiment(b, "E14") }
+
+// --- Server throughput (queries/sec at 1, 8, 64 connections) ---------
+
+// benchServerLoad measures end-to-end server queries/sec with a fixed
+// client fan-in, so the serving layer shows up in the perf trajectory
+// alongside the engine benchmarks. Reported as q/s in the qps metric.
+func benchServerLoad(b *testing.B, conns int) {
+	b.Helper()
+	db, err := catalog.Create(store.NewMemPager(), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := db.CreateTable(table.Schema{Name: "people", Cols: []string{"id", "name"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := t.Insert(table.Row{core.Int(int64(i)), core.Str(fmt.Sprintf("p%02d", i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{DB: db, MaxWorkers: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Serve(lis); close(done) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	}()
+
+	perConn := (b.N + conns - 1) / conns
+	b.ResetTimer()
+	rep, err := bench.RunServerLoad(lis.Addr().String(), "card(people + {0})", conns, perConn)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rep.QPS, "qps")
+}
+
+func BenchmarkServerThroughput1(b *testing.B)  { benchServerLoad(b, 1) }
+func BenchmarkServerThroughput8(b *testing.B)  { benchServerLoad(b, 8) }
+func BenchmarkServerThroughput64(b *testing.B) { benchServerLoad(b, 64) }
 
 // --- Core micro-benchmarks and ablations -----------------------------
 

@@ -26,6 +26,12 @@ import (
 )
 
 func main() {
+	// Exit status flows out of run so deferred cleanup (closing the
+	// database) runs on every path; os.Exit here would skip it.
+	os.Exit(run())
+}
+
+func run() int {
 	expr := flag.String("e", "", "evaluate one expression and exit")
 	dbPath := flag.String("db", "", "open a database file and bind its tables as variables")
 	flag.Parse()
@@ -36,33 +42,43 @@ func main() {
 		pager, err := store.OpenFilePager(*dbPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xst:", err)
-			os.Exit(1)
+			return 1
 		}
 		db, err = catalog.Open(pager, 256)
 		if err != nil {
+			pager.Close()
 			fmt.Fprintln(os.Stderr, "xst:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := db.BindAll(env); err != nil {
+			db.Close()
 			fmt.Fprintln(os.Stderr, "xst:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "bound tables: %v\n", db.Names())
 	}
+	status := 0
 	switch {
 	case *expr != "":
 		if err := evalLine(env, *expr, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "xst:", err)
-			os.Exit(1)
+			status = 1
 		}
 	case flag.NArg() > 0:
 		if err := runScript(env, flag.Arg(0)); err != nil {
 			fmt.Fprintln(os.Stderr, "xst:", err)
-			os.Exit(1)
+			status = 1
 		}
 	default:
 		repl(env, db)
 	}
+	if db != nil {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xst: closing database:", err)
+			status = 1
+		}
+	}
+	return status
 }
 
 func evalLine(env *xlang.Env, line string, out *os.File) error {

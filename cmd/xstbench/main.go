@@ -1,7 +1,8 @@
 // Command xstbench regenerates the reproduction's evaluation artifacts:
 // every figure, worked example, law table and performance claim, as
-// experiments E1–E10 (see DESIGN.md for the index and EXPERIMENTS.md for
-// paper-vs-measured records).
+// experiments E1–E14 (see DESIGN.md for the index and EXPERIMENTS.md for
+// paper-vs-measured records). It doubles as the load generator for a
+// running xstd server.
 //
 // Usage:
 //
@@ -9,30 +10,50 @@
 //	xstbench -quick       # shrunken workloads (seconds, for CI)
 //	xstbench -exp E8      # one experiment
 //	xstbench -seed 7      # reseed the randomized workloads
+//
+// Client (load-generation) mode:
+//
+//	xstbench -server localhost:7143 -conns 64 -queries 200 \
+//	         -stmt 'card({1,2,3}+{4,5})'
+//
+// drives an xstd server with -conns concurrent connections issuing
+// -queries statements each, then prints client-side throughput/latency
+// and the server's own .stats ledger.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"xst/internal/bench"
+	"xst/internal/server"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E10)")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E14)")
 		quick = flag.Bool("quick", false, "shrink performance workloads")
 		seed  = flag.Uint64("seed", 42, "workload seed")
+
+		srvAddr = flag.String("server", "", "client mode: address of a running xstd server")
+		conns   = flag.Int("conns", 8, "client mode: concurrent connections")
+		queries = flag.Int("queries", 100, "client mode: queries per connection")
+		stmt    = flag.String("stmt", "card({1,2,3}+{4,5})", "client mode: statement to evaluate")
 	)
 	flag.Parse()
+
+	if *srvAddr != "" {
+		os.Exit(clientMode(*srvAddr, *stmt, *conns, *queries))
+	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
 	var results []bench.Result
 	if *exp != "" {
 		r, ok := bench.ByID(*exp, cfg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E10)\n", *exp)
+			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E14)\n", *exp)
 			os.Exit(2)
 		}
 		results = []bench.Result{r}
@@ -51,4 +72,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xstbench: %d experiment(s) mismatched\n", failures)
 		os.Exit(1)
 	}
+}
+
+// clientMode generates load against a running xstd server.
+func clientMode(addr, stmt string, conns, queries int) int {
+	fmt.Printf("xstbench: driving %s with %d conns × %d queries of %q\n",
+		addr, conns, queries, stmt)
+	rep, err := bench.RunServerLoad(addr, stmt, conns, queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench:", err)
+		return 1
+	}
+	fmt.Printf("client:  %d queries in %v — %.0f q/s, p50 %v, p99 %v, %d errors\n",
+		rep.Queries, rep.Elapsed.Round(time.Millisecond), rep.QPS,
+		rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond), rep.Errors)
+
+	c, err := server.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench:", err)
+		return 1
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench:", err)
+		return 1
+	}
+	fmt.Printf("server:  ok=%d err=%d timeout=%d rejected=%d conns=%d latency[%s]\n",
+		snap.QueriesOK, snap.QueriesErr, snap.QueriesTimeout,
+		snap.Rejected, snap.ConnsTotal, snap.Latency)
+	return 0
 }

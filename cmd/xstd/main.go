@@ -1,0 +1,106 @@
+// Command xstd is the set-processing backend machine of the
+// reproduction: a daemon serving the xlang expression language over TCP
+// to many concurrent clients, each in an isolated session over one
+// shared database. See internal/server for the wire protocol and
+// README.md for usage.
+//
+//	xstd                          # pure calculator server on :7143
+//	xstd -db data.pages           # serve a stored database's tables
+//	xstd -addr :9000 -workers 128 -timeout 5s
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight queries drain (up to -grace), then the database is synced
+// and closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xst/internal/catalog"
+	"xst/internal/server"
+	"xst/internal/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":7143", "listen address")
+		dbPath  = flag.String("db", "", "database file to serve (tables bound read-only into every session)")
+		frames  = flag.Int("frames", 256, "buffer-pool frames for the database")
+		workers = flag.Int("workers", 64, "max concurrently evaluating queries")
+		timeout = flag.Duration("timeout", 10*time.Second, "default per-query deadline")
+		grace   = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	var db *catalog.Database
+	if *dbPath != "" {
+		pager, err := store.OpenFilePager(*dbPath)
+		if err != nil {
+			logger.Printf("xstd: %v", err)
+			return 1
+		}
+		db, err = catalog.Open(pager, *frames)
+		if err != nil {
+			pager.Close()
+			logger.Printf("xstd: %v", err)
+			return 1
+		}
+		defer func() {
+			if err := db.Close(); err != nil {
+				logger.Printf("xstd: closing database: %v", err)
+			}
+		}()
+		logger.Printf("xstd: serving tables %v from %s", db.Names(), *dbPath)
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		DB:             db,
+		MaxWorkers:     *workers,
+		DefaultTimeout: *timeout,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Printf("xstd: %v", err)
+		return 1
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("xstd: %v — draining (grace %v)", sig, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("xstd: forced shutdown: %v", err)
+		}
+		<-errc // wait for Serve to return
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed {
+			logger.Printf("xstd: %v", err)
+			return 1
+		}
+	}
+
+	snap := srv.MetricsSnapshot()
+	fmt.Fprintf(os.Stderr, "xstd: served %d queries (%d errors, %d timeouts, %d rejected), latency %s\n",
+		snap.QueriesOK+snap.QueriesErr+snap.QueriesTimeout,
+		snap.QueriesErr, snap.QueriesTimeout, snap.Rejected, snap.Latency)
+	return 0
+}

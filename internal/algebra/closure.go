@@ -1,6 +1,10 @@
 package algebra
 
-import "xst/internal/core"
+import (
+	"context"
+
+	"xst/internal/core"
+)
 
 // BigUnion implements ⋃A: the union of all set-valued elements of A.
 // Scopes inside the element sets are preserved; non-set elements
@@ -20,6 +24,14 @@ func BigUnion(a *core.Set) *core.Set {
 // iteration of the CST relative product (each round joins only the
 // newly discovered pairs against R). Non-pair members are ignored.
 func TransitiveClosure(r *core.Set) *core.Set {
+	s, _ := TransitiveClosureCtx(context.Background(), r)
+	return s
+}
+
+// TransitiveClosureCtx is TransitiveClosure under a cancellation
+// context, checked once per semi-naive round (each round is one
+// relative product — the expensive unit).
+func TransitiveClosureCtx(ctx context.Context, r *core.Set) (*core.Set, error) {
 	// Keep only the pair members.
 	pairs := core.NewBuilder(r.Len())
 	for _, m := range r.Members() {
@@ -30,16 +42,29 @@ func TransitiveClosure(r *core.Set) *core.Set {
 	closure := pairs.Set()
 	delta := closure
 	for !delta.IsEmpty() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := CSTRelativeProduct(delta, closure)
 		delta = core.Diff(next, closure)
 		closure = core.Union(closure, delta)
 	}
-	return closure
+	return closure, nil
 }
 
 // ReflexiveTransitiveClosure returns R* = R⁺ ∪ {⟨x,x⟩ : x in field(R)}.
 func ReflexiveTransitiveClosure(r *core.Set) *core.Set {
-	plus := TransitiveClosure(r)
+	s, _ := ReflexiveTransitiveClosureCtx(context.Background(), r)
+	return s
+}
+
+// ReflexiveTransitiveClosureCtx is ReflexiveTransitiveClosure under a
+// cancellation context.
+func ReflexiveTransitiveClosureCtx(ctx context.Context, r *core.Set) (*core.Set, error) {
+	plus, err := TransitiveClosureCtx(ctx, r)
+	if err != nil {
+		return nil, err
+	}
 	b := core.NewBuilder(plus.Len())
 	b.AddSet(plus)
 	for _, m := range plus.Members() {
@@ -50,5 +75,5 @@ func ReflexiveTransitiveClosure(r *core.Set) *core.Set {
 		b.AddClassical(core.Pair(elems[0], elems[0]))
 		b.AddClassical(core.Pair(elems[1], elems[1]))
 	}
-	return b.Set()
+	return b.Set(), nil
 }

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"sort"
 
 	"xst/internal/core"
@@ -82,9 +83,38 @@ func IndexedConcat(x, y core.Value) (*core.Set, bool) {
 // requirement that x·y exist. Theorem 9.4 (associativity) holds for
 // tuple-valued operands.
 func CrossProduct(a, b *core.Set) *core.Set {
-	out := core.NewBuilder(a.Len() * b.Len())
+	s, _ := CrossProductCtx(context.Background(), a, b)
+	return s
+}
+
+// ctxCheckEvery is how many inner-loop iterations the cancellable
+// algebra operations run between context checks — frequent enough that
+// a deadline aborts within microseconds, rare enough to stay off the
+// profile.
+const ctxCheckEvery = 256
+
+// crossBuilderCap caps the builder preallocation: a·b pairs can be
+// asked for speculatively (and then cancelled), so the quadratic
+// capacity must not be reserved up front.
+const crossBuilderCap = 1 << 12
+
+// CrossProductCtx is CrossProduct under a cancellation context: the
+// pair loop — the hot recursion of a server-side `cross` query — checks
+// ctx periodically and aborts with ctx.Err() once the deadline passes.
+func CrossProductCtx(ctx context.Context, a, b *core.Set) (*core.Set, error) {
+	n := a.Len() * b.Len()
+	if n > crossBuilderCap {
+		n = crossBuilderCap
+	}
+	out := core.NewBuilder(n)
+	steps := 0
 	for _, am := range a.Members() {
 		for _, bm := range b.Members() {
+			if steps++; steps%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			elem, ok := IndexedConcat(am.Elem, bm.Elem)
 			if !ok {
 				continue
@@ -96,7 +126,7 @@ func CrossProduct(a, b *core.Set) *core.Set {
 			out.Add(elem, scope)
 		}
 	}
-	return out.Set()
+	return out.Set(), nil
 }
 
 // Tag implements Def 9.5/9.6, A^(a): every element x of A is wrapped as
@@ -120,6 +150,11 @@ func Tag(a *core.Set, tag core.Value) *core.Set {
 // { ⟨x,y⟩ : x ∈ A & y ∈ B } with classical scopes.
 func Cartesian(a, b *core.Set) *core.Set {
 	return CrossProduct(Tag(a, core.Int(1)), Tag(b, core.Int(2)))
+}
+
+// CartesianCtx is Cartesian under a cancellation context.
+func CartesianCtx(ctx context.Context, a, b *core.Set) (*core.Set, error) {
+	return CrossProductCtx(ctx, Tag(a, core.Int(1)), Tag(b, core.Int(2)))
 }
 
 // SigmaValue implements Def 9.8: 𝒱_σ(x) = b iff every 1-tuple member

@@ -70,6 +70,7 @@ func All(cfg Config) []Result {
 		E11DistributedJoin(cfg),
 		E12PlanOptimization(cfg),
 		E13ParallelSetProcessing(cfg),
+		E14ServerThroughput(cfg),
 	}
 }
 
@@ -103,6 +104,8 @@ func ByID(id string, cfg Config) (Result, bool) {
 		return E12PlanOptimization(cfg), true
 	case "E13":
 		return E13ParallelSetProcessing(cfg), true
+	case "E14":
+		return E14ServerThroughput(cfg), true
 	default:
 		return Result{}, false
 	}

@@ -1,0 +1,153 @@
+// Package metrics provides the lock-cheap instrumentation primitives
+// the query server reports through its `.stats` admin command: atomic
+// counters and gauges, and a fixed-bucket log-spaced latency histogram
+// with quantile estimation. The package has no dependencies beyond the
+// standard library so every layer (server, store, bench) can publish
+// into it without import cycles.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for
+// concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (e.g. active connections), safe for
+// concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of log2-spaced duration buckets. Bucket i
+// holds observations in (2^(i-1), 2^i] µs, so the range spans 1µs up to
+// ~2.3 hours — wide enough for any query latency the server will see.
+const histBuckets = 33
+
+// Histogram is a log2-bucketed latency histogram. All methods are safe
+// for concurrent use; Record is a single atomic add on the bucket plus
+// two atomic adds for the running sum and count.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // microseconds
+	max     atomic.Uint64 // microseconds
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	i := 0
+	for v := uint64(us - 1); v > 0; v >>= 1 {
+		i++
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d.Microseconds())
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistSnapshot is a point-in-time summary of a Histogram. Quantiles are
+// upper-bound estimates (the top of the bucket holding the quantile),
+// conservative by at most 2×.
+type HistSnapshot struct {
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Records during the
+// snapshot may skew individual buckets by a few observations; the
+// result is a monitoring view, not an exact census.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{
+		Count: total,
+		Max:   time.Duration(h.max.Load()) * time.Microsecond,
+	}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sum.Load()/total) * time.Microsecond
+	quantile := func(q float64) time.Duration {
+		rank := uint64(q * float64(total))
+		if rank == 0 {
+			rank = 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= rank {
+				return (time.Duration(1) << uint(i)) * time.Microsecond
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	if s.P50 > s.Max && s.Max > 0 {
+		s.P50 = s.Max
+	}
+	return s
+}
+
+// String renders the snapshot compactly for logs and admin output.
+func (s HistSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1010 {
+		t.Fatalf("counter = %d, want %d", got, 8*1010)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 900 fast observations, 100 slow ones: p50 small, p99 near the top.
+	for i := 0; i < 900; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want ≲ 128µs", s.P50)
+	}
+	if s.P99 < 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≳ slow bucket", s.P99)
+	}
+	if s.Max < 80*time.Millisecond || s.Max > 81*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Mean < 5*time.Millisecond || s.Mean > 10*time.Millisecond {
+		t.Fatalf("mean = %v, want ≈ 8.09ms", s.Mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Record(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4000 {
+		t.Fatalf("count = %d, want 4000", got)
+	}
+	if s := h.Snapshot(); s.Count != 4000 || s.Max < 499*time.Microsecond {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{time.Hour * 24, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketFor(tc.d); got != tc.bucket {
+			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.bucket)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a synchronous connection to an xstd server: one Do at a
+// time (callers wanting concurrency open one Client per goroutine,
+// which is also how the server meters admission).
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	next uint64
+}
+
+// Dial connects to an xstd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &Client{conn: conn, sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response. A zero req.ID is
+// assigned automatically; the response id is checked against it.
+func (c *Client) Do(req Request) (Response, error) {
+	if req.ID == 0 {
+		c.next++
+		req.ID = c.next
+	}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	buf = append(buf, '\n')
+	if _, err := c.conn.Write(buf); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, fmt.Errorf("server closed connection")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("bad response %q: %w", c.sc.Text(), err)
+	}
+	if resp.ID != req.ID {
+		return Response{}, fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// Eval evaluates one statement, returning the rendered result.
+func (c *Client) Eval(stmt string) (string, error) {
+	resp, err := c.Do(Request{Stmt: stmt})
+	if err != nil {
+		return "", err
+	}
+	if resp.Error != "" {
+		return "", fmt.Errorf("%s", resp.Error)
+	}
+	return resp.Result, nil
+}
+
+// Stats fetches and decodes the server's .stats snapshot.
+func (c *Client) Stats() (Snapshot, error) {
+	resp, err := c.Do(Request{Stmt: ".stats"})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if resp.Error != "" {
+		return Snapshot{}, fmt.Errorf("%s", resp.Error)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(resp.Result), &snap); err != nil {
+		return Snapshot{}, err
+	}
+	return snap, nil
+}

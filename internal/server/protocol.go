@@ -1,0 +1,63 @@
+// Wire protocol of the xstd query server: newline-delimited requests
+// over TCP, newline-delimited JSON responses.
+//
+// A request line is either
+//
+//   - a JSON object {"id":n,"stmt":"...","timeout_ms":m} — id and
+//     timeout_ms optional — or
+//   - a raw xlang statement (anything that does not parse as such a
+//     JSON object), e.g.  {1,2}+{3}  — set literals are not valid JSON,
+//     so the two forms never collide.
+//
+// Statements beginning with '.' are admin commands handled by the
+// server itself (.ping, .stats, .tables, .quit); everything else is
+// evaluated in the connection's session environment.
+//
+// Every request produces exactly one response line:
+//
+//	{"id":n,"result":"...","elapsed_us":12}     success
+//	{"id":n,"error":"...","elapsed_us":12}      failure
+//
+// so clients may pipeline requests and match them up by id (responses
+// come back in request order).
+package server
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// Request is one statement to evaluate.
+type Request struct {
+	// ID is echoed back in the response; clients choose it.
+	ID uint64 `json:"id,omitempty"`
+	// Stmt is the xlang statement or .admin command.
+	Stmt string `json:"stmt"`
+	// TimeoutMS overrides the server's default per-query deadline,
+	// clamped to the server's maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	ID uint64 `json:"id,omitempty"`
+	// Result is the rendered value (or admin output) on success.
+	Result string `json:"result,omitempty"`
+	// Error is the failure message; empty on success.
+	Error string `json:"error,omitempty"`
+	// ElapsedUS is the server-side evaluation time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// ParseRequest decodes one wire line. JSON request objects and raw
+// statement lines are both accepted (see the package comment).
+func ParseRequest(line string) Request {
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "{") {
+		var r Request
+		if err := json.Unmarshal([]byte(line), &r); err == nil && r.Stmt != "" {
+			return r
+		}
+	}
+	return Request{Stmt: line}
+}

@@ -1,0 +1,450 @@
+// Package server is the network face of the reproduction: Childs frames
+// XST as the model for a set-processing *backend machine* serving many
+// concurrent front ends, and this package is that machine's front door.
+// A Server listens on TCP, gives every connection an isolated xlang
+// session over one shared read-mostly catalog.Database, and evaluates
+// statements under admission control (a bounded worker semaphore),
+// per-query deadlines (context cancellation threaded through the
+// evaluator and the algebra hot loops), and graceful shutdown that
+// drains in-flight queries. Activity is published through
+// internal/metrics and reported by the `.stats` admin command.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xst/internal/catalog"
+	"xst/internal/metrics"
+	"xst/internal/store"
+	"xst/internal/xlang"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown completes.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. Zero values select the defaults noted on each
+// field.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":7143",
+	// a nod to the paper's year).
+	Addr string
+	// DB, when set, is the shared database: its tables are bound into
+	// every session's environment at startup and its buffer-pool stats
+	// appear in .stats. The server never writes to it.
+	DB *catalog.Database
+	// MaxWorkers bounds concurrently evaluating queries (default 64).
+	MaxWorkers int
+	// QueueTimeout is how long a query waits for a worker slot before
+	// being rejected with "server busy" (default 1s).
+	QueueTimeout time.Duration
+	// DefaultTimeout is the per-query deadline when the request does
+	// not set one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines (default 60s).
+	MaxTimeout time.Duration
+	// IdleTimeout closes connections with no request for this long
+	// (default 5m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response (default 10s).
+	WriteTimeout time.Duration
+	// MaxLineBytes bounds one request line (default 1 MiB).
+	MaxLineBytes int
+	// Logf, when set, receives server lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = ":7143"
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+}
+
+// Metrics is the server's instrumentation, readable at any time.
+type Metrics struct {
+	QueriesOK      metrics.Counter
+	QueriesErr     metrics.Counter
+	QueriesTimeout metrics.Counter
+	Rejected       metrics.Counter
+	AdminCmds      metrics.Counter
+	BytesIn        metrics.Counter
+	BytesOut       metrics.Counter
+	ConnsTotal     metrics.Counter
+	ActiveConns    metrics.Gauge
+	InFlight       metrics.Gauge
+	Latency        metrics.Histogram
+}
+
+// Snapshot is a point-in-time view of the server's metrics, the payload
+// of the `.stats` admin command.
+type Snapshot struct {
+	QueriesOK      uint64               `json:"queries_ok"`
+	QueriesErr     uint64               `json:"queries_err"`
+	QueriesTimeout uint64               `json:"queries_timeout"`
+	Rejected       uint64               `json:"rejected"`
+	AdminCmds      uint64               `json:"admin_cmds"`
+	BytesIn        uint64               `json:"bytes_in"`
+	BytesOut       uint64               `json:"bytes_out"`
+	ConnsTotal     uint64               `json:"conns_total"`
+	ActiveConns    int64                `json:"active_conns"`
+	InFlight       int64                `json:"in_flight"`
+	Latency        metrics.HistSnapshot `json:"latency"`
+	Pool           *store.Stats         `json:"pool,omitempty"`
+}
+
+// Server is a concurrent xlang query server. Create with New, start
+// with ListenAndServe or Serve, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	baseEnv *xlang.Env
+	m       Metrics
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	lis      net.Listener
+	sessions map[*session]struct{}
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// session is one connection's state: an isolated environment plus the
+// bookkeeping graceful shutdown needs to tell idle from in-flight.
+type session struct {
+	conn net.Conn
+	env  *xlang.Env
+
+	mu       sync.Mutex
+	busy     bool // evaluating a request
+	draining bool // close as soon as not busy
+}
+
+// New builds a Server over cfg, binding the database's tables (if any)
+// into the base environment every session clones.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	base := xlang.NewEnv()
+	if cfg.DB != nil {
+		if err := cfg.DB.BindAll(base); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	return &Server{
+		cfg:      cfg,
+		baseEnv:  base,
+		sem:      make(chan struct{}, cfg.MaxWorkers),
+		sessions: map[*session]struct{}{},
+	}, nil
+}
+
+// Metrics exposes the live counters (snapshot with MetricsSnapshot).
+func (s *Server) Metrics() *Metrics { return &s.m }
+
+// MetricsSnapshot captures the current metrics, including buffer-pool
+// stats when a database is attached.
+func (s *Server) MetricsSnapshot() Snapshot {
+	snap := Snapshot{
+		QueriesOK:      s.m.QueriesOK.Value(),
+		QueriesErr:     s.m.QueriesErr.Value(),
+		QueriesTimeout: s.m.QueriesTimeout.Value(),
+		Rejected:       s.m.Rejected.Value(),
+		AdminCmds:      s.m.AdminCmds.Value(),
+		BytesIn:        s.m.BytesIn.Value(),
+		BytesOut:       s.m.BytesOut.Value(),
+		ConnsTotal:     s.m.ConnsTotal.Value(),
+		ActiveConns:    s.m.ActiveConns.Value(),
+		InFlight:       s.m.InFlight.Value(),
+		Latency:        s.m.Latency.Snapshot(),
+	}
+	if s.cfg.DB != nil {
+		st := s.cfg.DB.Pool().Stats()
+		snap.Pool = &st
+	}
+	return snap
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr reports the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Serve accepts connections on l until Shutdown, running one session
+// goroutine per connection. It returns ErrServerClosed after a clean
+// shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.lis = l
+	s.mu.Unlock()
+	s.logf("xstd: serving on %s (workers=%d, default timeout=%v)",
+		l.Addr(), s.cfg.MaxWorkers, s.cfg.DefaultTimeout)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		sess := &session{conn: conn, env: s.baseEnv.Clone()}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.m.ConnsTotal.Inc()
+		s.m.ActiveConns.Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(sess)
+		}()
+	}
+}
+
+// Shutdown stops accepting, closes idle connections, and waits for
+// in-flight queries to finish (each session closes itself after writing
+// its pending response). When ctx expires first, remaining connections
+// are closed forcibly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	for sess := range s.sessions {
+		sess.mu.Lock()
+		sess.draining = true
+		if !sess.busy {
+			sess.conn.Close()
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// serveConn runs one connection's request loop.
+func (s *Server) serveConn(sess *session) {
+	defer func() {
+		sess.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.m.ActiveConns.Dec()
+	}()
+	sc := bufio.NewScanner(sess.conn)
+	sc.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
+	for {
+		sess.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if !sc.Scan() {
+			return // EOF, idle timeout, or closed by Shutdown
+		}
+		line := sc.Text()
+		s.m.BytesIn.Add(uint64(len(line)) + 1)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		req := ParseRequest(line)
+
+		sess.mu.Lock()
+		if sess.draining {
+			sess.mu.Unlock()
+			return
+		}
+		sess.busy = true
+		sess.mu.Unlock()
+
+		resp, quit := s.handle(sess, req)
+		err := s.writeResponse(sess.conn, resp)
+
+		sess.mu.Lock()
+		sess.busy = false
+		drained := sess.draining
+		sess.mu.Unlock()
+		if err != nil || quit || drained {
+			return
+		}
+	}
+}
+
+func (s *Server) writeResponse(conn net.Conn, resp Response) error {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		buf = []byte(`{"error":"server: response encoding failed"}`)
+	}
+	buf = append(buf, '\n')
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	n, err := conn.Write(buf)
+	s.m.BytesOut.Add(uint64(n))
+	return err
+}
+
+// handle evaluates one request, applying admission control and the
+// per-query deadline. quit reports that the connection should close
+// after the response is written.
+func (s *Server) handle(sess *session, req Request) (resp Response, quit bool) {
+	start := time.Now()
+	defer func() {
+		resp.ID = req.ID
+		resp.ElapsedUS = time.Since(start).Microseconds()
+	}()
+
+	if strings.HasPrefix(req.Stmt, ".") {
+		s.m.AdminCmds.Inc()
+		return s.handleAdmin(req)
+	}
+
+	// Admission control: a bounded worker pool. Queries that cannot get
+	// a slot within QueueTimeout are rejected, bounding both CPU and
+	// queueing delay under overload.
+	admit := time.NewTimer(s.cfg.QueueTimeout)
+	defer admit.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-admit.C:
+		s.m.Rejected.Inc()
+		return Response{Error: "server busy: admission queue full"}, false
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	s.m.InFlight.Inc()
+	v, err := xlang.EvalCtx(ctx, sess.env, req.Stmt)
+	s.m.InFlight.Dec()
+	s.m.Latency.Record(time.Since(start))
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.m.QueriesTimeout.Inc()
+			return Response{Error: fmt.Sprintf("query deadline exceeded (%v)", timeout)}, false
+		}
+		s.m.QueriesErr.Inc()
+		return Response{Error: err.Error()}, false
+	}
+	s.m.QueriesOK.Inc()
+	return Response{Result: fmt.Sprint(v)}, false
+}
+
+// handleAdmin serves the '.' commands.
+func (s *Server) handleAdmin(req Request) (Response, bool) {
+	switch cmd := strings.TrimSpace(req.Stmt); cmd {
+	case ".ping":
+		return Response{Result: "pong"}, false
+	case ".stats":
+		buf, err := json.Marshal(s.MetricsSnapshot())
+		if err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		return Response{Result: string(buf)}, false
+	case ".tables":
+		if s.cfg.DB == nil {
+			return Response{Result: "(no database attached)"}, false
+		}
+		names := s.cfg.DB.Names()
+		sort.Strings(names)
+		lines := make([]string, 0, len(names))
+		for _, n := range names {
+			t, err := s.cfg.DB.Table(n)
+			if err != nil {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s(%s) %d rows",
+				n, strings.Join(t.Schema().Cols, ","), t.Count()))
+		}
+		return Response{Result: strings.Join(lines, "; ")}, false
+	case ".quit", ".close", ".exit":
+		return Response{Result: "bye"}, true
+	default:
+		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .tables .quit)", cmd)}, false
+	}
+}

@@ -1,6 +1,7 @@
 package xlang
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -19,6 +20,18 @@ type Env struct {
 
 // NewEnv returns an empty environment.
 func NewEnv() *Env { return &Env{vars: map[string]core.Value{}} }
+
+// Clone returns an independent copy of the environment: later Binds on
+// either side are invisible to the other. Values are immutable, so the
+// copy is shallow. The server uses this to give every connection an
+// isolated session over one shared set of base bindings.
+func (e *Env) Clone() *Env {
+	vars := make(map[string]core.Value, len(e.vars))
+	for k, v := range e.vars {
+		vars[k] = v
+	}
+	return &Env{vars: vars}
+}
 
 // Bind sets a variable.
 func (e *Env) Bind(name string, v core.Value) { e.vars[name] = v }
@@ -55,24 +68,38 @@ func evalErr(pos int, format string, args ...any) error {
 // Eval parses and evaluates one statement against the environment. For
 // assignments the bound value is returned.
 func Eval(env *Env, src string) (core.Value, error) {
+	return EvalCtx(context.Background(), env, src)
+}
+
+// EvalCtx is Eval with a cancellation context: evaluation checks ctx
+// between nodes and inside the expensive algebra loops (cross products,
+// closures), so a deadline or cancel aborts a running query promptly
+// with ctx.Err(). This is what makes the query server's per-query
+// deadlines effective.
+func EvalCtx(ctx context.Context, env *Env, src string) (core.Value, error) {
 	n, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return evalNode(env, n)
+	return evalNode(ctx, env, n)
 }
 
 // EvalProgram evaluates a multi-line program (one statement per line,
 // blank lines and #-comments skipped) and returns the value of the last
 // statement. Errors carry the 1-based line number.
 func EvalProgram(env *Env, src string) (core.Value, error) {
+	return EvalProgramCtx(context.Background(), env, src)
+}
+
+// EvalProgramCtx is EvalProgram under a cancellation context.
+func EvalProgramCtx(ctx context.Context, env *Env, src string) (core.Value, error) {
 	var last core.Value = core.Empty()
 	for i, line := range strings.Split(src, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		v, err := Eval(env, line)
+		v, err := EvalCtx(ctx, env, line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", i+1, err)
 		}
@@ -81,10 +108,13 @@ func EvalProgram(env *Env, src string) (core.Value, error) {
 	return last, nil
 }
 
-func evalNode(env *Env, n node) (core.Value, error) {
+func evalNode(ctx context.Context, env *Env, n node) (core.Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch x := n.(type) {
 	case *assignNode:
-		v, err := evalNode(env, x.expr)
+		v, err := evalNode(ctx, env, x.expr)
 		if err != nil {
 			return nil, err
 		}
@@ -100,13 +130,13 @@ func evalNode(env *Env, n node) (core.Value, error) {
 	case *setNode:
 		b := core.NewBuilder(len(x.members))
 		for _, m := range x.members {
-			elem, err := evalNode(env, m.elem)
+			elem, err := evalNode(ctx, env, m.elem)
 			if err != nil {
 				return nil, err
 			}
 			scope := core.Value(core.Empty())
 			if m.scope != nil {
-				if scope, err = evalNode(env, m.scope); err != nil {
+				if scope, err = evalNode(ctx, env, m.scope); err != nil {
 					return nil, err
 				}
 			}
@@ -116,7 +146,7 @@ func evalNode(env *Env, n node) (core.Value, error) {
 	case *tupleNode:
 		elems := make([]core.Value, len(x.elems))
 		for i, e := range x.elems {
-			v, err := evalNode(env, e)
+			v, err := evalNode(ctx, env, e)
 			if err != nil {
 				return nil, err
 			}
@@ -124,11 +154,11 @@ func evalNode(env *Env, n node) (core.Value, error) {
 		}
 		return core.Tuple(elems...), nil
 	case *binNode:
-		return evalBin(env, x)
+		return evalBin(ctx, env, x)
 	case *imageNode:
-		return evalImage(env, x)
+		return evalImage(ctx, env, x)
 	case *callNode:
-		return evalCall(env, x)
+		return evalCall(ctx, env, x)
 	default:
 		return nil, evalErr(n.pos(), "unknown node %T", n)
 	}
@@ -171,12 +201,12 @@ func asSet(pos int, v core.Value, role string) (*core.Set, error) {
 	return s, nil
 }
 
-func evalBin(env *Env, x *binNode) (core.Value, error) {
-	lv, err := evalNode(env, x.l)
+func evalBin(ctx context.Context, env *Env, x *binNode) (core.Value, error) {
+	lv, err := evalNode(ctx, env, x.l)
 	if err != nil {
 		return nil, err
 	}
-	rv, err := evalNode(env, x.r)
+	rv, err := evalNode(ctx, env, x.r)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +244,12 @@ func evalBin(env *Env, x *binNode) (core.Value, error) {
 	}
 }
 
-func evalImage(env *Env, x *imageNode) (core.Value, error) {
-	rv, err := evalNode(env, x.rel)
+func evalImage(ctx context.Context, env *Env, x *imageNode) (core.Value, error) {
+	rv, err := evalNode(ctx, env, x.rel)
 	if err != nil {
 		return nil, err
 	}
-	av, err := evalNode(env, x.arg)
+	av, err := evalNode(ctx, env, x.arg)
 	if err != nil {
 		return nil, err
 	}
@@ -233,11 +263,11 @@ func evalImage(env *Env, x *imageNode) (core.Value, error) {
 	}
 	sig := algebra.StdSigma()
 	if x.s1 != nil {
-		s1v, err := evalNode(env, x.s1)
+		s1v, err := evalNode(ctx, env, x.s1)
 		if err != nil {
 			return nil, err
 		}
-		s2v, err := evalNode(env, x.s2)
+		s2v, err := evalNode(ctx, env, x.s2)
 		if err != nil {
 			return nil, err
 		}

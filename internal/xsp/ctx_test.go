@@ -1,0 +1,79 @@
+package xsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+func ctxTestTable(t *testing.T, rows int) *table.Table {
+	t.Helper()
+	pool := store.NewBufferPool(store.NewMemPager(), 64)
+	tb, err := table.Create(pool, table.Schema{Name: "t", Cols: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := tb.Insert(table.Row{core.Int(int64(i)), core.Int(int64(i % 7))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestPipelineRunCtxCancelled: a cancelled context stops the scan
+// between batches and surfaces ctx.Err().
+func TestPipelineRunCtxCancelled(t *testing.T) {
+	tb := ctxTestTable(t, 2000)
+	p := NewPipeline(tb, &Restrict{Pred: func(table.Row) bool { return true }, Name: "all"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunCtx(ctx, func([]table.Row) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := p.CollectCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CollectCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineRunCtxMidScan cancels after the first batch: the scan
+// must stop early rather than drain the table.
+func TestPipelineRunCtxMidScan(t *testing.T) {
+	tb := ctxTestTable(t, 2000)
+	p := NewPipeline(tb)
+	ctx, cancel := context.WithCancel(context.Background())
+	batches := 0
+	err := p.RunCtx(ctx, func([]table.Row) error {
+		batches++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if batches != 1 {
+		t.Fatalf("scan continued for %d batches after cancel", batches)
+	}
+}
+
+// TestParallelRunCtxCancelled: every worker observes the cancelled
+// context and the fan-out returns ctx.Err().
+func TestParallelRunCtxCancelled(t *testing.T) {
+	tb := ctxTestTable(t, 2000)
+	p := &ParallelPipeline{
+		Source:  tb,
+		Factory: func() []Op { return nil },
+		Workers: 4,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.RunCtx(ctx, func([]table.Row) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package xsp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,13 @@ type ParallelPipeline struct {
 
 // Run streams result batches to emit from Workers goroutines.
 func (p *ParallelPipeline) Run(emit func(rows []table.Row) error) error {
+	return p.RunCtx(context.Background(), emit)
+}
+
+// RunCtx is Run under a cancellation context: every worker checks ctx
+// before each page it processes, so a deadline stops the whole fan-out
+// promptly and RunCtx returns ctx.Err().
+func (p *ParallelPipeline) RunCtx(ctx context.Context, emit func(rows []table.Row) error) error {
 	workers := p.Workers
 	if workers < 1 {
 		workers = 1
@@ -60,6 +68,10 @@ func (p *ParallelPipeline) Run(emit func(rows []table.Row) error) error {
 			defer wg.Done()
 			ops := p.Factory()
 			for _, pg := range mine {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				rows, err := p.Source.ReadPageRows(pg)
 				if err != nil {
 					fail(err)

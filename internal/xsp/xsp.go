@@ -21,6 +21,7 @@
 package xsp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -168,8 +169,18 @@ func (p *Pipeline) Stats() Stats { return p.stats }
 
 // Run streams result batches to emit.
 func (p *Pipeline) Run(emit func(rows []table.Row) error) error {
+	return p.RunCtx(context.Background(), emit)
+}
+
+// RunCtx streams result batches to emit under a cancellation context,
+// checked once per page batch — the engine's unit of work — so a query
+// deadline aborts a scan between batches with ctx.Err().
+func (p *Pipeline) RunCtx(ctx context.Context, emit func(rows []table.Row) error) error {
 	p.stats = Stats{}
 	return p.Source.ScanBatches(func(_ store.PageID, rows []table.Row) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		p.stats.Batches++
 		p.stats.RowsIn += len(rows)
 		for _, op := range p.Ops {
@@ -185,8 +196,13 @@ func (p *Pipeline) Run(emit func(rows []table.Row) error) error {
 
 // Collect materializes the result rows (cloned, safe to retain).
 func (p *Pipeline) Collect() ([]table.Row, error) {
+	return p.CollectCtx(context.Background())
+}
+
+// CollectCtx is Collect under a cancellation context.
+func (p *Pipeline) CollectCtx(ctx context.Context) ([]table.Row, error) {
 	var out []table.Row
-	err := p.Run(func(rows []table.Row) error {
+	err := p.RunCtx(ctx, func(rows []table.Row) error {
 		for _, r := range rows {
 			out = append(out, r.Clone())
 		}
