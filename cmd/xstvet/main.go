@@ -1,0 +1,131 @@
+// Command xstvet is the repository's invariant checker: a multichecker
+// driver for the five internal/lint analyzers (setmutate, ctxloop,
+// valueeq, lockheld, atomicmix) that enforce the algebra's value
+// semantics and the server's cancellation and lock discipline.
+//
+// Usage:
+//
+//	go run ./cmd/xstvet ./...          # report violations, exit 1 if any
+//	go run ./cmd/xstvet -fix ./...     # additionally apply safe rewrites
+//	go run ./cmd/xstvet -list          # print the analyzers and exit
+//
+// Intentional violations are waived in source with
+// //lint:ignore <analyzer> <reason> on the same or the preceding line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"xst/internal/lint"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xstvet [-fix] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var findings []lint.Finding
+	for _, path := range loader.ModulePackages("xst") {
+		pkg, err := loader.LoadSource(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fs, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+
+	if *fix {
+		remaining, applied, err := applyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "xstvet: applied %d fixes\n", applied)
+		findings = remaining
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "xstvet: %d violations\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// applyFixes rewrites source files with each finding's resolved edits
+// (skipping findings without fixes and overlapping edits), returning the
+// unfixed findings and the number applied.
+func applyFixes(findings []lint.Finding) ([]lint.Finding, int, error) {
+	type edit struct {
+		idx int // index into findings
+		lint.ResolvedEdit
+	}
+	byFile := map[string][]edit{}
+	for i, f := range findings {
+		for _, re := range f.Edits {
+			byFile[re.Filename] = append(byFile[re.Filename], edit{idx: i, ResolvedEdit: re})
+		}
+	}
+	fixed := make([]bool, len(findings))
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, 0, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.End > prevStart || e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				continue // overlapping or out-of-range edit: leave for a rerun
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+			prevStart = e.Start
+			fixed[e.idx] = true
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return nil, 0, err
+		}
+	}
+	var remaining []lint.Finding
+	applied := 0
+	for i, f := range findings {
+		if fixed[i] {
+			applied++
+		} else {
+			remaining = append(remaining, f)
+		}
+	}
+	return remaining, applied, nil
+}

@@ -1,0 +1,56 @@
+package algebra
+
+import (
+	"context"
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/xtest"
+)
+
+// tuples builds the classical set {(0), (1), … (n-1)} of 1-tuples.
+// (chain, the test relation builder, lives in closure_test.go.)
+func tuples(n int) *core.Set {
+	b := core.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddClassical(core.Tuple(core.Int(i)))
+	}
+	return b.Set()
+}
+
+func TestTransitiveClosureCtxCancel(t *testing.T) {
+	// 2000 pairs: the pair filter alone polls ~7 times (every 256
+	// members), and each semi-naive round polls once more — the 3rd poll
+	// must abort the operation long before the quadratic closure builds.
+	r := chain(2000)
+	xtest.AssertCancelAborts(t, 3, func(ctx context.Context) error {
+		_, err := TransitiveClosureCtx(ctx, r)
+		return err
+	})
+}
+
+func TestReflexiveTransitiveClosureCtxCancel(t *testing.T) {
+	r := chain(2000)
+	xtest.AssertCancelAborts(t, 3, func(ctx context.Context) error {
+		_, err := ReflexiveTransitiveClosureCtx(ctx, r)
+		return err
+	})
+}
+
+func TestCrossProductCtxCancel(t *testing.T) {
+	// 200×200 = 40k concat steps, polled every 256: the 5th poll lands
+	// ~3% of the way in.
+	a, b := tuples(200), tuples(200)
+	xtest.AssertCancelAborts(t, 5, func(ctx context.Context) error {
+		_, err := CrossProductCtx(ctx, a, b)
+		return err
+	})
+}
+
+func TestCartesianCtxCancel(t *testing.T) {
+	a, b := tuples(200), tuples(200)
+	xtest.AssertCancelAborts(t, 5, func(ctx context.Context) error {
+		_, err := CartesianCtx(ctx, a, b)
+		return err
+	})
+}

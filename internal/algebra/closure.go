@@ -29,12 +29,19 @@ func TransitiveClosure(r *core.Set) *core.Set {
 }
 
 // TransitiveClosureCtx is TransitiveClosure under a cancellation
-// context, checked once per semi-naive round (each round is one
-// relative product — the expensive unit).
+// context: the pair filter polls every ctxCheckEvery members and the
+// semi-naive iteration once per round (each round is one relative
+// product — the expensive unit).
 func TransitiveClosureCtx(ctx context.Context, r *core.Set) (*core.Set, error) {
 	// Keep only the pair members.
 	pairs := core.NewBuilder(r.Len())
+	steps := 0
 	for _, m := range r.Members() {
+		if steps++; steps%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if n, ok := core.TupLen(m.Elem); ok && n == 2 {
 			pairs.AddMember(m)
 		}
@@ -67,7 +74,13 @@ func ReflexiveTransitiveClosureCtx(ctx context.Context, r *core.Set) (*core.Set,
 	}
 	b := core.NewBuilder(plus.Len())
 	b.AddSet(plus)
+	steps := 0
 	for _, m := range plus.Members() {
+		if steps++; steps%ctxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		elems, ok := core.TupleElems(m.Elem)
 		if !ok || len(elems) != 2 {
 			continue

@@ -17,9 +17,7 @@ func IndexedElems(v core.Value) ([]core.Member, bool) {
 	if !ok {
 		return nil, false
 	}
-	ms := s.Members()
-	out := make([]core.Member, len(ms))
-	copy(out, ms)
+	out := s.CopyMembers()
 	seen := map[core.Int]bool{}
 	for _, m := range out {
 		i, ok := m.Scope.(core.Int)
@@ -149,7 +147,8 @@ func Tag(a *core.Set, tag core.Value) *core.Set {
 // inside XST: A × B = A^(1) ⊗ B^(2). On classical sets it yields exactly
 // { ⟨x,y⟩ : x ∈ A & y ∈ B } with classical scopes.
 func Cartesian(a, b *core.Set) *core.Set {
-	return CrossProduct(Tag(a, core.Int(1)), Tag(b, core.Int(2)))
+	s, _ := CartesianCtx(context.Background(), a, b)
+	return s
 }
 
 // CartesianCtx is Cartesian under a cancellation context.

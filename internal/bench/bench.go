@@ -49,10 +49,20 @@ type Config struct {
 	Quick bool
 	// Seed drives every randomized workload.
 	Seed uint64
+	// ShutdownTimeout bounds the E14 server drain; 0 means 5s.
+	ShutdownTimeout time.Duration
 }
 
 // DefaultConfig returns the full-scale configuration.
 func DefaultConfig() Config { return Config{Seed: 42} }
+
+// shutdownTimeout returns the configured drain bound or its default.
+func (c Config) shutdownTimeout() time.Duration {
+	if c.ShutdownTimeout > 0 {
+		return c.ShutdownTimeout
+	}
+	return 5 * time.Second
+}
 
 // All runs every experiment in order.
 func All(cfg Config) []Result {

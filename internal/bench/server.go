@@ -121,7 +121,7 @@ func E14ServerThroughput(cfg Config) Result {
 	serveDone := make(chan struct{})
 	go func() { srv.Serve(lis); close(serveDone) }()
 	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout())
 		defer cancel()
 		srv.Shutdown(ctx)
 		<-serveDone

@@ -82,9 +82,21 @@ func (s *Set) Len() int { return len(s.members) }
 // IsEmpty reports whether s is ∅.
 func (s *Set) IsEmpty() bool { return len(s.members) == 0 }
 
-// Members returns the canonical member sequence. The caller must not
-// modify the returned slice.
+// Members returns the canonical member sequence without copying: the
+// returned slice IS the set's identity. The caller must not modify it,
+// append to it, sort it, or retain it beyond the enclosing operation —
+// a single write silently corrupts Equal, Compare and Digest for every
+// alias of the set. Use CopyMembers for a mutable snapshot. The
+// setmutate analyzer (cmd/xstvet) enforces this contract.
 func (s *Set) Members() []Member { return s.members }
+
+// CopyMembers returns a freshly allocated copy of the canonical member
+// sequence, safe to mutate, sort, or retain.
+func (s *Set) CopyMembers() []Member {
+	out := make([]Member, len(s.members))
+	copy(out, s.members)
+	return out
+}
 
 // Member returns the i-th member in canonical order.
 func (s *Set) Member(i int) Member { return s.members[i] }
@@ -126,7 +138,9 @@ func (s *Set) lowerBoundElem(elem Value) int {
 }
 
 // ScopesOf returns every scope under which elem belongs to s, in
-// canonical order.
+// canonical order. The returned slice is subject to the same no-mutate,
+// no-retain contract as Members: today it is freshly allocated, but the
+// contract keeps a zero-copy implementation possible.
 func (s *Set) ScopesOf(elem Value) []Value {
 	var scopes []Value
 	for i := s.lowerBoundElem(elem); i < len(s.members); i++ {
@@ -139,7 +153,8 @@ func (s *Set) ScopesOf(elem Value) []Value {
 }
 
 // ElemsUnder returns every element that belongs to s under scope, in
-// canonical order.
+// canonical order. Subject to the same no-mutate, no-retain contract as
+// Members.
 func (s *Set) ElemsUnder(scope Value) []Value {
 	var elems []Value
 	for _, m := range s.members {
@@ -151,7 +166,8 @@ func (s *Set) ElemsUnder(scope Value) []Value {
 }
 
 // Elems returns the distinct elements of s (ignoring scopes), in
-// canonical order.
+// canonical order. Subject to the same no-mutate, no-retain contract as
+// Members.
 func (s *Set) Elems() []Value {
 	var out []Value
 	for _, m := range s.members {
@@ -162,7 +178,8 @@ func (s *Set) Elems() []Value {
 	return out
 }
 
-// Scopes returns the distinct scopes of s, in canonical order.
+// Scopes returns the distinct scopes of s, in canonical order. Subject
+// to the same no-mutate, no-retain contract as Members.
 func (s *Set) Scopes() []Value {
 	seen := map[uint64][]Value{}
 	var out []Value

@@ -171,3 +171,26 @@ func TestWideSet(t *testing.T) {
 		t.Fatalf("wide diff = %d", d.Len())
 	}
 }
+
+func TestCopyMembers(t *testing.T) {
+	s := NewSet(E(Int(1)), E(Int(2)), M(Int(3), Int(1)))
+	cp := s.CopyMembers()
+	if len(cp) != s.Len() {
+		t.Fatalf("CopyMembers len = %d, want %d", len(cp), s.Len())
+	}
+	for i, m := range s.Members() {
+		if !Equal(cp[i].Elem, m.Elem) || !Equal(cp[i].Scope, m.Scope) {
+			t.Fatalf("CopyMembers[%d] = %v, want %v", i, cp[i], m)
+		}
+	}
+	// The copy must have its own backing array: writes through it must not
+	// reach the canonical slice.
+	before := s.String()
+	cp[0] = M(Int(99), Int(99))
+	if s.String() != before {
+		t.Fatalf("mutating the copy changed the set: %s", s)
+	}
+	if &cp[0] == &s.Members()[0] {
+		t.Fatal("CopyMembers aliases the canonical slice")
+	}
+}

@@ -260,6 +260,7 @@ func compareMembers(a, b Member) int {
 
 // Equal reports whether two values are structurally identical.
 func Equal(a, b Value) bool {
+	//lint:ignore valueeq Equal IS the structural comparison; identity (interned emptySet, shared subtrees) is its sound fast path
 	if a == b {
 		return true
 	}

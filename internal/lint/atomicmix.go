@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMixAnalyzer enforces the internal/metrics counter pattern: a
+// struct field is either always accessed through sync/atomic or never.
+// Mixing an atomic.AddUint64 on one path with a plain read or write on
+// another is a data race the race detector only catches when both paths
+// run concurrently under -race; the analyzer catches it statically. It
+// also flags plain assignment to fields of the sync/atomic types
+// (atomic.Uint64 and friends), which bypasses their methods.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags plain reads/writes of struct fields that are elsewhere accessed via sync/atomic",
+	Run:  runAtomicMix,
+}
+
+// atomicFns are the sync/atomic function-name prefixes that take &field.
+var atomicFns = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect fields used through sync/atomic calls, and the
+	// selector nodes of those sanctioned uses.
+	atomicFields := map[types.Object]string{} // field → atomic fn observed
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fnName, ok := atomicPkgCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if sel, obj := addressedField(pass, call.Args[0]); obj != nil {
+				atomicFields[obj] = "atomic." + fnName
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every other access to those fields, and plain writes
+	// to atomic.T-typed fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sanctioned[x] {
+					return true
+				}
+				obj := fieldObject(pass, x)
+				if obj == nil {
+					return true
+				}
+				if via, ok := atomicFields[obj]; ok {
+					pass.Reportf(x.Pos(),
+						"plain access of field %s, which is accessed via %s elsewhere; every access must go through sync/atomic", obj.Name(), via)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					obj := fieldObject(pass, sel)
+					if obj == nil {
+						continue
+					}
+					if t, ok := obj.Type().(*types.Named); ok && t.Obj().Pkg() != nil &&
+						t.Obj().Pkg().Path() == "sync/atomic" {
+						pass.Reportf(lhs.Pos(),
+							"plain write to atomic.%s field %s bypasses its atomic methods", t.Obj().Name(), obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicPkgCall reports whether call is sync/atomic.<AtomicFn>, returning
+// the function name.
+func atomicPkgCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	for _, prefix := range atomicFns {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// addressedField decodes &x.f, returning the selector and the field
+// object.
+func addressedField(pass *Pass, e ast.Expr) (*ast.SelectorExpr, types.Object) {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return sel, fieldObject(pass, sel)
+}
+
+// fieldObject returns the struct-field object a selector denotes, or nil.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,293 @@
+// Package lint is xstvet's analysis framework: a deliberately small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic, suggested fixes) plus the five
+// analyzers that enforce the algebra's invariants:
+//
+//	setmutate — canonical slices handed out by (*core.Set).Members and
+//	            friends are never mutated or retained, and slices passed
+//	            to ownSet/NewSet inside internal/core are not touched
+//	            after the ownership transfer.
+//	ctxloop   — member loops inside context-carrying functions in
+//	            internal/{algebra,xsp,xlang} poll cancellation, and the
+//	            non-Ctx convenience wrappers are pure delegations.
+//	valueeq   — core.Value operands are compared with core.Equal (or a
+//	            digest), never ==/!=/switch, and never used as map keys.
+//	lockheld  — no channel sends, net.Conn writes, or xlang.Eval* calls
+//	            while a sync.Mutex/RWMutex is held in
+//	            internal/{server,catalog,store}.
+//	atomicmix — struct fields accessed through sync/atomic are never
+//	            also read or written plainly.
+//
+// The theory needs these mechanically: Childs' compatibility results
+// assume set objects behave like values — canonical, immutable,
+// structurally comparable — and the serving layer's latency story
+// assumes every hot loop is abortable. A human code-review convention
+// cannot keep either true as the codebase grows; a required CI gate can.
+//
+// Violations that are intentional (e.g. the pointer-identity fast path
+// inside core.Equal itself) are waived with a directive comment on the
+// same or the preceding line:
+//
+//	//lint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run reports violations found in the pass's package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	Fixes   []SuggestedFix
+}
+
+// SuggestedFix is an optional safe rewrite for a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a violation with optional suggested fixes.
+func (p *Pass) Report(d Diagnostic) { p.diagnostics = append(p.diagnostics, d) }
+
+// All returns the five invariant analyzers in report order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SetMutateAnalyzer,
+		CtxLoopAnalyzer,
+		ValueEqAnalyzer,
+		LockHeldAnalyzer,
+		AtomicMixAnalyzer,
+	}
+}
+
+// Finding is one diagnostic resolved to a file position. Edits carries
+// the first suggested fix's edits resolved to byte offsets, ready for a
+// driver to apply.
+type Finding struct {
+	Analyzer   string
+	Position   token.Position
+	Diagnostic Diagnostic
+	Edits      []ResolvedEdit
+}
+
+// ResolvedEdit is a TextEdit resolved to byte offsets in a file.
+type ResolvedEdit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer)
+}
+
+// Run applies the analyzers to a loaded package and returns the surviving
+// findings sorted by position, with //lint:ignore-waived ones removed.
+func Run(pkg *LoadedPackage, analyzers []*Analyzer) ([]Finding, error) {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diagnostics {
+			position := pkg.Fset.Position(d.Pos)
+			if ignores.covers(a.Name, position) {
+				continue
+			}
+			f := Finding{Analyzer: a.Name, Position: position, Diagnostic: d}
+			if len(d.Fixes) > 0 {
+				for _, e := range d.Fixes[0].Edits {
+					start := pkg.Fset.Position(e.Pos)
+					end := pkg.Fset.Position(e.End)
+					if start.Filename == "" || start.Filename != end.Filename {
+						continue
+					}
+					f.Edits = append(f.Edits, ResolvedEdit{
+						Filename: start.Filename,
+						Start:    start.Offset,
+						End:      end.Offset,
+						NewText:  e.NewText,
+					})
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ignoreRx matches waiver directives: //lint:ignore <name> <reason>.
+var ignoreRx = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
+
+// ignoreSet maps file → line → analyzer names waived on that line.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	out := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				byLine := out[p.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					out[p.Filename] = byLine
+				}
+				byLine[p.Line] = append(byLine[p.Line], m[1])
+			}
+		}
+	}
+	return out
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// pathMatches reports whether a package path names one of the targets.
+// Besides an exact match, a bare fixture path like "algebra" matches the
+// target "xst/internal/algebra", so the analyzers behave identically on
+// the real tree and on testdata packages.
+func pathMatches(pkgPath string, targets ...string) bool {
+	for _, t := range targets {
+		if pkgPath == t || strings.HasSuffix(t, "/"+pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// namedIn reports whether t (after pointer indirection) is the named type
+// pkgTarget.name, using the same suffix matching as pathMatches.
+func namedIn(t types.Type, name string, pkgTargets ...string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathMatches(obj.Pkg().Path(), pkgTargets...)
+}
+
+// coreValueType reports whether t is the core.Value interface.
+func coreValueType(t types.Type) bool {
+	return namedIn(t, "Value", "xst/internal/core")
+}
+
+// coreSetPtr reports whether t is *core.Set (or core.Set).
+func coreSetPtr(t types.Type) bool {
+	return namedIn(t, "Set", "xst/internal/core")
+}
+
+// calleeName splits a call into (receiver expression, bare function or
+// method name). The receiver is nil for plain function calls.
+func calleeName(call *ast.CallExpr) (recv ast.Expr, name string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return nil, fn.Name
+	case *ast.SelectorExpr:
+		return fn.X, fn.Sel.Name
+	}
+	return nil, ""
+}
+
+// isPkgCall reports whether the call is a selector call pkg.name where pkg
+// resolves to the package with the given path (e.g. "sort", "sync/atomic").
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"sync"
+	"testing"
+
+	"xst/internal/lint"
+	"xst/internal/lint/linttest"
+)
+
+// sharedLoader runs one `go list -export` for the whole module; every
+// fixture test reuses it.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	return lint.NewLoader("../..", "./...")
+})
+
+func loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	return l
+}
+
+func TestSetMutateClients(t *testing.T) {
+	linttest.Run(t, loader(t), lint.SetMutateAnalyzer, "clients")
+}
+
+func TestSetMutateOwnership(t *testing.T) {
+	linttest.Run(t, loader(t), lint.SetMutateAnalyzer, "core")
+}
+
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "algebra")
+}
+
+func TestValueEq(t *testing.T) {
+	linttest.Run(t, loader(t), lint.ValueEqAnalyzer, "valueeq")
+}
+
+func TestLockHeld(t *testing.T) {
+	linttest.Run(t, loader(t), lint.LockHeldAnalyzer, "server")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, loader(t), lint.AtomicMixAnalyzer, "atomicmix")
+}
+
+// TestValueEqSuggestedFix pins the ==/!= rewrite the -fix driver applies.
+func TestValueEqSuggestedFix(t *testing.T) {
+	var eq, neq bool
+	for _, f := range linttest.Findings(t, loader(t), lint.ValueEqAnalyzer, "valueeq") {
+		if len(f.Edits) != 1 {
+			continue
+		}
+		switch f.Edits[0].NewText {
+		case "core.Equal(a, b)":
+			eq = true
+		case "!core.Equal(a, b)":
+			neq = true
+		}
+	}
+	if !eq || !neq {
+		t.Errorf("expected core.Equal rewrites for both == and != in the valueeq fixture (eq=%v, neq=%v)", eq, neq)
+	}
+}

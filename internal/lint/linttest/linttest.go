@@ -1,0 +1,117 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against // want annotations, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in internal/lint/testdata/src/<name>/ and is loaded as
+// package path <name>, so a fixture directory named "algebra" exercises
+// analyzers scoped to xst/internal/algebra. Expected diagnostics are
+// annotated on the offending line:
+//
+//	ms[0] = m // want `write through the canonical slice`
+//
+// Each annotation is a regexp (backquoted or double-quoted; several per
+// comment allowed) that must match a diagnostic reported on that line,
+// and every diagnostic must be matched by an annotation — so the suite
+// fails both on false positives and, because unmatched annotations are
+// errors, whenever the analyzer is disabled or broken.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xst/internal/lint"
+)
+
+// wantArgRx matches one annotation argument: `rx` or "rx".
+var wantArgRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads testdata/src/<name> (relative to the caller's directory) as
+// package <name>, applies the analyzer, and diffs diagnostics against
+// the fixture's // want annotations.
+func Run(t *testing.T, l *lint.Loader, a *lint.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := l.LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+
+	type want struct {
+		rx      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantArgRx.FindAllStringSubmatch(text[len("want "):], -1) {
+					expr := m[1]
+					if expr == "" {
+						unq, err := strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want annotation %q: %v", key, c.Text, err)
+						}
+						expr = unq
+					}
+					rx, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					wants[key] = append(wants[key], &want{rx: rx})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(f.Diagnostic.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Diagnostic.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no %s diagnostic matching %q", key, a.Name, w.rx)
+			}
+		}
+	}
+}
+
+// Findings loads a fixture and returns the analyzer's raw findings, for
+// tests that assert on suggested fixes rather than messages.
+func Findings(t *testing.T, l *lint.Loader, a *lint.Analyzer, name string) []lint.Finding {
+	t.Helper()
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	findings, err := lint.Run(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, name, err)
+	}
+	return findings
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Loader resolves and type-checks packages without golang.org/x/tools:
+// package metadata and compiled export data come from one
+// `go list -deps -json -export` invocation, the listed module packages
+// are re-parsed from source (so analyzers see syntax), and every import
+// is satisfied from export data via the standard gc importer.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir  string
+	meta map[string]*listPkg
+	gc   types.Importer
+}
+
+// NewLoader runs `go list` in dir over the patterns (plus any extra
+// import paths fixtures need) and prepares the importer.
+func NewLoader(dir string, patterns ...string) (*Loader, error) {
+	args := append([]string{"list", "-deps", "-e", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	l := &Loader{Fset: token.NewFileSet(), dir: dir, meta: map[string]*listPkg{}}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		l.meta[p.ImportPath] = &p
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		m, ok := l.meta[path]
+		if !ok || m.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(m.Export)
+	})
+	return l, nil
+}
+
+// ModulePackages returns the non-test packages of module modPath among the
+// listed ones, sorted by import path.
+func (l *Loader) ModulePackages(modPath string) []string {
+	var out []string
+	for p, m := range l.meta {
+		if m.Standard || m.Module == nil || m.Module.Path != modPath {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Import satisfies type-checker imports from export data.
+func (l *Loader) Import(path string) (*types.Package, error) { return l.gc.Import(path) }
+
+// LoadSource parses and type-checks one listed package from source.
+func (l *Loader) LoadSource(path string) (*LoadedPackage, error) {
+	m, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not listed", path)
+	}
+	files := make([]string, len(m.GoFiles))
+	for i, f := range m.GoFiles {
+		files[i] = filepath.Join(m.Dir, f)
+	}
+	return l.check(path, m.Dir, files)
+}
+
+// LoadDir parses and type-checks every non-test .go file under dir as the
+// package asPath — how test fixtures outside the module's package graph
+// (testdata/src/...) are loaded.
+func (l *Loader) LoadDir(dir, asPath string) (*LoadedPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return l.check(asPath, dir, files)
+}
+
+func (l *Loader) check(path, dir string, filenames []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	return &LoadedPackage{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,87 @@
+// Package algebra exercises ctxloop: its path suffix puts it in the
+// analyzer's scope, so member loops here must poll cancellation and
+// non-Ctx wrappers must be pure delegations.
+package algebra
+
+import (
+	"context"
+
+	"xst/internal/core"
+)
+
+// FilterCtx loops over members without ever consulting ctx.
+func FilterCtx(ctx context.Context, s *core.Set) (*core.Set, error) {
+	b := core.NewBuilder(s.Len())
+	for _, m := range s.Members() { // want `loop over set members in a context-carrying function has no cancellation check`
+		b.AddMember(m)
+	}
+	return b.Set(), ctx.Err()
+}
+
+// CollectCtx polls with the sanctioned batched pattern.
+func CollectCtx(ctx context.Context, s *core.Set) (*core.Set, error) {
+	b := core.NewBuilder(s.Len())
+	steps := 0
+	for _, m := range s.Members() {
+		if steps++; steps%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		b.AddMember(m)
+	}
+	return b.Set(), nil
+}
+
+// SumCtx delegates cancellation to a ctx-taking callee, which counts.
+func SumCtx(ctx context.Context, s *core.Set) error {
+	for _, m := range s.Members() {
+		if err := stepCtx(ctx, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func stepCtx(ctx context.Context, _ core.Member) error { return ctx.Err() }
+
+// EachCtx is exempt inside the function literal: callbacks run under
+// their caller's polling regime.
+func EachCtx(ctx context.Context, s *core.Set) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	walk := func(ms []core.Member) {
+		for range ms {
+		}
+	}
+	walk(s.Members())
+	return nil
+}
+
+// Collect is the sanctioned two-statement wrapper shape.
+func Collect(s *core.Set) *core.Set {
+	out, _ := CollectCtx(context.Background(), s)
+	return out
+}
+
+// Sum is the sanctioned single-statement wrapper shape.
+func Sum(s *core.Set) error {
+	return SumCtx(context.Background(), s)
+}
+
+// Filter does real work before delegating: a deadline can never reach it.
+func Filter(s *core.Set) *core.Set { // want `exported wrapper Filter must only delegate to FilterCtx`
+	if s.IsEmpty() {
+		return s
+	}
+	out, _ := FilterCtx(context.Background(), s) // want `context.Background\(\) outside a pure delegation wrapper`
+	return out
+}
+
+// eager manufactures a root context instead of accepting the caller's.
+func eager(s *core.Set) error {
+	ctx := context.Background() // want `context.Background\(\) outside a pure delegation wrapper`
+	_, err := FilterCtx(ctx, s)
+	return err
+}

@@ -1,0 +1,35 @@
+// Package atomicmix exercises atomicmix: once a field is touched through
+// sync/atomic anywhere, every access must be.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+	total  atomic.Uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) mixedRead() uint64 {
+	return c.hits // want `plain access of field hits, which is accessed via atomic\.\w+ elsewhere`
+}
+
+func (c *counters) mixedWrite() {
+	c.hits = 0 // want `plain access of field hits`
+}
+
+func (c *counters) bypass() {
+	c.total = atomic.Uint64{} // want `plain write to atomic\.Uint64 field total bypasses its atomic methods`
+}
+
+// good: total through its methods, hits through sync/atomic, misses never
+// touched atomically so plain access is fine.
+func (c *counters) good() uint64 {
+	c.total.Add(1)
+	c.misses++
+	return atomic.LoadUint64(&c.hits) + c.misses
+}

@@ -1,0 +1,36 @@
+package clients
+
+import (
+	"sort"
+
+	"xst/internal/core"
+)
+
+// readOnly is the sanctioned use: iterate, read, never write.
+func readOnly(s *core.Set) int {
+	n := 0
+	for _, m := range s.Members() {
+		if core.Equal(m.Scope, core.Empty()) {
+			n++
+		}
+	}
+	return n
+}
+
+// copyThenMutate is the sanctioned escape hatch: explicit copy first.
+func copyThenMutate(s *core.Set) []core.Member {
+	ms := s.Members()
+	cp := make([]core.Member, len(ms))
+	copy(cp, ms)
+	sort.Slice(cp, func(i, j int) bool { return false })
+	cp[0] = core.M(core.Int(1), core.Empty())
+	return cp
+}
+
+// rebound shows taint clearing on reassignment: after ms points at a
+// fresh slice, mutating it is fine.
+func rebound(s *core.Set) {
+	ms := s.Members()
+	ms = make([]core.Member, 2)
+	ms[0] = core.M(core.Int(1), core.Empty())
+}

@@ -1,0 +1,62 @@
+// Package core mirrors internal/core's ownership idiom so setmutate's
+// ownSet rule can be tested without reaching into unexported code: the
+// package path suffix "core" puts it in the analyzer's scope.
+package core
+
+// Value mirrors core.Value.
+type Value interface{ Kind() int }
+
+// Member mirrors core.Member.
+type Member struct{ Elem, Scope Value }
+
+// Set mirrors core.Set.
+type Set struct{ members []Member }
+
+// Members hands out the canonical slice, as the real accessor does.
+func (s *Set) Members() []Member { return s.members }
+
+// ownSet takes ownership of ms, as the real canonicalizer does.
+func ownSet(ms []Member) *Set { return &Set{members: ms} }
+
+// NewSet copies its argument; the splat form still transfers ownership
+// under the analyzer's conservative rule.
+func NewSet(members ...Member) *Set {
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	return ownSet(ms)
+}
+
+func useAfterOwn() *Set {
+	ms := make([]Member, 4)
+	s := ownSet(ms)
+	ms[0] = Member{}         // want `write through a slice already passed to ownSet`
+	_ = append(ms, Member{}) // want `append mutates a slice already passed to ownSet`
+	return s
+}
+
+func useAfterSplat(ms []Member) *Set {
+	s := NewSet(ms...)
+	ms[0] = Member{} // want `write through a slice already passed to NewSet`
+	return s
+}
+
+func ownCanonical(s *Set) *Set {
+	return ownSet(s.Members()) // want `canonical slice from \(\*core.Set\).Members passed to ownSet`
+}
+
+// buildThenOwn is the sanctioned order: all mutation before the transfer.
+func buildThenOwn() *Set {
+	ms := make([]Member, 4)
+	ms[0] = Member{}
+	return ownSet(ms)
+}
+
+// reboundAfterOwn is fine: ms points at a fresh slice after the transfer.
+func reboundAfterOwn() *Set {
+	ms := make([]Member, 4)
+	s := ownSet(ms)
+	ms = make([]Member, 2)
+	ms[0] = Member{}
+	_ = ms
+	return s
+}

@@ -1,0 +1,62 @@
+// Package server exercises lockheld: its path suffix puts it in the
+// analyzer's scope, so nothing blocking may happen under a held mutex.
+package server
+
+import (
+	"net"
+	"sync"
+
+	"xst/internal/xlang"
+)
+
+type hub struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	out  chan int
+	conn net.Conn
+	env  *xlang.Env
+}
+
+func (h *hub) badSend(v int) {
+	h.mu.Lock()
+	h.out <- v // want `channel send while h\.mu is held`
+	h.mu.Unlock()
+}
+
+func (h *hub) badWrite(p []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.conn.Write(p) // want `net\.Conn Write while h\.mu is held`
+	return err
+}
+
+func (h *hub) badEval(src string) error {
+	h.rw.RLock()
+	_, err := xlang.Eval(h.env, src) // want `xlang\.Eval while h\.rw is held`
+	h.rw.RUnlock()
+	return err
+}
+
+// goodSend releases the lock before the blocking send.
+func (h *hub) goodSend(v int) {
+	h.mu.Lock()
+	h.mu.Unlock()
+	h.out <- v
+}
+
+// goodAsync is clean: the goroutine body runs outside the section.
+func (h *hub) goodAsync(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	go func() {
+		h.out <- v
+	}()
+}
+
+// goodEval evaluates before taking the lock.
+func (h *hub) goodEval(src string) error {
+	_, err := xlang.Eval(h.env, src)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return err
+}

@@ -1,0 +1,48 @@
+// Package valueeq exercises valueeq: interface/pointer identity is not
+// the algebra's equality.
+package valueeq
+
+import (
+	"xst/internal/core"
+)
+
+func cmp(a, b core.Value) bool {
+	if a == b { // want `== on core\.Value operands compares identity, not structure; use core\.Equal`
+		return true
+	}
+	return a != b // want `!= on core\.Value operands compares identity, not structure; use core\.Equal`
+}
+
+func setCmp(x, y *core.Set) bool {
+	return x == y // want `== on \*core\.Set operands compares identity`
+}
+
+func pick(v core.Value) int {
+	switch v { // want `switch compares core\.Value tags with ==`
+	case core.Int(1):
+		return 1
+	}
+	return 0
+}
+
+var index map[core.Value]int // want `map keyed by core\.Value hashes by identity`
+
+// nilOK: nil checks are identity checks by definition.
+func nilOK(v core.Value) bool { return v == nil }
+
+// typeSwitchOK: dispatch on dynamic type is not an equality decision.
+func typeSwitchOK(v core.Value) bool {
+	switch v.(type) {
+	case *core.Set:
+		return true
+	}
+	return false
+}
+
+// equalOK is the sanctioned comparison.
+func equalOK(a, b core.Value) bool { return core.Equal(a, b) }
+
+// digestOK is the sanctioned bucketing scheme.
+func digestOK(v core.Value, buckets map[uint64][]core.Value) {
+	buckets[core.Digest(v)] = append(buckets[core.Digest(v)], v)
+}

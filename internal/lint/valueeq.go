@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ValueEqAnalyzer enforces structural equality. core.Value is an
+// interface, so == compares (dynamic type, pointer/atom identity) — two
+// structurally equal *Sets built separately compare unequal, and a
+// map[core.Value]T groups by pointer, not by the set. The paper's algebra
+// is defined up to structural identity (canonical form), so every
+// equality decision must go through core.Equal (or a digest comparison
+// for bucketing). The analyzer flags ==/!= and switch-case equality on
+// core.Value operands (nil checks excepted), pointer comparison of
+// *core.Set outside internal/core, and map keys typed core.Value or
+// *core.Set. For ==/!= it offers a core.Equal rewrite as a suggested fix.
+var ValueEqAnalyzer = &Analyzer{
+	Name: "valueeq",
+	Doc:  "flags ==/!=/switch equality and map keying on core.Value operands; use core.Equal or a digest",
+	Run:  runValueEq,
+}
+
+func runValueEq(pass *Pass) error {
+	inCore := pathMatches(pass.Pkg.Path(), corePkg...)
+	for _, f := range pass.Files {
+		equalName := equalQualifier(pass, f, inCore)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					pass.checkValueCmp(x, inCore, equalName)
+				}
+			case *ast.SwitchStmt:
+				if x.Tag != nil {
+					if tv, ok := pass.Info.Types[x.Tag]; ok && (coreValueType(tv.Type) || (!inCore && coreSetPtr(tv.Type))) {
+						pass.Reportf(x.Pos(),
+							"switch compares %s tags with ==; use if/else over core.Equal", typeLabel(tv.Type))
+					}
+				}
+			case *ast.MapType:
+				if tv, ok := pass.Info.Types[x.Key]; ok && (coreValueType(tv.Type) || coreSetPtr(tv.Type)) {
+					pass.Reportf(x.Key.Pos(),
+						"map keyed by %s hashes by identity, not structure; key by core.Key(v) or bucket by core.Digest(v)", typeLabel(tv.Type))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func (p *Pass) checkValueCmp(x *ast.BinaryExpr, inCore bool, equalName string) {
+	lt, lok := p.Info.Types[x.X]
+	rt, rok := p.Info.Types[x.Y]
+	if !lok || !rok || lt.IsNil() || rt.IsNil() {
+		return // nil checks are identity checks by definition
+	}
+	var label string
+	switch {
+	case coreValueType(lt.Type) || coreValueType(rt.Type):
+		label = "core.Value"
+	case !inCore && coreSetPtr(lt.Type) && coreSetPtr(rt.Type):
+		label = "*core.Set"
+	default:
+		return
+	}
+	spelled := equalName
+	if spelled == "" {
+		spelled = "core.Equal"
+	}
+	d := Diagnostic{
+		Pos: x.OpPos,
+		Message: "== on " + label + " operands compares identity, not structure; use " +
+			spelled + " (or compare digests)",
+	}
+	if x.Op == token.NEQ {
+		d.Message = strings.Replace(d.Message, "== on", "!= on", 1)
+	}
+	if equalName != "" {
+		lsrc, lerr := exprText(p.Fset, x.X)
+		rsrc, rerr := exprText(p.Fset, x.Y)
+		if lerr == nil && rerr == nil {
+			repl := equalName + "(" + lsrc + ", " + rsrc + ")"
+			if x.Op == token.NEQ {
+				repl = "!" + repl
+			}
+			d.Fixes = []SuggestedFix{{
+				Message: "replace with " + repl,
+				Edits:   []TextEdit{{Pos: x.Pos(), End: x.End(), NewText: repl}},
+			}}
+		}
+	}
+	p.Report(d)
+}
+
+// equalQualifier returns how core.Equal is spelled in this file: "Equal"
+// inside core, "<pkgname>.Equal" where core is imported, "" (no fix
+// offered) otherwise.
+func equalQualifier(pass *Pass, f *ast.File, inCore bool) string {
+	if inCore {
+		return "Equal"
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !pathMatches(path, corePkg...) {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			return imp.Name.Name + ".Equal"
+		}
+		return "core.Equal"
+	}
+	return "" // core not imported: report without a suggested fix
+}
+
+func typeLabel(t types.Type) string {
+	if coreValueType(t) {
+		return "core.Value"
+	}
+	return "*core.Set"
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) (string, error) {
+	var buf bytes.Buffer
+	err := printer.Fprint(&buf, fset, e)
+	return buf.String(), err
+}

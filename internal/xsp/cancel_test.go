@@ -1,0 +1,37 @@
+package xsp
+
+import (
+	"context"
+	"testing"
+
+	"xst/internal/table"
+	"xst/internal/xtest"
+)
+
+// Pipelines poll once per page batch, so a few thousand rows spread over
+// many pages give the countdown context plenty of polls to land on.
+
+func TestPipelineCtxCancel(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 4000)
+	xtest.AssertCancelAborts(t, 2, func(ctx context.Context) error {
+		p := NewPipeline(tbl, &Distinct{})
+		_, err := p.CollectCtx(ctx)
+		return err
+	})
+}
+
+func TestParallelPipelineCtxCancel(t *testing.T) {
+	pool := newPool()
+	tbl := makeUsers(t, pool, 4000)
+	for _, workers := range []int{1, 4, 16} {
+		pp := &ParallelPipeline{
+			Source:  tbl,
+			Factory: func() []Op { return []Op{&Distinct{}} },
+			Workers: workers,
+		}
+		xtest.AssertCancelAborts(t, workers+2, func(ctx context.Context) error {
+			return pp.RunCtx(ctx, func([]table.Row) error { return nil })
+		})
+	}
+}

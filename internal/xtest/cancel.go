@@ -1,0 +1,77 @@
+package xtest
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context that cancels itself after its Err method has
+// been polled a fixed number of times. It turns "does this operation
+// poll cancellation, and does it stop when told?" into a deterministic
+// assertion: the Nth poll observes context.Canceled, so an operation
+// that keeps working afterwards is provably ignoring its context.
+type countdownCtx struct {
+	context.Context
+	cancel    context.CancelFunc
+	remaining atomic.Int64
+}
+
+// CountdownContext returns a context whose Err reports nil for the first
+// n-1 polls and context.Canceled from the nth poll on. Polls may come
+// from any goroutine. The returned stop function releases the context's
+// resources; it is safe to call more than once.
+func CountdownContext(n int) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &countdownCtx{Context: ctx, cancel: cancel}
+	c.remaining.Store(int64(n))
+	return c, cancel
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) <= 0 {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+// AssertCancelAborts runs op under a context that self-cancels on its
+// nth Err poll and asserts that op aborts promptly with
+// context.Canceled and that any goroutines it started have exited. Pick
+// n small enough that op's work comfortably exceeds n polling intervals
+// (the algebra's batched loops poll every few hundred iterations).
+func AssertCancelAborts(t testing.TB, n int, op func(context.Context) error) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	ctx, stop := CountdownContext(n)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- op(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("op returned %v after cancellation, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("op still running 10s after its context self-cancelled on poll %d", n)
+	}
+
+	// The op goroutine above has exited; anything it spawned must drain
+	// too. NumGoroutine is noisy, so poll with a deadline instead of
+	// sampling once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled op: %d running, %d before",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
