@@ -19,6 +19,8 @@ import (
 	"xst/internal/catalog"
 	"xst/internal/core"
 	"xst/internal/dist"
+	"xst/internal/exec"
+	"xst/internal/plan"
 	"xst/internal/process"
 	"xst/internal/relational"
 	"xst/internal/server"
@@ -299,4 +301,67 @@ func BenchmarkSelectivitySweepSetVsRecord(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamVsMaterialize compares the two plan executors on a
+// multi-stage query (join → select → project) whose intermediate result
+// is much larger than its final one: the streaming operator tree keeps
+// at most one batch in flight between operators, while the materialized
+// baseline builds the whole join output first. Streaming must be no
+// slower while allocating measurably less (the -benchmem columns).
+func BenchmarkStreamVsMaterialize(b *testing.B) {
+	pool := store.NewBufferPool(store.NewMemPager(), 256)
+	users, err := table.Create(pool, table.Schema{Name: "users", Cols: []string{"uid", "city", "score"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orders, err := table.Create(pool, table.Schema{Name: "orders", Cols: []string{"oid", "ouid", "amount"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xtest.NewRand(7)
+	const nUsers, nOrders = 200, 20000
+	for i := 0; i < nUsers; i++ {
+		users.Insert(table.Row{core.Int(i), core.Str(fmt.Sprintf("city-%02d", r.Intn(8))), core.Int(r.Intn(100))})
+	}
+	for i := 0; i < nOrders; i++ {
+		orders.Insert(table.Row{core.Int(i), core.Int(r.Intn(nUsers)), core.Int(r.Intn(1000))})
+	}
+	query := func() plan.Node {
+		return &plan.Project{
+			Child: &plan.Select{
+				Child: &plan.Join{
+					Left: &plan.Scan{Table: orders}, Right: &plan.Scan{Table: users},
+					LeftCol: "ouid", RightCol: "uid",
+				},
+				Pred: plan.Cmp{Col: "score", Op: plan.Gt, Val: core.Int(50)},
+			},
+			Cols: []string{"city", "amount"},
+		}
+	}
+
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, _, st, err := plan.ExecuteStats(query())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 || st.PeakIntermediateRows > exec.MaxBatchRows {
+				b.Fatalf("rows=%d peak=%d", len(rows), st.PeakIntermediateRows)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, _, err := plan.ExecuteMaterialized(query())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
 }

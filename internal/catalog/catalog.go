@@ -207,9 +207,10 @@ func (db *Database) writeCatalog() error {
 }
 
 // BindAll loads every table of the database into an expression-language
-// environment as its extended set, so the REPL can query stored data
-// symbolically: `users[{<1>}]` etc. Large tables materialize fully;
-// this is a calculator bridge, not a query engine.
+// environment twice over: as its materialized extended set, so the REPL
+// can query stored data symbolically (`users[{<1>}]` etc.), and as a
+// table binding, so query statements (`from users where …`) stream it
+// through the planner without materializing.
 func (db *Database) BindAll(env *xlang.Env) error {
 	for name, t := range db.tables {
 		s, err := t.ToXST()
@@ -217,6 +218,7 @@ func (db *Database) BindAll(env *xlang.Env) error {
 			return fmt.Errorf("catalog: binding %q: %w", name, err)
 		}
 		env.Bind(name, s)
+		env.BindTable(name, t)
 	}
 	return nil
 }

@@ -1,0 +1,40 @@
+package core
+
+import "math"
+
+// AtomKey is a comparable map key covering the four atom kinds (Bool,
+// Int, Float, Str): for atoms a and b, AtomKey(a) == AtomKey(b) iff
+// Equal(a, b), so a map[AtomKey] groups structurally — like keying by
+// Key — without building an encoded string per lookup. The Str payload
+// shares the value's backing string, so producing an AtomKey never
+// allocates.
+type AtomKey struct {
+	kind Kind
+	num  uint64 // Bool/Int payload; Float bits with -0.0 normalized, as in Key
+	str  string // Str payload
+}
+
+// AtomKeyOf returns v's AtomKey and ok=true when v is an atom.
+// Set-valued keys report ok=false and must fall back to Key's canonical
+// encoding.
+func AtomKeyOf(v Value) (AtomKey, bool) {
+	switch x := v.(type) {
+	case Bool:
+		var n uint64
+		if x {
+			n = 1
+		}
+		return AtomKey{kind: KindBool, num: n}, true
+	case Int:
+		return AtomKey{kind: KindInt, num: uint64(int64(x))}, true
+	case Float:
+		bits := math.Float64bits(float64(x))
+		if x == 0 {
+			bits = 0
+		}
+		return AtomKey{kind: KindFloat, num: bits}, true
+	case Str:
+		return AtomKey{kind: KindString, str: string(x)}, true
+	}
+	return AtomKey{}, false
+}

@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// TestAtomKeyOf pins the fast-path key to structural equality: atoms
+// get the same AtomKey iff Equal holds, across every kind pair that
+// could plausibly collide.
+func TestAtomKeyOf(t *testing.T) {
+	atoms := []Value{
+		Bool(false), Bool(true),
+		Int(0), Int(1), Int(-1),
+		Float(0), Float(1), Float(1.5),
+		Str(""), Str("1"), Str("true"),
+	}
+	for _, a := range atoms {
+		ka, ok := AtomKeyOf(a)
+		if !ok {
+			t.Fatalf("AtomKeyOf(%v) not an atom", a)
+		}
+		for _, b := range atoms {
+			kb, _ := AtomKeyOf(b)
+			if (ka == kb) != Equal(a, b) {
+				t.Errorf("AtomKeyOf(%v) == AtomKeyOf(%v) is %v, Equal is %v",
+					a, b, ka == kb, Equal(a, b))
+			}
+		}
+	}
+	// Negative zero normalizes like Key does.
+	kz, _ := AtomKeyOf(Float(0.0))
+	kn, _ := AtomKeyOf(Float(negZero())) // negZero from value_test.go
+	if kz != kn {
+		t.Error("AtomKeyOf distinguishes -0.0 from +0.0; Key does not")
+	}
+	if _, ok := AtomKeyOf(nil); ok {
+		t.Error("AtomKeyOf(nil) claimed atom")
+	}
+	// Sets and tuples are not atoms.
+	for _, v := range []Value{S(), S(Int(1)), Tuple(Int(1))} {
+		if _, ok := AtomKeyOf(v); ok {
+			t.Errorf("AtomKeyOf(%v) claimed atom", v)
+		}
+	}
+}

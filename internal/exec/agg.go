@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xst/internal/table"
+	"xst/internal/xsp"
+)
+
+// GroupAgg is the streaming aggregate operator: Open drains the child
+// into an xsp.AggState — accumulators only, never the input rows — and
+// Next emits the (key, agg…) result in MaxBatchRows chunks. The held
+// state is one accumulator per distinct key, the aggregate's sanctioned
+// materialization.
+type GroupAgg struct {
+	child  Operator
+	keyCol int
+	aggs   []xsp.Agg
+	queue  []table.Row
+	stats  OpStats
+	open   bool
+}
+
+// NewGroupAgg groups child rows on keyCol and computes aggs per group.
+func NewGroupAgg(child Operator, keyCol int, aggs ...xsp.Agg) *GroupAgg {
+	return &GroupAgg{child: child, keyCol: keyCol, aggs: aggs}
+}
+
+// Open implements Operator, consuming the whole child stream into the
+// accumulator table with a per-batch cancellation poll.
+func (g *GroupAgg) Open(ctx context.Context) error {
+	g.stats = OpStats{}
+	defer g.stats.timed(time.Now())
+	g.open = true
+	if err := g.child.Open(ctx); err != nil {
+		return err
+	}
+	st := xsp.NewAggState(g.keyCol, g.aggs...)
+	for {
+		rows, err := g.child.Next()
+		if err != nil {
+			return err
+		}
+		if rows == nil {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g.stats.RowsIn += len(rows)
+		if err := st.Absorb(rows); err != nil {
+			return err
+		}
+	}
+	g.queue = st.Rows()
+	g.stats.HeldRows = st.Groups()
+	return nil
+}
+
+// Next implements Operator.
+func (g *GroupAgg) Next() ([]table.Row, error) {
+	defer g.stats.timed(time.Now())
+	if !g.open {
+		return nil, errOpen(g)
+	}
+	if len(g.queue) == 0 {
+		return nil, nil
+	}
+	n := min(len(g.queue), MaxBatchRows)
+	out := g.queue[:n]
+	g.queue = g.queue[n:]
+	g.stats.emitted(out)
+	return out, nil
+}
+
+// Close implements Operator.
+func (g *GroupAgg) Close() error {
+	g.open = false
+	g.queue = nil
+	return g.child.Close()
+}
+
+// OutSchema implements Operator: (key, agg1, agg2, …) with aggregate
+// columns named kind(col).
+func (g *GroupAgg) OutSchema() table.Schema {
+	in := g.child.OutSchema()
+	cols := make([]string, 0, 1+len(g.aggs))
+	cols = append(cols, in.Cols[g.keyCol])
+	for _, a := range g.aggs {
+		if a.Kind == xsp.Count {
+			cols = append(cols, "count")
+		} else {
+			cols = append(cols, fmt.Sprintf("%s(%s)", a.Kind, in.Cols[a.Col]))
+		}
+	}
+	return table.Schema{Name: in.Name, Cols: cols}
+}
+
+// Stats implements Operator.
+func (g *GroupAgg) Stats() OpStats { return g.stats }
+
+// Children implements Operator.
+func (g *GroupAgg) Children() []Operator { return []Operator{g.child} }
+
+func (g *GroupAgg) String() string {
+	in := g.child.OutSchema()
+	return fmt.Sprintf("groupagg[%s x%d]", in.Cols[g.keyCol], len(g.aggs))
+}

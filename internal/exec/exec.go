@@ -1,0 +1,149 @@
+// Package exec is the streaming batch-operator execution core: a
+// Volcano-style iterator tree whose unit of exchange is a page-sized
+// *batch* of rows rather than a single record. Every query path in the
+// repo — the planner (internal/plan), the xlang query statements, and
+// the server's streaming responses — compiles to one of these trees, so
+// the paper's §12 thesis (whole sets flowing through composed
+// operations beat record-at-a-time processing) is the architecture, not
+// a special case.
+//
+// Contract:
+//
+//   - Open(ctx) acquires resources and performs any sanctioned blocking
+//     work (hash-join build side, sort buffering, aggregate
+//     accumulation). The context is retained and polled once per batch
+//     by the streaming operators.
+//   - Next returns the next batch, or (nil, nil) when exhausted. The
+//     returned slice — and, for projection-shaped operators, the rows
+//     in it — is scratch owned by the operator: consume it before the
+//     next Next call and never retain it (clone rows that must
+//     outlive the pull loop).
+//   - Close releases resources; it is idempotent and safe after a
+//     failed Open.
+//
+// No operator materializes its full input except HashJoin's build side,
+// Sort, and GroupAgg's accumulator table — the three places DESIGN.md
+// §9 sanctions — so peak intermediate memory is bounded by
+// MaxBatchRows plus those explicit pools, which plan.ExecStats reports.
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"xst/internal/table"
+)
+
+// MaxBatchRows caps the size of any batch flowing between operators.
+// Operators that can amplify their input (join probes, aggregate and
+// sort emission) chunk their output at this bound, which is what makes
+// "no full-result materialization between operators" checkable: peak
+// intermediate rows stay O(MaxBatchRows) regardless of result size.
+const MaxBatchRows = 1024
+
+// OpStats counts one operator's activity, reset at Open. Ns is
+// inclusive wall time spent inside this operator's Open and Next,
+// children included (the tree form of EXPLAIN ANALYZE).
+type OpStats struct {
+	RowsIn   int   // rows pulled from children
+	RowsOut  int   // rows emitted
+	Batches  int   // batches emitted
+	MaxBatch int   // largest emitted batch
+	HeldRows int   // rows retained inside the operator (build/sort/agg pools)
+	Ns       int64 // inclusive nanoseconds in Open+Next
+}
+
+// Operator is one node of a streaming execution tree.
+type Operator interface {
+	// Open prepares the subtree under a cancellation context, which is
+	// polled once per batch while streaming.
+	Open(ctx context.Context) error
+	// Next returns the next output batch, or (nil, nil) at end of
+	// stream. See the package comment for batch ownership rules.
+	Next() ([]table.Row, error)
+	// Close releases the subtree's resources.
+	Close() error
+	// OutSchema reports the operator's output schema.
+	OutSchema() table.Schema
+	// Stats returns the counters of the last (or current) run.
+	Stats() OpStats
+	// Children returns the input operators, for tree walks.
+	Children() []Operator
+	// String names the operator for EXPLAIN output.
+	String() string
+}
+
+// Walk visits the tree rooted at op in preorder.
+func Walk(op Operator, fn func(op Operator, depth int)) {
+	var rec func(o Operator, d int)
+	rec = func(o Operator, d int) {
+		fn(o, d)
+		for _, c := range o.Children() {
+			rec(c, d+1)
+		}
+	}
+	rec(op, 0)
+}
+
+// Collect drains the tree into a materialized, retainable row slice
+// (rows cloned out of operator scratch). The tree is opened and closed
+// around the drain.
+func Collect(ctx context.Context, op Operator) ([]table.Row, error) {
+	var out []table.Row
+	err := Stream(ctx, op, func(rows []table.Row) error {
+		for _, r := range rows {
+			out = append(out, r.Clone())
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Stream opens op, feeds every batch to emit, and closes it. Batches
+// passed to emit follow the no-retain rule.
+func Stream(ctx context.Context, op Operator, emit func(rows []table.Row) error) error {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return err
+	}
+	defer op.Close()
+	for {
+		rows, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if rows == nil {
+			return nil
+		}
+		if err := emit(rows); err != nil {
+			return err
+		}
+	}
+}
+
+// Count drains the tree discarding rows and returns the row count.
+func Count(ctx context.Context, op Operator) (int, error) {
+	n := 0
+	err := Stream(ctx, op, func(rows []table.Row) error {
+		n += len(rows)
+		return nil
+	})
+	return n, err
+}
+
+// timer measures inclusive operator time; use as
+// defer st.timed(time.Now()) at the top of Open and Next.
+func (s *OpStats) timed(start time.Time) { s.Ns += time.Since(start).Nanoseconds() }
+
+// emitted records one outgoing batch.
+func (s *OpStats) emitted(rows []table.Row) {
+	s.RowsOut += len(rows)
+	s.Batches++
+	if len(rows) > s.MaxBatch {
+		s.MaxBatch = len(rows)
+	}
+}
+
+// errOpen reports a Next before Open.
+func errOpen(op Operator) error { return fmt.Errorf("exec: %s: Next before Open", op) }

@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// HashJoin is the Relative Product (Def 10.1) in streaming form: Open
+// drains the *build* side into a hash index — the one sanctioned
+// materialization — and Next streams probe batches against it, so the
+// probe side never sits in memory whole. Which side builds is the
+// caller's (cost-based) choice via buildLeft; output rows are always
+// left-columns ++ right-columns regardless.
+//
+// The index keys atom join values (Bool/Int/Float/Str) by their
+// comparable core.AtomKey — no per-row encoding — falling back to
+// canonical encoding for set-valued keys in a separate map, so an
+// encoded set can never collide with a Str key.
+type HashJoin struct {
+	left, right       Operator
+	leftCol, rightCol int // key positions in each child's output schema
+	buildLeft         bool
+
+	ctx   context.Context
+	atoms map[core.AtomKey][]table.Row
+	sets  map[string][]table.Row
+	queue []table.Row
+	done  bool
+	stats OpStats
+	open  bool
+}
+
+// NewHashJoin joins left and right on left.leftCol = right.rightCol,
+// building the hash index over the left child if buildLeft.
+func NewHashJoin(left, right Operator, leftCol, rightCol int, buildLeft bool) *HashJoin {
+	return &HashJoin{left: left, right: right, leftCol: leftCol, rightCol: rightCol, buildLeft: buildLeft}
+}
+
+// Open implements Operator: opens both children and consumes the build
+// side into the index. Build rows are cloned out of child scratch; the
+// context is polled every few hundred rows during the build.
+func (j *HashJoin) Open(ctx context.Context) error {
+	j.stats = OpStats{}
+	defer j.stats.timed(time.Now())
+	j.ctx = ctx
+	j.atoms = map[core.AtomKey][]table.Row{}
+	j.sets = map[string][]table.Row{}
+	j.queue = nil
+	j.done = false
+	j.open = true
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	build, bcol := j.right, j.rightCol
+	if j.buildLeft {
+		build, bcol = j.left, j.leftCol
+	}
+	steps := 0
+	for {
+		rows, err := build.Next()
+		if err != nil {
+			return err
+		}
+		if rows == nil {
+			return nil
+		}
+		j.stats.RowsIn += len(rows)
+		for _, r := range rows {
+			if steps%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			steps++
+			k := r[bcol]
+			if ak, ok := core.AtomKeyOf(k); ok {
+				j.atoms[ak] = append(j.atoms[ak], r.Clone())
+			} else {
+				ek := core.Key(k)
+				j.sets[ek] = append(j.sets[ek], r.Clone())
+			}
+			j.stats.HeldRows++
+		}
+	}
+}
+
+// Next implements Operator: pulls probe batches until matches
+// accumulate, then emits them in MaxBatchRows chunks. Output rows are
+// freshly allocated and retainable.
+func (j *HashJoin) Next() ([]table.Row, error) {
+	defer j.stats.timed(time.Now())
+	if !j.open {
+		return nil, errOpen(j)
+	}
+	probe, pcol := j.left, j.leftCol
+	if j.buildLeft {
+		probe, pcol = j.right, j.rightCol
+	}
+	for len(j.queue) == 0 {
+		if j.done {
+			return nil, nil
+		}
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			j.done = true
+			return nil, nil
+		}
+		j.stats.RowsIn += len(rows)
+		for _, pr := range rows {
+			k := pr[pcol]
+			var matches []table.Row
+			if ak, ok := core.AtomKeyOf(k); ok {
+				matches = j.atoms[ak]
+			} else {
+				matches = j.sets[core.Key(k)]
+			}
+			for _, br := range matches {
+				l, r := pr, br
+				if j.buildLeft {
+					l, r = br, pr
+				}
+				row := make(table.Row, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				j.queue = append(j.queue, row)
+			}
+		}
+	}
+	n := min(len(j.queue), MaxBatchRows)
+	out := j.queue[:n]
+	j.queue = j.queue[n:]
+	j.stats.emitted(out)
+	return out, nil
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.open = false
+	j.atoms = nil
+	j.sets = nil
+	j.queue = nil
+	lerr := j.left.Close()
+	rerr := j.right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+// OutSchema implements Operator: left ++ right with colliding names
+// auto-qualified, matching the logical plan.Join schema.
+func (j *HashJoin) OutSchema() table.Schema {
+	return table.JoinSchema(j.left.OutSchema(), j.right.OutSchema())
+}
+
+// Stats implements Operator.
+func (j *HashJoin) Stats() OpStats { return j.stats }
+
+// Children implements Operator.
+func (j *HashJoin) Children() []Operator { return []Operator{j.left, j.right} }
+
+func (j *HashJoin) String() string {
+	l, r := j.left.OutSchema(), j.right.OutSchema()
+	side := "right"
+	if j.buildLeft {
+		side = "left"
+	}
+	return "hashjoin[" + l.Cols[j.leftCol] + "=" + r.Cols[j.rightCol] + " build=" + side + "]"
+}

@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"xst/internal/table"
+	"xst/internal/xsp"
+)
+
+// Stage lifts one batch-at-a-time xsp.Op (Restrict, Project, Distinct)
+// into the operator tree: each Next pulls child batches until the op
+// yields a non-empty output batch. The op's scratch-reuse contract
+// carries over — output batches are invalidated by the next Next.
+//
+// Stateful ops (xsp.Distinct's seen-set) make a Stage single-use: build
+// a fresh tree per execution rather than reopening one.
+type Stage struct {
+	op    xsp.Op
+	child Operator
+	stats OpStats
+	open  bool
+}
+
+// NewStage wraps op over child.
+func NewStage(op xsp.Op, child Operator) *Stage {
+	return &Stage{op: op, child: child}
+}
+
+// Open implements Operator.
+func (s *Stage) Open(ctx context.Context) error {
+	s.stats = OpStats{}
+	defer s.stats.timed(time.Now())
+	s.open = true
+	return s.child.Open(ctx)
+}
+
+// Next implements Operator.
+func (s *Stage) Next() ([]table.Row, error) {
+	defer s.stats.timed(time.Now())
+	if !s.open {
+		return nil, errOpen(s)
+	}
+	for {
+		rows, err := s.child.Next()
+		if err != nil || rows == nil {
+			return nil, err
+		}
+		s.stats.RowsIn += len(rows)
+		out := s.op.Process(rows)
+		if len(out) == 0 {
+			continue
+		}
+		s.stats.emitted(out)
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (s *Stage) Close() error {
+	s.open = false
+	return s.child.Close()
+}
+
+// OutSchema implements Operator.
+func (s *Stage) OutSchema() table.Schema {
+	return s.op.OutSchema(s.child.OutSchema())
+}
+
+// Stats implements Operator.
+func (s *Stage) Stats() OpStats { return s.stats }
+
+// Children implements Operator.
+func (s *Stage) Children() []Operator { return []Operator{s.child} }
+
+func (s *Stage) String() string { return s.op.String() }

@@ -12,11 +12,12 @@ var ctxLoopPkgs = []string{
 	"xst/internal/algebra",
 	"xst/internal/xsp",
 	"xst/internal/xlang",
+	"xst/internal/exec",
 }
 
 // CtxLoopAnalyzer keeps the deadline guarantees from the serving layer
-// from rotting as the algebra grows. In internal/{algebra,xsp,xlang} it
-// enforces two rules:
+// from rotting as the algebra grows. In internal/{algebra,xsp,xlang,exec}
+// it enforces two rules:
 //
 //  1. Inside any function that receives a context.Context, a loop ranging
 //     over set members ([]core.Member, []core.Value, []table.Row) must

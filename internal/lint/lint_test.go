@@ -35,6 +35,10 @@ func TestCtxLoop(t *testing.T) {
 	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "algebra")
 }
 
+func TestCtxLoopExec(t *testing.T) {
+	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "exec")
+}
+
 func TestValueEq(t *testing.T) {
 	linttest.Run(t, loader(t), lint.ValueEqAnalyzer, "valueeq")
 }

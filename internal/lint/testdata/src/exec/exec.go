@@ -1,0 +1,95 @@
+// Package exec exercises ctxloop over the operator tree's shapes: its
+// path suffix puts it in the analyzer's scope, so row loops inside
+// ctx-taking Open/drain paths must poll cancellation.
+package exec
+
+import (
+	"context"
+
+	"xst/internal/table"
+)
+
+// BuildCtx hashes a build side without ever consulting ctx: the exact
+// shape a hash join's Open must never have.
+func BuildCtx(ctx context.Context, rows []table.Row) (map[int]table.Row, error) {
+	ht := make(map[int]table.Row, len(rows))
+	for i, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		ht[i] = r
+	}
+	return ht, ctx.Err()
+}
+
+// DrainCtx polls with the sanctioned batched pattern while buffering a
+// sort input.
+func DrainCtx(ctx context.Context, rows []table.Row) ([]table.Row, error) {
+	out := make([]table.Row, 0, len(rows))
+	steps := 0
+	for _, r := range rows {
+		if steps++; steps%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, r.Clone())
+	}
+	return out, nil
+}
+
+// ProbeCtx delegates cancellation to a ctx-taking callee per row.
+func ProbeCtx(ctx context.Context, rows []table.Row) error {
+	for _, r := range rows {
+		if err := emitCtx(ctx, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitCtx(ctx context.Context, _ table.Row) error { return ctx.Err() }
+
+// ForEachCtx is exempt inside the function literal: batch callbacks run
+// under the pull loop's polling regime.
+func ForEachCtx(ctx context.Context, rows []table.Row) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	visit := func(batch []table.Row) {
+		for range batch {
+		}
+	}
+	visit(rows)
+	return nil
+}
+
+// op mimics an operator whose Next carries no context: out of scope for
+// rule 1, which only binds loops inside ctx-carrying functions.
+type op struct {
+	buf []table.Row
+}
+
+func (o *op) Next() []table.Row {
+	for _, r := range o.buf {
+		_ = r
+	}
+	return nil
+}
+
+// Drain is the sanctioned two-statement wrapper shape.
+func Drain(rows []table.Row) []table.Row {
+	out, _ := DrainCtx(context.Background(), rows)
+	return out
+}
+
+// Probe does real work before delegating: a deadline can never reach it.
+func Probe(rows []table.Row) error { // want `exported wrapper Probe must only delegate to ProbeCtx`
+	if len(rows) == 0 {
+		return nil
+	}
+	return ProbeCtx(context.Background(), rows) // want `context.Background\(\) outside a pure delegation wrapper`
+}
+
+// open manufactures a root context instead of accepting the caller's.
+func open(rows []table.Row) error {
+	ctx := context.Background() // want `context.Background\(\) outside a pure delegation wrapper`
+	return ProbeCtx(ctx, rows)
+}

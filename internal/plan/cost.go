@@ -31,6 +31,19 @@ func EstimateRows(n Node) float64 {
 			return l
 		}
 		return r
+	case *Distinct:
+		return EstimateRows(x.Child)
+	case *Sort:
+		return EstimateRows(x.Child)
+	case *Limit:
+		est := EstimateRows(x.Child)
+		if n := float64(x.N); n < est {
+			return n
+		}
+		return est
+	case *GroupBy:
+		// One row per distinct key; guess the equality selectivity.
+		return EstimateRows(x.Child) * selEq
 	default:
 		return 1
 	}
@@ -70,6 +83,14 @@ func ChooseJoinSides(n Node) Node {
 		return &Select{Child: ChooseJoinSides(x.Child), Pred: x.Pred}
 	case *Project:
 		return &Project{Child: ChooseJoinSides(x.Child), Cols: x.Cols}
+	case *Distinct:
+		return &Distinct{Child: ChooseJoinSides(x.Child)}
+	case *Sort:
+		return &Sort{Child: ChooseJoinSides(x.Child), Col: x.Col, Desc: x.Desc}
+	case *Limit:
+		return &Limit{Child: ChooseJoinSides(x.Child), N: x.N}
+	case *GroupBy:
+		return &GroupBy{Child: ChooseJoinSides(x.Child), Key: x.Key, Aggs: x.Aggs}
 	case *Join:
 		left := ChooseJoinSides(x.Left)
 		right := ChooseJoinSides(x.Right)

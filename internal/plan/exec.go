@@ -1,19 +1,24 @@
 package plan
 
 import (
+	"context"
 	"fmt"
+	"strings"
+	"time"
 
-	"xst/internal/core"
+	"xst/internal/exec"
 	"xst/internal/table"
 	"xst/internal/xsp"
 )
 
-// Execution compiles logical plans onto the XSP engine: maximal
-// scan–select–project chains over one table become a single set-at-a-time
-// pipeline (one pass, no intermediates), and joins hash-join the
-// materialized child results. Column names must be unique across the
-// inputs of a join (qualify them in the schemas if needed) — Schema.Col
-// resolves the first match.
+// Execution lowers logical plans onto the streaming operator tree
+// (internal/exec): every node compiles to a batch iterator, so the only
+// full materializations anywhere in a run are the hash-join build side,
+// the sort buffer, and the aggregate's accumulator table —
+// ExecStats.PeakIntermediateRows verifies nothing else ever holds more
+// than one batch. The pre-streaming executor survives as
+// ExecuteMaterialized (materialize.go) for differential tests and the
+// streaming-vs-materialized benchmarks.
 
 // ExecStats reports physical work done by one execution.
 type ExecStats struct {
@@ -21,141 +26,227 @@ type ExecStats struct {
 	RowsScanned int
 	// RowsJoined counts rows emitted by join operators.
 	RowsJoined int
-	// Pipelines counts compiled single-table pipelines.
+	// Pipelines counts streaming scan sources (one per base table; the
+	// materialized executor counts compiled single-table pipelines).
 	Pipelines int
+	// Operators counts physical operators in the tree.
+	Operators int
+	// PeakIntermediateRows is the largest batch any operator emitted —
+	// the most rows ever in flight *between* operators. The streaming
+	// tree keeps this ≤ exec.MaxBatchRows regardless of result size;
+	// the materialized executor reports its largest intermediate
+	// result here instead.
+	PeakIntermediateRows int
+	// BuildRows counts rows held in hash-join build indexes (the
+	// cost-chosen smaller sides).
+	BuildRows int
+	// SortRows counts rows buffered by sort operators.
+	SortRows int
+	// GroupRows counts aggregate accumulators (one per distinct key).
+	GroupRows int
+}
+
+// Compile lowers a logical plan to a streaming operator tree. Join
+// build sides are cost-chosen here (EstimateRows); join inputs with
+// colliding column names are rejected rather than silently
+// misresolved. The returned tree is single-use: compile a fresh one
+// per execution.
+func Compile(n Node) (exec.Operator, error) {
+	switch x := n.(type) {
+	case *Scan:
+		return exec.NewScan(x.Table), nil
+	case *Select:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		pred, sch := x.Pred, child.OutSchema()
+		return exec.NewStage(&xsp.Restrict{
+			Pred: func(r table.Row) bool { return pred.Eval(sch, r) },
+			Name: pred.String(),
+		}, child), nil
+	case *Project:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		sch := child.OutSchema()
+		idx := make([]int, len(x.Cols))
+		for i, c := range x.Cols {
+			if idx[i], err = colIndex(sch, c, "project column"); err != nil {
+				return nil, err
+			}
+		}
+		return exec.NewStage(&xsp.Project{Cols: idx}, child), nil
+	case *Join:
+		left, err := Compile(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		li, err := colIndex(left.OutSchema(), x.LeftCol, "join column")
+		if err != nil {
+			return nil, err
+		}
+		ri, err := colIndex(right.OutSchema(), x.RightCol, "join column")
+		if err != nil {
+			return nil, err
+		}
+		buildLeft := EstimateRows(x.Left) < EstimateRows(x.Right)
+		return exec.NewHashJoin(left, right, li, ri, buildLeft), nil
+	case *Distinct:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewStage(&xsp.Distinct{}, child), nil
+	case *Sort:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := colIndex(child.OutSchema(), x.Col, "sort column")
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSort(child, idx, x.Desc), nil
+	case *Limit:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, x.N), nil
+	case *GroupBy:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		sch := child.OutSchema()
+		key, err := colIndex(sch, x.Key, "group key")
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]xsp.Agg, len(x.Aggs))
+		for i, a := range x.Aggs {
+			aggs[i] = xsp.Agg{Kind: a.Kind}
+			if a.Kind != xsp.Count {
+				if aggs[i].Col, err = colIndex(sch, a.Col, "aggregate column"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return exec.NewGroupAgg(child, key, aggs...), nil
+	default:
+		return nil, fmt.Errorf("plan: cannot compile %T", n)
+	}
+}
+
+// colIndex resolves a column name, erroring when it is missing or
+// appears more than once — Schema.Col silently resolves the first
+// match, which would misread every reference to a shadowed column.
+// (Join output schemas auto-qualify collisions, so ambiguity here means
+// a source schema itself carries duplicate names.)
+func colIndex(sch table.Schema, name, what string) (int, error) {
+	idx := -1
+	for i, c := range sch.Cols {
+		if c != name {
+			continue
+		}
+		if idx >= 0 {
+			return -1, fmt.Errorf("plan: %s %q is ambiguous in %s (columns %v); qualify or rename it",
+				what, name, sch.Name, sch.Cols)
+		}
+		idx = i
+	}
+	if idx < 0 {
+		return -1, fmt.Errorf("plan: %s %q not found", what, name)
+	}
+	return idx, nil
 }
 
 // Execute runs the plan and returns the result rows with their schema.
 func Execute(n Node) ([]table.Row, table.Schema, error) {
-	var st ExecStats
-	rows, sch, err := execNode(n, &st)
+	return ExecuteCtx(context.Background(), n)
+}
+
+// ExecuteCtx is Execute under a cancellation context, polled once per
+// batch throughout the tree.
+func ExecuteCtx(ctx context.Context, n Node) ([]table.Row, table.Schema, error) {
+	rows, sch, _, err := ExecuteStatsCtx(ctx, n)
 	return rows, sch, err
 }
 
 // ExecuteStats runs the plan and also returns physical counters.
 func ExecuteStats(n Node) ([]table.Row, table.Schema, ExecStats, error) {
+	return ExecuteStatsCtx(context.Background(), n)
+}
+
+// ExecuteStatsCtx is ExecuteStats under a cancellation context.
+func ExecuteStatsCtx(ctx context.Context, n Node) ([]table.Row, table.Schema, ExecStats, error) {
+	op, err := Compile(n)
+	if err != nil {
+		return nil, table.Schema{}, ExecStats{}, err
+	}
+	rows, err := exec.Collect(ctx, op)
+	st := TreeStats(op)
+	if err != nil {
+		return nil, table.Schema{}, st, err
+	}
+	return rows, op.OutSchema(), st, nil
+}
+
+// TreeStats aggregates a (drained) operator tree's counters into
+// ExecStats.
+func TreeStats(op exec.Operator) ExecStats {
 	var st ExecStats
-	rows, sch, err := execNode(n, &st)
-	return rows, sch, st, err
+	exec.Walk(op, func(o exec.Operator, _ int) {
+		st.Operators++
+		s := o.Stats()
+		if s.MaxBatch > st.PeakIntermediateRows {
+			st.PeakIntermediateRows = s.MaxBatch
+		}
+		switch o.(type) {
+		case *exec.Scan:
+			st.Pipelines++
+			st.RowsScanned += s.RowsIn
+		case *exec.HashJoin:
+			st.RowsJoined += s.RowsOut
+			st.BuildRows += s.HeldRows
+		case *exec.Sort:
+			st.SortRows += s.HeldRows
+		case *exec.GroupAgg:
+			st.GroupRows += s.HeldRows
+		}
+	})
+	return st
 }
 
-func execNode(n Node, st *ExecStats) ([]table.Row, table.Schema, error) {
-	// A single-table chain compiles to one pipeline.
-	if src, ops, ok := compileChain(n); ok {
-		st.Pipelines++
-		p := xsp.NewPipeline(src, ops...)
-		rows, err := p.Collect()
-		if err != nil {
-			return nil, table.Schema{}, err
-		}
-		st.RowsScanned += p.Stats().RowsIn
-		return rows, n.Schema(), nil
+// ExplainAnalyze compiles the plan, drains it under ctx, and renders
+// the physical tree with actual per-operator counters:
+//
+//	hashjoin[ouid=uid build=right]  rows=60 batches=1 maxbatch=60 held=20 time=0s
+//	   scan(orders)                 rows=60 batches=1 maxbatch=60 time=0s
+//	   scan(users)                  rows=20 batches=1 maxbatch=20 time=0s
+func ExplainAnalyze(ctx context.Context, n Node) (string, error) {
+	op, err := Compile(n)
+	if err != nil {
+		return "", err
 	}
-	switch x := n.(type) {
-	case *Join:
-		lrows, lsch, err := execNode(x.Left, st)
-		if err != nil {
-			return nil, table.Schema{}, err
-		}
-		rrows, rsch, err := execNode(x.Right, st)
-		if err != nil {
-			return nil, table.Schema{}, err
-		}
-		li, ri := lsch.Col(x.LeftCol), rsch.Col(x.RightCol)
-		if li < 0 || ri < 0 {
-			return nil, table.Schema{}, fmt.Errorf("plan: join column %q/%q not found", x.LeftCol, x.RightCol)
-		}
-		build := make(map[string][]table.Row, len(rrows))
-		for _, r := range rrows {
-			k := core.Key(r[ri])
-			build[k] = append(build[k], r)
-		}
-		var out []table.Row
-		for _, l := range lrows {
-			for _, r := range build[core.Key(l[li])] {
-				row := make(table.Row, 0, len(l)+len(r))
-				row = append(row, l...)
-				row = append(row, r...)
-				out = append(out, row)
-			}
-		}
-		st.RowsJoined += len(out)
-		return out, x.Schema(), nil
-	case *Select:
-		rows, sch, err := execNode(x.Child, st)
-		if err != nil {
-			return nil, table.Schema{}, err
-		}
-		var out []table.Row
-		for _, r := range rows {
-			if x.Pred.Eval(sch, r) {
-				out = append(out, r)
-			}
-		}
-		return out, sch, nil
-	case *Project:
-		rows, sch, err := execNode(x.Child, st)
-		if err != nil {
-			return nil, table.Schema{}, err
-		}
-		idx := make([]int, len(x.Cols))
-		for i, c := range x.Cols {
-			idx[i] = sch.Col(c)
-			if idx[i] < 0 {
-				return nil, table.Schema{}, fmt.Errorf("plan: project column %q not found", c)
-			}
-		}
-		out := make([]table.Row, len(rows))
-		for i, r := range rows {
-			nr := make(table.Row, len(idx))
-			for j, k := range idx {
-				nr[j] = r[k]
-			}
-			out[i] = nr
-		}
-		return out, x.Schema(), nil
-	default:
-		return nil, table.Schema{}, fmt.Errorf("plan: cannot execute %T", n)
+	if _, err := exec.Count(ctx, op); err != nil {
+		return "", err
 	}
-}
-
-// compileChain recognizes Select/Project chains rooted at a Scan and
-// compiles them into a single XSP pipeline.
-func compileChain(n Node) (*table.Table, []xsp.Op, bool) {
-	var build func(n Node) (*table.Table, table.Schema, []xsp.Op, bool)
-	build = func(n Node) (*table.Table, table.Schema, []xsp.Op, bool) {
-		switch x := n.(type) {
-		case *Scan:
-			return x.Table, x.Table.Schema(), nil, true
-		case *Select:
-			src, sch, ops, ok := build(x.Child)
-			if !ok {
-				return nil, table.Schema{}, nil, false
-			}
-			pred, cur := x.Pred, sch
-			ops = append(ops, &xsp.Restrict{
-				Pred: func(r table.Row) bool { return pred.Eval(cur, r) },
-				Name: pred.String(),
-			})
-			return src, sch, ops, true
-		case *Project:
-			src, sch, ops, ok := build(x.Child)
-			if !ok {
-				return nil, table.Schema{}, nil, false
-			}
-			idx := make([]int, len(x.Cols))
-			for i, c := range x.Cols {
-				idx[i] = sch.Col(c)
-				if idx[i] < 0 {
-					return nil, table.Schema{}, nil, false
-				}
-			}
-			ops = append(ops, &xsp.Project{Cols: idx})
-			return src, x.Schema(), ops, true
-		default:
-			return nil, table.Schema{}, nil, false
+	var b strings.Builder
+	exec.Walk(op, func(o exec.Operator, depth int) {
+		s := o.Stats()
+		line := strings.Repeat("   ", depth) + o.String()
+		fmt.Fprintf(&b, "%-44s rows=%d batches=%d maxbatch=%d", line, s.RowsOut, s.Batches, s.MaxBatch)
+		if s.HeldRows > 0 {
+			fmt.Fprintf(&b, " held=%d", s.HeldRows)
 		}
-	}
-	src, _, ops, ok := build(n)
-	return src, ops, ok
+		fmt.Fprintf(&b, " time=%s\n", time.Duration(s.Ns).Round(time.Microsecond))
+	})
+	return b.String(), nil
 }

@@ -56,6 +56,18 @@ func nodeLabel(n Node) string {
 		return "project[" + strings.Join(x.Cols, ",") + "]"
 	case *Join:
 		return fmt.Sprintf("join[%s=%s]", x.LeftCol, x.RightCol)
+	case *Distinct:
+		return "distinct"
+	case *Sort:
+		dir := "asc"
+		if x.Desc {
+			dir = "desc"
+		}
+		return fmt.Sprintf("sort[%s %s]", x.Col, dir)
+	case *Limit:
+		return fmt.Sprintf("limit[%d]", x.N)
+	case *GroupBy:
+		return "group[" + x.Key + "]"
 	default:
 		return fmt.Sprintf("%T", n)
 	}
@@ -69,6 +81,14 @@ func children(n Node) []Node {
 		return []Node{x.Child}
 	case *Join:
 		return []Node{x.Left, x.Right}
+	case *Distinct:
+		return []Node{x.Child}
+	case *Sort:
+		return []Node{x.Child}
+	case *Limit:
+		return []Node{x.Child}
+	case *GroupBy:
+		return []Node{x.Child}
 	default:
 		return nil
 	}

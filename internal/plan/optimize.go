@@ -46,6 +46,18 @@ func rewrite(n Node) (Node, bool) {
 		l, lc := rewrite(x.Left)
 		r, rc := rewrite(x.Right)
 		return &Join{Left: l, Right: r, LeftCol: x.LeftCol, RightCol: x.RightCol}, lc || rc
+	case *Distinct:
+		child, changed := rewrite(x.Child)
+		return &Distinct{Child: child}, changed
+	case *Sort:
+		child, changed := rewrite(x.Child)
+		return &Sort{Child: child, Col: x.Col, Desc: x.Desc}, changed
+	case *Limit:
+		child, changed := rewrite(x.Child)
+		return &Limit{Child: child, N: x.N}, changed
+	case *GroupBy:
+		child, changed := rewrite(x.Child)
+		return &GroupBy{Child: child, Key: x.Key, Aggs: x.Aggs}, changed
 	default:
 		return n, false
 	}

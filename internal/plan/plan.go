@@ -18,6 +18,7 @@ import (
 
 	"xst/internal/core"
 	"xst/internal/table"
+	"xst/internal/xsp"
 )
 
 // Node is a logical plan operator. Plans are immutable trees; rewrites
@@ -70,7 +71,9 @@ func (p *Project) String() string {
 }
 
 // Join is an equi-join on named columns; output columns are
-// left-then-right with the source prefixes the schemas carry.
+// left-then-right, with colliding right-side names auto-qualified as
+// "table.col" (see table.JoinSchema) so references never silently
+// resolve to the wrong side.
 type Join struct {
 	Left, Right       Node
 	LeftCol, RightCol string
@@ -78,15 +81,90 @@ type Join struct {
 
 // Schema implements Node.
 func (j *Join) Schema() table.Schema {
-	l, r := j.Left.Schema(), j.Right.Schema()
-	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
-	cols = append(cols, l.Cols...)
-	cols = append(cols, r.Cols...)
-	return table.Schema{Name: l.Name + "*" + r.Name, Cols: cols}
+	return table.JoinSchema(j.Left.Schema(), j.Right.Schema())
 }
 
 func (j *Join) String() string {
 	return fmt.Sprintf("join[%s=%s](%v, %v)", j.LeftCol, j.RightCol, j.Left, j.Right)
+}
+
+// Distinct collapses duplicate rows (set semantics — canonicalization).
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() table.Schema { return d.Child.Schema() }
+
+func (d *Distinct) String() string { return fmt.Sprintf("distinct(%v)", d.Child) }
+
+// Sort orders rows by one column under the canonical value order.
+type Sort struct {
+	Child Node
+	Col   string
+	Desc  bool
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() table.Schema { return s.Child.Schema() }
+
+func (s *Sort) String() string {
+	dir := "asc"
+	if s.Desc {
+		dir = "desc"
+	}
+	return fmt.Sprintf("sort[%s %s](%v)", s.Col, dir, s.Child)
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() table.Schema { return l.Child.Schema() }
+
+func (l *Limit) String() string { return fmt.Sprintf("limit[%d](%v)", l.N, l.Child) }
+
+// AggSpec names one aggregate over a column (Col ignored for Count).
+type AggSpec struct {
+	Kind xsp.AggKind
+	Col  string
+}
+
+func (a AggSpec) String() string {
+	if a.Kind == xsp.Count {
+		return "count"
+	}
+	return fmt.Sprintf("%s(%s)", a.Kind, a.Col)
+}
+
+// GroupBy groups on a key column and computes aggregates per group;
+// output is (key, agg1, agg2, …) in canonical key order.
+type GroupBy struct {
+	Child Node
+	Key   string
+	Aggs  []AggSpec
+}
+
+// Schema implements Node.
+func (g *GroupBy) Schema() table.Schema {
+	in := g.Child.Schema()
+	cols := make([]string, 0, 1+len(g.Aggs))
+	cols = append(cols, g.Key)
+	for _, a := range g.Aggs {
+		cols = append(cols, a.String())
+	}
+	return table.Schema{Name: in.Name, Cols: cols}
+}
+
+func (g *GroupBy) String() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("group[%s: %s](%v)", g.Key, strings.Join(parts, ","), g.Child)
 }
 
 // Pred is a predicate expression the optimizer can inspect: it reports

@@ -33,7 +33,19 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // Do sends one request and reads its response. A zero req.ID is
 // assigned automatically; the response id is checked against it.
+// Streamed query batches are collected into the final response's Batch;
+// use DoStream to see batches as they arrive.
 func (c *Client) Do(req Request) (Response, error) {
+	return c.DoStream(req, nil)
+}
+
+// DoStream is Do, but feeds each intermediate batch line of a streamed
+// query result to fn (when non-nil) the moment it is read, instead of
+// accumulating rows. The final response's Batch holds all rows when fn
+// is nil, and only the final line's own content otherwise. If fn
+// returns an error the stream is abandoned mid-flight and the
+// connection must be closed — unread batch lines are still in it.
+func (c *Client) DoStream(req Request, fn func(rows []string) error) (Response, error) {
 	if req.ID == 0 {
 		c.next++
 		req.ID = c.next
@@ -46,18 +58,47 @@ func (c *Client) Do(req Request) (Response, error) {
 	if _, err := c.conn.Write(buf); err != nil {
 		return Response{}, err
 	}
-	if !c.sc.Scan() {
-		if err := c.sc.Err(); err != nil {
-			return Response{}, err
+	var batches []string
+	for {
+		if !c.sc.Scan() {
+			if err := c.sc.Err(); err != nil {
+				return Response{}, err
+			}
+			return Response{}, fmt.Errorf("server closed connection")
 		}
-		return Response{}, fmt.Errorf("server closed connection")
+		var resp Response
+		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+			return Response{}, fmt.Errorf("bad response %q: %w", c.sc.Text(), err)
+		}
+		if resp.ID != req.ID {
+			return Response{}, fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+		}
+		if resp.More {
+			if fn != nil {
+				if err := fn(resp.Batch); err != nil {
+					return Response{}, err
+				}
+			} else {
+				batches = append(batches, resp.Batch...)
+			}
+			continue
+		}
+		if len(batches) > 0 {
+			resp.Batch = append(batches, resp.Batch...)
+		}
+		return resp, nil
 	}
-	var resp Response
-	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
-		return Response{}, fmt.Errorf("bad response %q: %w", c.sc.Text(), err)
+}
+
+// Query runs a query statement, streaming each batch of rendered rows
+// to fn as it arrives, and returns the final summary response.
+func (c *Client) Query(stmt string, fn func(rows []string) error) (Response, error) {
+	resp, err := c.DoStream(Request{Stmt: stmt}, fn)
+	if err != nil {
+		return Response{}, err
 	}
-	if resp.ID != req.ID {
-		return Response{}, fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	if resp.Error != "" {
+		return Response{}, fmt.Errorf("%s", resp.Error)
 	}
 	return resp, nil
 }

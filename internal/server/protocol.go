@@ -13,13 +13,21 @@
 // server itself (.ping, .stats, .tables, .quit); everything else is
 // evaluated in the connection's session environment.
 //
-// Every request produces exactly one response line:
+// Every request produces exactly one *final* response line:
 //
 //	{"id":n,"result":"...","elapsed_us":12}     success
 //	{"id":n,"error":"...","elapsed_us":12}      failure
 //
 // so clients may pipeline requests and match them up by id (responses
-// come back in request order).
+// come back in request order). Query statements (`from …`) additionally
+// stream zero or more intermediate batch lines *before* the final line,
+// each marked with "more" so a client knows to keep reading:
+//
+//	{"id":n,"batch":["<1 ada 7>","<2 bo 3>"],"more":true}
+//	{"id":n,"result":"2 rows","rows":2,"elapsed_us":34}
+//
+// Batches are emitted as the operator tree produces them, so the first
+// rows of a large result arrive while the rest is still being computed.
 package server
 
 import (
@@ -38,13 +46,23 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// Response is the outcome of one request.
+// Response is the outcome of one request, or one streamed batch of a
+// query result when More is set.
 type Response struct {
 	ID uint64 `json:"id,omitempty"`
 	// Result is the rendered value (or admin output) on success.
 	Result string `json:"result,omitempty"`
 	// Error is the failure message; empty on success.
 	Error string `json:"error,omitempty"`
+	// Batch carries one streamed batch of rendered result rows (query
+	// statements only).
+	Batch []string `json:"batch,omitempty"`
+	// More marks an intermediate batch line; further lines for the same
+	// request follow until a line without it.
+	More bool `json:"more,omitempty"`
+	// Rows is the total row count of a streamed query result (final
+	// line only).
+	Rows int `json:"rows,omitempty"`
 	// ElapsedUS is the server-side evaluation time in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
 }

@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"xst/internal/catalog"
+	"xst/internal/core"
 	"xst/internal/metrics"
 	"xst/internal/store"
+	"xst/internal/table"
 	"xst/internal/xlang"
 )
 
@@ -91,34 +93,38 @@ func (c *Config) fill() {
 
 // Metrics is the server's instrumentation, readable at any time.
 type Metrics struct {
-	QueriesOK      metrics.Counter
-	QueriesErr     metrics.Counter
-	QueriesTimeout metrics.Counter
-	Rejected       metrics.Counter
-	AdminCmds      metrics.Counter
-	BytesIn        metrics.Counter
-	BytesOut       metrics.Counter
-	ConnsTotal     metrics.Counter
-	ActiveConns    metrics.Gauge
-	InFlight       metrics.Gauge
-	Latency        metrics.Histogram
+	QueriesOK       metrics.Counter
+	QueriesErr      metrics.Counter
+	QueriesTimeout  metrics.Counter
+	Rejected        metrics.Counter
+	AdminCmds       metrics.Counter
+	RowsStreamed    metrics.Counter
+	BatchesStreamed metrics.Counter
+	BytesIn         metrics.Counter
+	BytesOut        metrics.Counter
+	ConnsTotal      metrics.Counter
+	ActiveConns     metrics.Gauge
+	InFlight        metrics.Gauge
+	Latency         metrics.Histogram
 }
 
 // Snapshot is a point-in-time view of the server's metrics, the payload
 // of the `.stats` admin command.
 type Snapshot struct {
-	QueriesOK      uint64               `json:"queries_ok"`
-	QueriesErr     uint64               `json:"queries_err"`
-	QueriesTimeout uint64               `json:"queries_timeout"`
-	Rejected       uint64               `json:"rejected"`
-	AdminCmds      uint64               `json:"admin_cmds"`
-	BytesIn        uint64               `json:"bytes_in"`
-	BytesOut       uint64               `json:"bytes_out"`
-	ConnsTotal     uint64               `json:"conns_total"`
-	ActiveConns    int64                `json:"active_conns"`
-	InFlight       int64                `json:"in_flight"`
-	Latency        metrics.HistSnapshot `json:"latency"`
-	Pool           *store.Stats         `json:"pool,omitempty"`
+	QueriesOK       uint64               `json:"queries_ok"`
+	QueriesErr      uint64               `json:"queries_err"`
+	QueriesTimeout  uint64               `json:"queries_timeout"`
+	Rejected        uint64               `json:"rejected"`
+	AdminCmds       uint64               `json:"admin_cmds"`
+	RowsStreamed    uint64               `json:"rows_streamed"`
+	BatchesStreamed uint64               `json:"batches_streamed"`
+	BytesIn         uint64               `json:"bytes_in"`
+	BytesOut        uint64               `json:"bytes_out"`
+	ConnsTotal      uint64               `json:"conns_total"`
+	ActiveConns     int64                `json:"active_conns"`
+	InFlight        int64                `json:"in_flight"`
+	Latency         metrics.HistSnapshot `json:"latency"`
+	Pool            *store.Stats         `json:"pool,omitempty"`
 }
 
 // Server is a concurrent xlang query server. Create with New, start
@@ -173,17 +179,19 @@ func (s *Server) Metrics() *Metrics { return &s.m }
 // stats when a database is attached.
 func (s *Server) MetricsSnapshot() Snapshot {
 	snap := Snapshot{
-		QueriesOK:      s.m.QueriesOK.Value(),
-		QueriesErr:     s.m.QueriesErr.Value(),
-		QueriesTimeout: s.m.QueriesTimeout.Value(),
-		Rejected:       s.m.Rejected.Value(),
-		AdminCmds:      s.m.AdminCmds.Value(),
-		BytesIn:        s.m.BytesIn.Value(),
-		BytesOut:       s.m.BytesOut.Value(),
-		ConnsTotal:     s.m.ConnsTotal.Value(),
-		ActiveConns:    s.m.ActiveConns.Value(),
-		InFlight:       s.m.InFlight.Value(),
-		Latency:        s.m.Latency.Snapshot(),
+		QueriesOK:       s.m.QueriesOK.Value(),
+		QueriesErr:      s.m.QueriesErr.Value(),
+		QueriesTimeout:  s.m.QueriesTimeout.Value(),
+		Rejected:        s.m.Rejected.Value(),
+		AdminCmds:       s.m.AdminCmds.Value(),
+		RowsStreamed:    s.m.RowsStreamed.Value(),
+		BatchesStreamed: s.m.BatchesStreamed.Value(),
+		BytesIn:         s.m.BytesIn.Value(),
+		BytesOut:        s.m.BytesOut.Value(),
+		ConnsTotal:      s.m.ConnsTotal.Value(),
+		ActiveConns:     s.m.ActiveConns.Value(),
+		InFlight:        s.m.InFlight.Value(),
+		Latency:         s.m.Latency.Snapshot(),
 	}
 	if s.cfg.DB != nil {
 		st := s.cfg.DB.Pool().Stats()
@@ -336,7 +344,8 @@ func (s *Server) serveConn(sess *session) {
 		sess.busy = true
 		sess.mu.Unlock()
 
-		resp, quit := s.handle(sess, req)
+		send := func(r Response) error { return s.writeResponse(sess.conn, r) }
+		resp, quit := s.handle(sess, req, send)
 		err := s.writeResponse(sess.conn, resp)
 
 		sess.mu.Lock()
@@ -362,9 +371,11 @@ func (s *Server) writeResponse(conn net.Conn, resp Response) error {
 }
 
 // handle evaluates one request, applying admission control and the
-// per-query deadline. quit reports that the connection should close
-// after the response is written.
-func (s *Server) handle(sess *session, req Request) (resp Response, quit bool) {
+// per-query deadline. Query statements stream intermediate batch lines
+// through send before the final response; everything else produces only
+// the returned response. quit reports that the connection should close
+// after the final response is written.
+func (s *Server) handle(sess *session, req Request, send func(Response) error) (resp Response, quit bool) {
 	start := time.Now()
 	defer func() {
 		resp.ID = req.ID
@@ -400,7 +411,19 @@ func (s *Server) handle(sess *session, req Request) (resp Response, quit bool) {
 	defer cancel()
 
 	s.m.InFlight.Inc()
-	v, err := xlang.EvalCtx(ctx, sess.env, req.Stmt)
+	var result string
+	var rows int
+	var err error
+	if xlang.IsQuery(req.Stmt) {
+		rows, err = s.streamQuery(ctx, sess.env, req, send)
+		result = fmt.Sprintf("%d rows", rows)
+	} else {
+		var v core.Value
+		v, err = xlang.EvalCtx(ctx, sess.env, req.Stmt)
+		if err == nil {
+			result = fmt.Sprint(v)
+		}
+	}
 	s.m.InFlight.Dec()
 	s.m.Latency.Record(time.Since(start))
 	if err != nil {
@@ -412,7 +435,31 @@ func (s *Server) handle(sess *session, req Request) (resp Response, quit bool) {
 		return Response{Error: err.Error()}, false
 	}
 	s.m.QueriesOK.Inc()
-	return Response{Result: fmt.Sprint(v)}, false
+	return Response{Result: result, Rows: rows}, false
+}
+
+// streamQuery runs a query statement on the streaming operator tree,
+// writing each result batch to the connection as an intermediate
+// More-marked line the moment the tree produces it — the client sees
+// first rows while the rest are still being computed, and the server
+// never holds a full result.
+func (s *Server) streamQuery(ctx context.Context, env *xlang.Env, req Request, send func(Response) error) (int, error) {
+	q, err := xlang.CompileQuery(env, req.Stmt)
+	if err != nil {
+		return 0, err
+	}
+	rows := 0
+	_, err = q.Run(ctx, func(batch []table.Row) error {
+		out := make([]string, len(batch))
+		for i, r := range batch {
+			out[i] = fmt.Sprint(r.Tuple())
+		}
+		rows += len(batch)
+		s.m.RowsStreamed.Add(uint64(len(batch)))
+		s.m.BatchesStreamed.Inc()
+		return send(Response{ID: req.ID, Batch: out, More: true})
+	})
+	return rows, err
 }
 
 // handleAdmin serves the '.' commands.

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"xst/internal/catalog"
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+)
+
+// streamDB builds a database whose nums table spans several pages, so a
+// full scan streams as multiple batch lines.
+func streamDB(t *testing.T, rows int) *catalog.Database {
+	t.Helper()
+	db, err := catalog.Create(store.NewMemPager(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(table.Schema{Name: "nums", Cols: []string{"n", "mod"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := tb.Insert(table.Row{core.Int(i), core.Int(i % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestQueryStreaming drives a query statement over the wire and checks
+// rows arrive as multiple More-marked batch lines before the summary.
+func TestQueryStreaming(t *testing.T) {
+	srv, addr := startServer(t, Config{DB: streamDB(t, 3000)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	batches, rows := 0, 0
+	resp, err := c.Query("from nums where mod = 3 select n", func(batch []string) error {
+		batches++
+		rows += len(batch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3000 / 7
+	if 3000%7 > 3 {
+		want++
+	}
+	if rows != want || resp.Rows != want {
+		t.Fatalf("streamed %d rows, summary says %d, want %d", rows, resp.Rows, want)
+	}
+	if batches < 2 {
+		t.Fatalf("expected a multi-batch stream, got %d batch lines", batches)
+	}
+	if !strings.Contains(resp.Result, "rows") {
+		t.Fatalf("summary result = %q", resp.Result)
+	}
+
+	snap := srv.MetricsSnapshot()
+	if snap.RowsStreamed != uint64(want) || snap.BatchesStreamed != uint64(batches) {
+		t.Fatalf("metrics rows_streamed=%d batches_streamed=%d, want %d/%d",
+			snap.RowsStreamed, snap.BatchesStreamed, want, batches)
+	}
+	if snap.QueriesOK == 0 {
+		t.Fatal("streamed query not counted as ok")
+	}
+}
+
+// TestQueryDoAccumulates checks the plain Do path collects every
+// streamed batch into the final response.
+func TestQueryDoAccumulates(t *testing.T) {
+	_, addr := startServer(t, Config{DB: streamDB(t, 2500)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Do(Request{Stmt: "from nums select n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("query error: %s", resp.Error)
+	}
+	if len(resp.Batch) != 2500 || resp.Rows != 2500 {
+		t.Fatalf("accumulated %d rows (summary %d), want 2500", len(resp.Batch), resp.Rows)
+	}
+	if resp.Batch[0] != "<0>" {
+		t.Fatalf("first row rendered as %q", resp.Batch[0])
+	}
+}
+
+// TestQueryWireErrors checks compile errors surface as normal error
+// responses and leave the connection usable.
+func TestQueryWireErrors(t *testing.T) {
+	srv, addr := startServer(t, Config{DB: streamDB(t, 10)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, stmt := range []string{"from nosuch", "from nums where nope = 1"} {
+		resp, err := c.Do(Request{Stmt: stmt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error == "" || len(resp.Batch) != 0 {
+			t.Fatalf("%q: expected error response, got %+v", stmt, resp)
+		}
+	}
+	// The session still works after failed queries.
+	if got, err := c.Eval("card({1,2})"); err != nil || got != "2" {
+		t.Fatalf("session broken after query errors: %q, %v", got, err)
+	}
+	if snap := srv.MetricsSnapshot(); snap.QueriesErr != 2 {
+		t.Fatalf("queries_err = %d, want 2", snap.QueriesErr)
+	}
+}
+
+// TestQueryStreamDeadline checks the per-query deadline aborts a stream
+// mid-flight with a deadline error on the final line.
+func TestQueryStreamDeadline(t *testing.T) {
+	srv, addr := startServer(t, Config{DB: streamDB(t, 4000)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Self-join on mod fans each row out ~571×: ~2.3M output rows,
+	// far beyond a 25ms budget.
+	resp, err := c.DoStream(Request{
+		Stmt:      "from nums join nums on mod = mod",
+		TimeoutMS: 25,
+	}, func([]string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Error, "deadline") {
+		t.Fatalf("expected deadline error, got %+v", resp)
+	}
+	if got := srv.MetricsSnapshot().QueriesTimeout; got != 1 {
+		t.Errorf("queries_timeout = %d, want 1", got)
+	}
+}

@@ -55,3 +55,46 @@ func (c *HeapCursor) Reset() {
 	c.slot = 0
 	c.done = false
 }
+
+// PageCursor is a pull-style page cursor over a heap file: each Next
+// call pins one page, hands its live records to fn, and unpins before
+// returning — the set-at-a-time access discipline in pull form, so a
+// batch-iterator engine can pace the scan instead of being pushed
+// through a callback. The record slices passed to fn alias the pinned
+// page and must not be retained past fn's return; decode or copy them
+// inside fn.
+type PageCursor struct {
+	heap *HeapFile
+	page PageID
+}
+
+// NewPageCursor returns a page cursor positioned before the first page.
+func (h *HeapFile) NewPageCursor() *PageCursor {
+	return &PageCursor{heap: h, page: h.first}
+}
+
+// Next visits the next page. It returns false when the chain is
+// exhausted. An error from fn stops the cursor and is returned.
+func (c *PageCursor) Next(fn func(page PageID, recs [][]byte) error) (bool, error) {
+	if c.page == InvalidPage {
+		return false, nil
+	}
+	fr, err := c.heap.pool.Get(c.page)
+	if err != nil {
+		return false, err
+	}
+	p := SlottedPage(fr.Data())
+	var recs [][]byte
+	p.Each(func(_ int, rec []byte) bool {
+		recs = append(recs, rec)
+		return true
+	})
+	id := c.page
+	c.page = p.Next()
+	err = fn(id, recs)
+	fr.Unpin()
+	return true, err
+}
+
+// Reset repositions the cursor at the first page.
+func (c *PageCursor) Reset() { c.page = c.heap.first }

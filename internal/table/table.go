@@ -39,6 +39,33 @@ func (s Schema) Col(name string) int {
 // Arity returns the column count.
 func (s Schema) Arity() int { return len(s.Cols) }
 
+// JoinSchema composes the output schema of an equi-join: left columns
+// then right columns. A right column whose name collides with an
+// earlier column is auto-qualified as "rightName.col" (with a numbered
+// fallback) so the joined schema never carries duplicates — Col on a
+// schema with duplicate names silently resolves to the first match,
+// which misreads every reference to the shadowed column.
+func JoinSchema(l, r Schema) Schema {
+	cols := make([]string, 0, len(l.Cols)+len(r.Cols))
+	cols = append(cols, l.Cols...)
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for _, c := range r.Cols {
+		name := c
+		if seen[name] {
+			name = r.Name + "." + c
+		}
+		for i := 2; seen[name]; i++ {
+			name = fmt.Sprintf("%s.%s#%d", r.Name, c, i)
+		}
+		seen[name] = true
+		cols = append(cols, name)
+	}
+	return Schema{Name: l.Name + "*" + r.Name, Cols: cols}
+}
+
 // Row is one stored tuple.
 type Row []core.Value
 
@@ -257,6 +284,46 @@ func (c *Cursor) Next() (store.RID, Row, bool, error) {
 
 // Reset repositions the cursor at the beginning.
 func (c *Cursor) Reset() { c.hc.Reset() }
+
+// BatchCursor pulls one decoded page of rows per Next — the
+// set-processing access path in pull form, backing the streaming
+// operator tree (internal/exec): the consumer paces the scan, one page
+// pin per batch. Rows are decoded copies and safe to retain.
+type BatchCursor struct {
+	pc *store.PageCursor
+}
+
+// NewBatchCursor returns a batch cursor positioned before the first
+// page.
+func (t *Table) NewBatchCursor() *BatchCursor {
+	return &BatchCursor{pc: t.heap.NewPageCursor()}
+}
+
+// Next returns the rows of the next heap page; ok is false at end of
+// table. Empty pages yield an empty (non-nil) row slice.
+func (c *BatchCursor) Next() (store.PageID, []Row, bool, error) {
+	var out []Row
+	var id store.PageID
+	ok, err := c.pc.Next(func(page store.PageID, recs [][]byte) error {
+		id = page
+		out = make([]Row, 0, len(recs))
+		for _, rec := range recs {
+			r, err := DecodeRow(rec)
+			if err != nil {
+				return err
+			}
+			out = append(out, r)
+		}
+		return nil
+	})
+	if err != nil || !ok {
+		return 0, nil, false, err
+	}
+	return id, out, true, nil
+}
+
+// Reset repositions the cursor at the beginning.
+func (c *BatchCursor) Reset() { c.pc.Reset() }
 
 // Vacuum rewrites the table into a fresh heap without tombstoned slots
 // or partially-filled interior pages, returning the compacted table.

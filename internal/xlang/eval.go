@@ -8,18 +8,25 @@ import (
 
 	"xst/internal/algebra"
 	"xst/internal/core"
+	"xst/internal/table"
 )
 
 // Env holds variable bindings for evaluation. Unbound identifiers
 // evaluate to string atoms (symbols), so `{<a,b>}` means the set holding
 // the pair of symbols a and b — matching the paper's notation. Bind a
-// name with `name := expr` to shadow the symbol reading.
+// name with `name := expr` to shadow the symbol reading. Stored tables
+// bound with BindTable live in a separate namespace consulted only by
+// query statements (`from …`), which stream from the table pages
+// instead of evaluating a materialized value.
 type Env struct {
-	vars map[string]core.Value
+	vars   map[string]core.Value
+	tables map[string]*table.Table
 }
 
 // NewEnv returns an empty environment.
-func NewEnv() *Env { return &Env{vars: map[string]core.Value{}} }
+func NewEnv() *Env {
+	return &Env{vars: map[string]core.Value{}, tables: map[string]*table.Table{}}
+}
 
 // Clone returns an independent copy of the environment: later Binds on
 // either side are invisible to the other. Values are immutable, so the
@@ -30,7 +37,29 @@ func (e *Env) Clone() *Env {
 	for k, v := range e.vars {
 		vars[k] = v
 	}
-	return &Env{vars: vars}
+	tables := make(map[string]*table.Table, len(e.tables))
+	for k, t := range e.tables {
+		tables[k] = t
+	}
+	return &Env{vars: vars, tables: tables}
+}
+
+// BindTable registers a stored table for query statements.
+func (e *Env) BindTable(name string, t *table.Table) { e.tables[name] = t }
+
+// Table fetches a table bound with BindTable.
+func (e *Env) Table(name string) (*table.Table, bool) {
+	t, ok := e.tables[name]
+	return t, ok
+}
+
+// TableNames returns the bound table names (unsorted).
+func (e *Env) TableNames() []string {
+	out := make([]string, 0, len(e.tables))
+	for k := range e.tables {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Bind sets a variable.
@@ -77,6 +106,9 @@ func Eval(env *Env, src string) (core.Value, error) {
 // with ctx.Err(). This is what makes the query server's per-query
 // deadlines effective.
 func EvalCtx(ctx context.Context, env *Env, src string) (core.Value, error) {
+	if IsQuery(src) {
+		return evalQuery(ctx, env, src)
+	}
 	n, err := Parse(src)
 	if err != nil {
 		return nil, err

@@ -30,72 +30,134 @@ type Agg struct {
 	Col  int // ignored for Count
 }
 
-// GroupAgg aggregates a pipeline by a key column, set-at-a-time: batches
-// stream through once, accumulators update in place. Output rows are
-// (key, agg1, agg2, …) in canonical key order.
-func GroupAgg(p *Pipeline, keyCol int, aggs ...Agg) ([]table.Row, error) {
-	type acc struct {
-		key    core.Value
-		counts []int64
-		sums   []float64
-		isInt  []bool
-		mins   []core.Value
-		maxs   []core.Value
+// forceEncodedGroupKeys disables the atom-key fast path so benchmarks
+// can measure what it saves; never set outside tests.
+var forceEncodedGroupKeys = false
+
+type acc struct {
+	key    core.Value
+	counts []int64
+	sums   []float64
+	isInt  []bool
+	mins   []core.Value
+	maxs   []core.Value
+}
+
+// AggState accumulates grouped aggregates batch by batch. It is the
+// shared core behind GroupAgg, GroupCount, and the streaming aggregate
+// operator in internal/exec: feed batches through Absorb, then read the
+// result rows once with Rows.
+//
+// Grouping keys: atom values (Bool/Int/Float/Str) group by their
+// comparable core.AtomKey — no per-row encoding. Set-valued keys fall
+// back to a second map keyed by the canonical encoding; keeping the two
+// maps separate is what makes the fast path sound, since a Str key
+// could otherwise collide with an encoded set's byte string.
+type AggState struct {
+	keyCol int
+	aggs   []Agg
+	atoms  map[core.AtomKey]*acc
+	sets   map[string]*acc
+	rows   int
+}
+
+// NewAggState returns an empty accumulator grouping on keyCol.
+func NewAggState(keyCol int, aggs ...Agg) *AggState {
+	return &AggState{
+		keyCol: keyCol,
+		aggs:   append([]Agg(nil), aggs...),
+		atoms:  map[core.AtomKey]*acc{},
+		sets:   map[string]*acc{},
 	}
-	groups := map[string]*acc{}
-	err := p.Run(func(rows []table.Row) error {
-		for _, r := range rows {
-			k := core.Key(r[keyCol])
-			g := groups[k]
-			if g == nil {
-				g = &acc{
-					key:    r[keyCol],
-					counts: make([]int64, len(aggs)),
-					sums:   make([]float64, len(aggs)),
-					isInt:  make([]bool, len(aggs)),
-					mins:   make([]core.Value, len(aggs)),
-					maxs:   make([]core.Value, len(aggs)),
+}
+
+// Absorb folds one batch into the accumulators. Rows are not retained
+// (only their immutable values), so callers may pass operator scratch.
+func (s *AggState) Absorb(rows []table.Row) error {
+	for _, r := range rows {
+		g, err := s.group(r[s.keyCol])
+		if err != nil {
+			return err
+		}
+		for i, a := range s.aggs {
+			switch a.Kind {
+			case Count:
+				g.counts[i]++
+			case Sum:
+				switch v := r[a.Col].(type) {
+				case core.Int:
+					g.sums[i] += float64(v)
+				case core.Float:
+					g.sums[i] += float64(v)
+					g.isInt[i] = false
+				default:
+					return fmt.Errorf("xsp: sum over non-numeric %v", v)
 				}
-				for i := range g.isInt {
-					g.isInt[i] = true
+			case Min:
+				if g.mins[i] == nil || core.Compare(r[a.Col], g.mins[i]) < 0 {
+					g.mins[i] = r[a.Col]
 				}
-				groups[k] = g
-			}
-			for i, a := range aggs {
-				switch a.Kind {
-				case Count:
-					g.counts[i]++
-				case Sum:
-					switch v := r[a.Col].(type) {
-					case core.Int:
-						g.sums[i] += float64(v)
-					case core.Float:
-						g.sums[i] += float64(v)
-						g.isInt[i] = false
-					default:
-						return fmt.Errorf("xsp: sum over non-numeric %v", v)
-					}
-				case Min:
-					if g.mins[i] == nil || core.Compare(r[a.Col], g.mins[i]) < 0 {
-						g.mins[i] = r[a.Col]
-					}
-				case Max:
-					if g.maxs[i] == nil || core.Compare(r[a.Col], g.maxs[i]) > 0 {
-						g.maxs[i] = r[a.Col]
-					}
+			case Max:
+				if g.maxs[i] == nil || core.Compare(r[a.Col], g.maxs[i]) > 0 {
+					g.maxs[i] = r[a.Col]
 				}
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	out := make([]table.Row, 0, len(groups))
-	for _, g := range groups {
-		row := make(table.Row, 0, 1+len(aggs))
+	s.rows += len(rows)
+	return nil
+}
+
+// group finds or creates the accumulator for one key value.
+func (s *AggState) group(key core.Value) (*acc, error) {
+	if !forceEncodedGroupKeys {
+		if ak, ok := core.AtomKeyOf(key); ok {
+			g := s.atoms[ak]
+			if g == nil {
+				g = s.newAcc(key)
+				s.atoms[ak] = g
+			}
+			return g, nil
+		}
+	}
+	k := core.Key(key)
+	g := s.sets[k]
+	if g == nil {
+		g = s.newAcc(key)
+		s.sets[k] = g
+	}
+	return g, nil
+}
+
+func (s *AggState) newAcc(key core.Value) *acc {
+	g := &acc{
+		key:    key,
+		counts: make([]int64, len(s.aggs)),
+		sums:   make([]float64, len(s.aggs)),
+		isInt:  make([]bool, len(s.aggs)),
+		mins:   make([]core.Value, len(s.aggs)),
+		maxs:   make([]core.Value, len(s.aggs)),
+	}
+	for i := range g.isInt {
+		g.isInt[i] = true
+	}
+	return g
+}
+
+// Groups returns the number of distinct keys seen so far.
+func (s *AggState) Groups() int { return len(s.atoms) + len(s.sets) }
+
+// RowsIn returns the number of rows absorbed so far.
+func (s *AggState) RowsIn() int { return s.rows }
+
+// Rows materializes the aggregate result: (key, agg1, agg2, …) rows in
+// canonical key order. The rows are freshly allocated and retainable.
+func (s *AggState) Rows() []table.Row {
+	out := make([]table.Row, 0, s.Groups())
+	emit := func(g *acc) {
+		row := make(table.Row, 0, 1+len(s.aggs))
 		row = append(row, g.key)
-		for i, a := range aggs {
+		for i, a := range s.aggs {
 			switch a.Kind {
 			case Count:
 				row = append(row, core.Int(g.counts[i]))
@@ -113,8 +175,25 @@ func GroupAgg(p *Pipeline, keyCol int, aggs ...Agg) ([]table.Row, error) {
 		}
 		out = append(out, row)
 	}
+	for _, g := range s.atoms {
+		emit(g)
+	}
+	for _, g := range s.sets {
+		emit(g)
+	}
 	sort.Slice(out, func(i, j int) bool { return core.Compare(out[i][0], out[j][0]) < 0 })
-	return out, nil
+	return out
+}
+
+// GroupAgg aggregates a pipeline by a key column, set-at-a-time: batches
+// stream through once, accumulators update in place. Output rows are
+// (key, agg1, agg2, …) in canonical key order.
+func GroupAgg(p *Pipeline, keyCol int, aggs ...Agg) ([]table.Row, error) {
+	st := NewAggState(keyCol, aggs...)
+	if err := p.Run(st.Absorb); err != nil {
+		return nil, err
+	}
+	return st.Rows(), nil
 }
 
 // OrderBy materializes the pipeline and returns rows sorted by the given

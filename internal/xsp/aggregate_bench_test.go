@@ -1,0 +1,80 @@
+package xsp
+
+import (
+	"testing"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// BenchmarkGroupAggKeys measures the atom-key fast path against the
+// canonical-encoding fallback it replaced: grouping interned scalar
+// keys through map[core.Value] skips the per-row core.Key string build
+// entirely, which the allocs/op column makes visible.
+//
+//	go test -bench=GroupAggKeys -benchmem ./internal/xsp/
+func BenchmarkGroupAggKeys(b *testing.B) {
+	pool := newPool()
+	tbl := makeUsers(b, pool, 20000)
+	run := func(b *testing.B, forced bool) {
+		prev := forceEncodedGroupKeys
+		forceEncodedGroupKeys = forced
+		defer func() { forceEncodedGroupKeys = prev }()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := GroupAgg(NewPipeline(tbl), 1, Agg{Kind: Count}, Agg{Kind: Sum, Col: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != 3 {
+				b.Fatalf("groups = %d", len(rows))
+			}
+		}
+	}
+	b.Run("atoms", func(b *testing.B) { run(b, false) })
+	b.Run("encoded", func(b *testing.B) { run(b, true) })
+}
+
+// TestGroupAggKeyPathsAgree pins the fast path to the fallback: both
+// keying strategies must produce identical groups, including when atom
+// keys and set-valued keys mix in one column.
+func TestGroupAggKeyPathsAgree(t *testing.T) {
+	pool := newPool()
+	tbl, err := table.Create(pool, table.Schema{Name: "mixed", Cols: []string{"k", "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []core.Value{
+		core.Int(1), core.Str("a"), core.Bool(true), core.Float(2.5),
+		core.S(core.Int(1)),     // set key: must not collide with Int(1)
+		core.S(core.Str("a")),   // set key: must not collide with Str("a")
+		core.Tuple(core.Int(1)), // tuple key
+		core.Str("1"),           // string that looks like an int
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := tbl.Insert(table.Row{keys[i%len(keys)], core.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(forced bool) []table.Row {
+		prev := forceEncodedGroupKeys
+		forceEncodedGroupKeys = forced
+		defer func() { forceEncodedGroupKeys = prev }()
+		rows, err := GroupAgg(NewPipeline(tbl), 0, Agg{Kind: Count}, Agg{Kind: Sum, Col: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	fast, slow := run(false), run(true)
+	if len(fast) != len(keys) || len(slow) != len(keys) {
+		t.Fatalf("group counts: fast=%d slow=%d, want %d", len(fast), len(slow), len(keys))
+	}
+	for i := range fast {
+		for j := range fast[i] {
+			if !core.Equal(fast[i][j], slow[i][j]) {
+				t.Fatalf("row %d differs: fast=%v slow=%v", i, fast[i], slow[i])
+			}
+		}
+	}
+}

@@ -23,7 +23,6 @@ package xsp
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"xst/internal/core"
 	"xst/internal/store"
@@ -256,25 +255,8 @@ func (p *Pipeline) RunStaged() ([]table.Row, error) {
 }
 
 // GroupCount aggregates rows by a key column set-at-a-time and returns
-// (value, count) rows in canonical order.
+// (value, count) rows in canonical order. It is GroupAgg with a single
+// Count aggregate.
 func GroupCount(p *Pipeline, col int) ([]table.Row, error) {
-	counts := map[string]int{}
-	vals := map[string]core.Value{}
-	err := p.Run(func(rows []table.Row) error {
-		for _, r := range rows {
-			k := core.Key(r[col])
-			counts[k]++
-			vals[k] = r[col]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]table.Row, 0, len(vals))
-	for k, v := range vals {
-		out = append(out, table.Row{v, core.Int(counts[k])})
-	}
-	sort.Slice(out, func(i, j int) bool { return core.Compare(out[i][0], out[j][0]) < 0 })
-	return out, nil
+	return GroupAgg(p, col, Agg{Kind: Count})
 }
