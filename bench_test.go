@@ -365,3 +365,64 @@ func BenchmarkStreamVsMaterialize(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkParallelScaling measures the morsel-driven scaling curve on
+// the full parallel spine — scan → restrict → join probe → grouped
+// aggregate — at explicit worker counts. workers=1 is the serial tree
+// (CompileDOP degrades to Compile); the acceptance target is ≥2×
+// speedup at 4 workers on a ≥4-core host (see EXPERIMENTS.md for the
+// recorded curve).
+func BenchmarkParallelScaling(b *testing.B) {
+	pool := store.NewBufferPool(store.NewMemPager(), 512)
+	users, err := table.Create(pool, table.Schema{Name: "users", Cols: []string{"uid", "city", "score"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orders, err := table.Create(pool, table.Schema{Name: "orders", Cols: []string{"oid", "ouid", "amount"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xtest.NewRand(7)
+	const nUsers, nOrders = 500, 60000
+	for i := 0; i < nUsers; i++ {
+		users.Insert(table.Row{core.Int(i), core.Str(fmt.Sprintf("city-%02d", r.Intn(16))), core.Int(r.Intn(100))})
+	}
+	for i := 0; i < nOrders; i++ {
+		orders.Insert(table.Row{core.Int(i), core.Int(r.Intn(nUsers)), core.Int(r.Intn(1000))})
+	}
+	query := func() plan.Node {
+		return &plan.GroupBy{
+			Child: &plan.Select{
+				Child: &plan.Join{
+					Left: &plan.Scan{Table: orders}, Right: &plan.Scan{Table: users},
+					LeftCol: "ouid", RightCol: "uid",
+				},
+				Pred: plan.Cmp{Col: "amount", Op: plan.Lt, Val: core.Int(800)},
+			},
+			Key:  "city",
+			Aggs: []plan.AggSpec{{Kind: xsp.Count}, {Kind: xsp.Sum, Col: "amount"}},
+		}
+	}
+	baseline := -1
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op, err := plan.CompileDOP(query(), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n, err := exec.Count(context.Background(), op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if baseline < 0 {
+					baseline = n
+				}
+				if n != baseline {
+					b.Fatalf("workers=%d returned %d groups, serial returned %d", workers, n, baseline)
+				}
+			}
+		})
+	}
+}

@@ -1,22 +1,26 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
-	"xst/internal/core"
-	"xst/internal/table"
+	"xst/internal/exec"
+	"xst/internal/plan"
 	"xst/internal/workload"
-	"xst/internal/xsp"
 )
 
 // E13ParallelSetProcessing measures the 1977 "backend processors"
 // story: the stored set physically partitioned across workers, each
-// processing its partition set-at-a-time. The reproduction target is
-// near-linear scan scaling while results stay identical to sequential
-// execution. (On one machine the "processors" are goroutines over a
-// shared buffer pool, so scaling saturates at the pool's mutex — the
-// honest analogue of a shared interconnect.)
+// processing its partition set-at-a-time. Since PR 4 the partitioning
+// lives in the one execution engine — heap pages are dealt as morsels
+// to N worker subtrees behind an exec.Gather (plan.CompileDOP) — so
+// this experiment exercises the same operator tree every query runs
+// on. The reproduction target is near-linear scan scaling while
+// results stay identical to the serial tree. (On one machine the
+// "processors" are goroutines over a shared buffer pool, so scaling
+// saturates at the pool's latch — the honest analogue of a shared
+// interconnect.)
 func E13ParallelSetProcessing(cfg Config) Result {
 	n := 200_000
 	reps := 3
@@ -28,33 +32,37 @@ func E13ParallelSetProcessing(cfg Config) Result {
 	if err != nil {
 		return errResult("E13", err)
 	}
-	cityCol := ds.Users.Schema().Col("city")
 	target := workload.SelectivityValue(50)
-	factory := func() []xsp.Op {
-		return []xsp.Op{
-			&xsp.Restrict{
-				Pred: func(r table.Row) bool { return core.Equal(r[cityCol], target) },
-				Name: "city",
-			},
+	query := func() plan.Node {
+		return &plan.Select{
+			Child: &plan.Scan{Table: ds.Users},
+			Pred:  plan.Cmp{Col: "city", Op: plan.Eq, Val: target},
 		}
 	}
-	baseCount, err := xsp.NewPipeline(ds.Users, factory()...).Count()
+	count := func(dop int) (int, error) {
+		op, err := plan.CompileDOP(query(), dop)
+		if err != nil {
+			return 0, err
+		}
+		return exec.Count(context.Background(), op)
+	}
+
+	baseCount, err := count(1)
 	if err != nil {
 		return errResult("E13", err)
 	}
 	baseT := timeIt(reps, func() {
-		_, err = xsp.NewPipeline(ds.Users, factory()...).Count()
+		_, err = count(1)
 	})
 	if err != nil {
 		return errResult("E13", err)
 	}
 
 	pass := true
-	rows := [][]string{{"sequential", baseT.String(), "1.00x", fmt.Sprintf("%d", baseCount)}}
+	rows := [][]string{{"serial tree", baseT.String(), "1.00x", fmt.Sprintf("%d", baseCount)}}
 	for _, workers := range []int{1, 2, 4, 8} {
-		pp := &xsp.ParallelPipeline{Source: ds.Users, Factory: factory, Workers: workers}
 		var got int
-		d := timeIt(reps, func() { got, err = pp.Count() })
+		d := timeIt(reps, func() { got, err = count(workers) })
 		if err != nil {
 			return errResult("E13", err)
 		}

@@ -23,7 +23,7 @@
 //
 // No operator materializes its full input except HashJoin's build side,
 // Sort, and GroupAgg's accumulator table — the three places DESIGN.md
-// §9 sanctions — so peak intermediate memory is bounded by
+// §8 sanctions — so peak intermediate memory is bounded by
 // MaxBatchRows plus those explicit pools, which plan.ExecStats reports.
 package exec
 

@@ -1,0 +1,857 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xst/internal/core"
+	"xst/internal/table"
+	"xst/internal/xsp"
+)
+
+// Parallel (exchange-style) operators: the paper's §12 claim that whole
+// sets can be "physically partitioned and every partition processed as
+// a set, in parallel" as a property of the operator tree itself.
+//
+// The shape is morsel-driven: a table's heap pages are dealt out of a
+// shared table.MorselSource to N identical worker subtrees (MorselScan
+// leaves plus whatever per-worker operators the planner stacks on
+// them), and a Gather at the pipeline break funnels worker batches back
+// into the single-goroutine pull contract. Blocking operators
+// parallelize their own sanctioned materializations: HashBuild builds a
+// partitioned hash index from N build workers, ProbeJoin probes it from
+// N probe workers, and ParallelGroupAgg folds per-worker xsp.AggState
+// accumulators with a merge stage.
+//
+// Cross-goroutine batch ownership (see DESIGN.md §9): the serial
+// "scratch owned by the operator" rule assumes producer and consumer
+// alternate on one goroutine, which no longer holds across an exchange.
+// Gather therefore clones every batch out of worker scratch before it
+// crosses the channel — unless the worker root implements Retainer and
+// vouches that its batches are freshly allocated and never reused.
+
+// Retainer marks operators whose Next batches (slice and rows) are
+// freshly allocated and never reused by a later Next, so an exchange
+// may ship them across goroutines without cloning.
+type Retainer interface{ RetainableBatches() bool }
+
+// retainableBatches reports whether op's batches may cross goroutines
+// uncloned.
+func retainableBatches(op Operator) bool {
+	r, ok := op.(Retainer)
+	return ok && r.RetainableBatches()
+}
+
+// cloneBatch copies a batch out of operator scratch.
+func cloneBatch(rows []table.Row) []table.Row {
+	out := make([]table.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// MorselScan is one parallel-scan worker: it claims heap pages (morsels)
+// from a shared table.MorselSource and emits each page's rows as
+// batches. N MorselScans over one source partition the table
+// dynamically — fast workers claim more pages. Rows are fresh decoded
+// copies and the emitted arrays are never rewritten, so batches are
+// retainable (Retainer).
+type MorselScan struct {
+	src   *table.MorselSource
+	ctx   context.Context
+	pend  []table.Row
+	stats OpStats
+	open  bool
+}
+
+// NewMorselScan returns a scan worker pulling from src.
+func NewMorselScan(src *table.MorselSource) *MorselScan { return &MorselScan{src: src} }
+
+// Open implements Operator.
+func (s *MorselScan) Open(ctx context.Context) error {
+	s.stats = OpStats{}
+	defer s.stats.timed(time.Now())
+	s.ctx = ctx
+	s.pend = nil
+	s.open = true
+	return ctx.Err()
+}
+
+// Next implements Operator: one claimed page per refill, polled against
+// the context so a deadline aborts between morsels.
+func (s *MorselScan) Next() ([]table.Row, error) {
+	defer s.stats.timed(time.Now())
+	if !s.open {
+		return nil, errOpen(s)
+	}
+	for {
+		if len(s.pend) > 0 {
+			n := min(len(s.pend), MaxBatchRows)
+			out := s.pend[:n]
+			s.pend = s.pend[n:]
+			s.stats.emitted(out)
+			return out, nil
+		}
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		id, ok := s.src.Next()
+		if !ok {
+			return nil, nil
+		}
+		rows, err := s.src.Table().ReadPageRows(id)
+		if err != nil {
+			return nil, err
+		}
+		s.stats.RowsIn += len(rows)
+		s.pend = rows
+	}
+}
+
+// Close implements Operator.
+func (s *MorselScan) Close() error {
+	s.open = false
+	s.pend = nil
+	return nil
+}
+
+// RetainableBatches implements Retainer.
+func (s *MorselScan) RetainableBatches() bool { return true }
+
+// OutSchema implements Operator.
+func (s *MorselScan) OutSchema() table.Schema { return s.src.Table().Schema() }
+
+// Stats implements Operator.
+func (s *MorselScan) Stats() OpStats { return s.stats }
+
+// Children implements Operator.
+func (s *MorselScan) Children() []Operator { return nil }
+
+func (s *MorselScan) String() string { return "morselscan(" + s.src.Table().Schema().Name + ")" }
+
+// Gather funnels N worker subtrees back into the pull contract: Open
+// spawns one goroutine per worker, each draining its subtree into a
+// bounded channel; Next receives. The contract:
+//
+//   - bounded: the channel holds at most one batch per worker, so rows
+//     in flight stay O(workers × MaxBatchRows) — HeldRows reports the
+//     observed peak;
+//   - first-error-wins: the first worker error (or context cancellation)
+//     cancels a derived context that every worker polls, and Next
+//     returns that error once the channel drains;
+//   - prompt shutdown: Close cancels, drains, and joins every worker
+//     goroutine before returning, so no goroutine outlives the tree;
+//   - ownership: batches are cloned out of worker scratch before they
+//     cross the channel unless the worker root is a Retainer, after
+//     which they belong to Gather's consumer under the usual serial
+//     rule.
+//
+// aux operators are shared dependencies of the workers (e.g. the
+// HashBuild that ProbeJoin workers probe): Open opens them in order,
+// under the derived context, before any worker starts.
+type Gather struct {
+	workers []Operator
+	aux     []Operator
+
+	parent   context.Context
+	ctx      context.Context
+	cancel   context.CancelFunc
+	ch       chan []table.Row
+	wg       sync.WaitGroup
+	errOnce  sync.Once
+	firstErr error
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	stats    OpStats
+	open     bool
+	done     bool
+}
+
+// NewGather exchanges the outputs of workers, opening the shared aux
+// operators first.
+func NewGather(workers []Operator, aux ...Operator) *Gather {
+	if len(workers) == 0 {
+		panic("exec: Gather needs at least one worker")
+	}
+	return &Gather{workers: workers, aux: aux}
+}
+
+// Open implements Operator: opens aux dependencies, then starts one
+// producer goroutine per worker plus a closer that seals the channel
+// when all producers exit.
+func (g *Gather) Open(ctx context.Context) error {
+	g.stats = OpStats{}
+	defer g.stats.timed(time.Now())
+	g.open = true
+	g.done = false
+	g.firstErr = nil
+	g.errOnce = sync.Once{}
+	g.inFlight.Store(0)
+	g.peak.Store(0)
+	g.parent = ctx
+	g.ctx, g.cancel = context.WithCancel(ctx)
+	for _, a := range g.aux {
+		if err := a.Open(g.ctx); err != nil {
+			return err
+		}
+	}
+	g.ch = make(chan []table.Row, len(g.workers))
+	for _, w := range g.workers {
+		g.wg.Add(1)
+		go func(w Operator) {
+			defer g.wg.Done()
+			g.produce(w)
+		}(w)
+	}
+	go func() {
+		g.wg.Wait()
+		close(g.ch)
+	}()
+	return nil
+}
+
+// produce drains one worker subtree into the exchange channel.
+func (g *Gather) produce(w Operator) {
+	if err := w.Open(g.ctx); err != nil {
+		g.fail(err)
+		return
+	}
+	retain := retainableBatches(w)
+	for {
+		// Poll the caller's context, not just the derived one: the
+		// derived context only observes cancellation that has already
+		// propagated, while deadline/countdown contexts cancel inside
+		// their own Err method — the per-batch poll the Operator
+		// contract promises.
+		if err := g.parent.Err(); err != nil {
+			g.fail(err)
+			return
+		}
+		rows, err := w.Next()
+		if err != nil {
+			g.fail(err)
+			return
+		}
+		if rows == nil {
+			return
+		}
+		batch := rows
+		if !retain {
+			batch = cloneBatch(rows)
+		}
+		n := g.inFlight.Add(int64(len(batch)))
+		for {
+			p := g.peak.Load()
+			if n <= p || g.peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		select {
+		case g.ch <- batch:
+		case <-g.ctx.Done():
+			g.inFlight.Add(-int64(len(batch)))
+			g.fail(g.ctx.Err())
+			return
+		}
+	}
+}
+
+// fail records the first worker error and cancels every sibling.
+func (g *Gather) fail(err error) {
+	g.errOnce.Do(func() {
+		g.firstErr = err
+		g.cancel()
+	})
+}
+
+// Next implements Operator: receives the next worker batch. Order
+// across workers is arbitrary; order within one worker is preserved.
+func (g *Gather) Next() ([]table.Row, error) {
+	defer g.stats.timed(time.Now())
+	if !g.open {
+		return nil, errOpen(g)
+	}
+	if g.done {
+		return nil, g.firstErr
+	}
+	rows, ok := <-g.ch
+	if !ok {
+		// Channel closed after every producer exited: the closer's
+		// close(ch) orders their g.firstErr writes before this read.
+		g.done = true
+		return nil, g.firstErr
+	}
+	g.inFlight.Add(-int64(len(rows)))
+	g.stats.RowsIn += len(rows)
+	g.stats.emitted(rows)
+	return rows, nil
+}
+
+// Close implements Operator: cancels workers, drains the channel until
+// the closer seals it (joining every producer goroutine), then closes
+// the worker and aux subtrees.
+func (g *Gather) Close() error {
+	g.open = false
+	if g.cancel != nil {
+		g.cancel()
+	}
+	if g.ch != nil {
+		for range g.ch {
+		}
+		g.ch = nil
+	}
+	var first error
+	for _, w := range g.workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, a := range g.aux {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Workers returns the fan-out width of the exchange.
+func (g *Gather) Workers() int { return len(g.workers) }
+
+// OutSchema implements Operator.
+func (g *Gather) OutSchema() table.Schema { return g.workers[0].OutSchema() }
+
+// Stats implements Operator. HeldRows is the peak number of rows in
+// flight inside the exchange (queued plus being sent).
+func (g *Gather) Stats() OpStats {
+	st := g.stats
+	st.HeldRows = int(g.peak.Load())
+	return st
+}
+
+// Children implements Operator: shared aux first, then the workers.
+func (g *Gather) Children() []Operator {
+	out := make([]Operator, 0, len(g.aux)+len(g.workers))
+	out = append(out, g.aux...)
+	out = append(out, g.workers...)
+	return out
+}
+
+func (g *Gather) String() string { return fmt.Sprintf("gather[%d]", len(g.workers)) }
+
+// ParallelScan deals t's heap pages to n MorselScan workers behind a
+// Gather — the parallel form of Scan.
+func ParallelScan(t *table.Table, n int) (*Gather, error) {
+	src, err := t.NewMorselSource()
+	if err != nil {
+		return nil, err
+	}
+	workers := make([]Operator, n)
+	for i := range workers {
+		workers[i] = NewMorselScan(src)
+	}
+	return NewGather(workers), nil
+}
+
+// buildPart is one hash partition of a parallel join build.
+type buildPart struct {
+	atoms map[core.AtomKey][]table.Row
+	sets  map[string][]table.Row
+}
+
+// HashBuild is the parallel build side of a partitioned hash join: Open
+// drains N builder subtrees concurrently, each routing its (cloned)
+// rows into per-partition buckets by key digest, then builds the
+// partitions' hash maps in parallel — two fan-outs with a barrier
+// between, all inside Open (the sanctioned blocking phase). After Open
+// the partitions are immutable, so any number of ProbeJoin workers may
+// probe them concurrently without locks.
+//
+// HashBuild is an Operator so it can sit in the tree (as a Gather aux
+// dependency) for stats and EXPLAIN, but it emits nothing: Next is
+// immediately exhausted.
+type HashBuild struct {
+	builders []Operator
+	col      int
+
+	cancel  context.CancelFunc
+	parts   []buildPart
+	started bool
+	stats   OpStats
+	open    bool
+}
+
+// NewHashBuild builds a partitioned index over the builders' rows keyed
+// on column col. All builders must share one output schema (the
+// planner's per-worker copies of the build side).
+func NewHashBuild(builders []Operator, col int) *HashBuild {
+	if len(builders) == 0 {
+		panic("exec: HashBuild needs at least one builder")
+	}
+	return &HashBuild{builders: builders, col: col}
+}
+
+// Open implements Operator: the two-phase parallel build.
+func (b *HashBuild) Open(ctx context.Context) error {
+	b.stats = OpStats{}
+	defer b.stats.timed(time.Now())
+	b.open = true
+	b.started = false
+	nparts := len(b.builders)
+	wctx, cancel := context.WithCancel(ctx)
+	b.cancel = cancel
+
+	// Phase 1: each builder drains its subtree, routing cloned rows
+	// into its own per-partition buckets (no shared state, no locks).
+	// First-error-wins: the error that triggered the cancellation is the
+	// one reported, not a sibling's resulting context.Canceled.
+	buckets := make([][][]table.Row, len(b.builders)) // [builder][partition][]row
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	var wg sync.WaitGroup
+	for i, bl := range b.builders {
+		wg.Add(1)
+		go func(i int, bl Operator) {
+			defer wg.Done()
+			local := make([][]table.Row, nparts)
+			if err := bl.Open(wctx); err != nil {
+				fail(err)
+				return
+			}
+			retain := retainableBatches(bl)
+			for {
+				rows, err := bl.Next()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if rows == nil {
+					buckets[i] = local
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				// Poll the caller's context per batch too: deadline and
+				// countdown contexts cancel inside Err, which the
+				// derived wctx never calls.
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				for _, r := range rows {
+					if !retain {
+						r = r.Clone()
+					}
+					p := int(core.Digest(r[b.col]) % uint64(nparts))
+					local[p] = append(local[p], r)
+				}
+			}
+		}(i, bl)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: one goroutine per partition builds its hash maps from
+	// every builder's bucket for that partition.
+	b.parts = make([]buildPart, nparts)
+	held := make([]int, nparts)
+	for p := range b.parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			part := buildPart{
+				atoms: map[core.AtomKey][]table.Row{},
+				sets:  map[string][]table.Row{},
+			}
+			for _, local := range buckets {
+				for _, r := range local[p] {
+					k := r[b.col]
+					if ak, ok := core.AtomKeyOf(k); ok {
+						part.atoms[ak] = append(part.atoms[ak], r)
+					} else {
+						ek := core.Key(k)
+						part.sets[ek] = append(part.sets[ek], r)
+					}
+					held[p]++
+				}
+			}
+			b.parts[p] = part
+		}(p)
+	}
+	wg.Wait()
+	for _, h := range held {
+		b.stats.HeldRows += h
+	}
+	b.stats.RowsIn = b.stats.HeldRows
+	b.started = true
+	return ctx.Err()
+}
+
+// lookup returns the build rows matching key k. Read-only after Open;
+// safe for concurrent probes.
+func (b *HashBuild) lookup(k core.Value) []table.Row {
+	part := &b.parts[int(core.Digest(k)%uint64(len(b.parts)))]
+	if ak, ok := core.AtomKeyOf(k); ok {
+		return part.atoms[ak]
+	}
+	return part.sets[core.Key(k)]
+}
+
+// Next implements Operator: a build emits nothing.
+func (b *HashBuild) Next() ([]table.Row, error) {
+	if !b.open {
+		return nil, errOpen(b)
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (b *HashBuild) Close() error {
+	b.open = false
+	b.started = false
+	b.parts = nil
+	if b.cancel != nil {
+		b.cancel()
+	}
+	var first error
+	for _, bl := range b.builders {
+		if err := bl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OutSchema implements Operator: the build side's schema.
+func (b *HashBuild) OutSchema() table.Schema { return b.builders[0].OutSchema() }
+
+// Stats implements Operator.
+func (b *HashBuild) Stats() OpStats { return b.stats }
+
+// Children implements Operator.
+func (b *HashBuild) Children() []Operator { return b.builders }
+
+func (b *HashBuild) String() string {
+	return fmt.Sprintf("hashbuild[%s p=%d]", b.OutSchema().Cols[b.col], len(b.builders))
+}
+
+// ProbeJoin is one probe worker of a partitioned hash join: it streams
+// its probe subtree against a shared (already-opened) HashBuild.
+// buildIsLeft says which logical side the build rows are, so output is
+// always left-columns ++ right-columns like HashJoin. Output rows are
+// freshly allocated and emitted arrays are never rewritten, so batches
+// are retainable.
+type ProbeJoin struct {
+	probe       Operator
+	build       *HashBuild
+	probeCol    int
+	buildIsLeft bool
+
+	ctx   context.Context
+	queue []table.Row
+	done  bool
+	stats OpStats
+	open  bool
+}
+
+// NewProbeJoin probes build with probe.probeCol. The HashBuild is a
+// shared dependency opened by the enclosing Gather (aux), not by this
+// operator; it appears in the Gather's children, not here.
+func NewProbeJoin(probe Operator, build *HashBuild, probeCol int, buildIsLeft bool) *ProbeJoin {
+	return &ProbeJoin{probe: probe, build: build, probeCol: probeCol, buildIsLeft: buildIsLeft}
+}
+
+// Open implements Operator: opens only the probe subtree; the shared
+// build must already be open.
+func (j *ProbeJoin) Open(ctx context.Context) error {
+	j.stats = OpStats{}
+	defer j.stats.timed(time.Now())
+	j.ctx = ctx
+	j.queue = nil
+	j.done = false
+	j.open = true
+	if !j.build.started {
+		return fmt.Errorf("exec: %s: probe before its HashBuild opened", j)
+	}
+	return j.probe.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *ProbeJoin) Next() ([]table.Row, error) {
+	defer j.stats.timed(time.Now())
+	if !j.open {
+		return nil, errOpen(j)
+	}
+	for len(j.queue) == 0 {
+		if j.done {
+			return nil, nil
+		}
+		if err := j.ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows, err := j.probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rows == nil {
+			j.done = true
+			return nil, nil
+		}
+		j.stats.RowsIn += len(rows)
+		// Fresh queue array per refill: previously emitted batches alias
+		// the old array and must stay intact (RetainableBatches).
+		j.queue = nil
+		for _, pr := range rows {
+			for _, br := range j.build.lookup(pr[j.probeCol]) {
+				l, r := pr, br
+				if j.buildIsLeft {
+					l, r = br, pr
+				}
+				row := make(table.Row, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				j.queue = append(j.queue, row)
+			}
+		}
+	}
+	n := min(len(j.queue), MaxBatchRows)
+	out := j.queue[:n]
+	j.queue = j.queue[n:]
+	j.stats.emitted(out)
+	return out, nil
+}
+
+// Close implements Operator: closes only the probe subtree (the shared
+// build belongs to the Gather).
+func (j *ProbeJoin) Close() error {
+	j.open = false
+	j.queue = nil
+	return j.probe.Close()
+}
+
+// RetainableBatches implements Retainer.
+func (j *ProbeJoin) RetainableBatches() bool { return true }
+
+// OutSchema implements Operator: left ++ right, like HashJoin.
+func (j *ProbeJoin) OutSchema() table.Schema {
+	if j.buildIsLeft {
+		return table.JoinSchema(j.build.OutSchema(), j.probe.OutSchema())
+	}
+	return table.JoinSchema(j.probe.OutSchema(), j.build.OutSchema())
+}
+
+// Stats implements Operator.
+func (j *ProbeJoin) Stats() OpStats { return j.stats }
+
+// Children implements Operator: the probe subtree only; the shared
+// HashBuild is listed once, by the enclosing Gather.
+func (j *ProbeJoin) Children() []Operator { return []Operator{j.probe} }
+
+func (j *ProbeJoin) String() string {
+	side := "right"
+	if j.buildIsLeft {
+		side = "left"
+	}
+	return fmt.Sprintf("probejoin[%s build=%s]",
+		j.probe.OutSchema().Cols[j.probeCol], side)
+}
+
+// ParallelGroupAgg is the parallel partial-aggregate: Open drains N
+// worker subtrees concurrently, each into a private xsp.AggState, then
+// folds the partials with AggState.Merge — the classic partial/final
+// aggregation split. Like GroupAgg it is a full pipeline breaker, so
+// everything happens in Open and Next just chunks the merged result.
+// aux operators are shared worker dependencies (e.g. a HashBuild),
+// opened before the workers start.
+type ParallelGroupAgg struct {
+	workers []Operator
+	aux     []Operator
+	keyCol  int
+	aggs    []xsp.Agg
+
+	cancel context.CancelFunc
+	queue  []table.Row
+	stats  OpStats
+	open   bool
+}
+
+// NewParallelGroupAgg aggregates the union of the workers' outputs,
+// grouping on keyCol.
+func NewParallelGroupAgg(workers []Operator, aux []Operator, keyCol int, aggs ...xsp.Agg) *ParallelGroupAgg {
+	if len(workers) == 0 {
+		panic("exec: ParallelGroupAgg needs at least one worker")
+	}
+	return &ParallelGroupAgg{workers: workers, aux: aux, keyCol: keyCol, aggs: aggs}
+}
+
+// Open implements Operator: parallel partial aggregation, barrier,
+// merge.
+func (g *ParallelGroupAgg) Open(ctx context.Context) error {
+	g.stats = OpStats{}
+	defer g.stats.timed(time.Now())
+	g.open = true
+	wctx, cancel := context.WithCancel(ctx)
+	g.cancel = cancel
+	for _, a := range g.aux {
+		if err := a.Open(wctx); err != nil {
+			return err
+		}
+	}
+	// First-error-wins, as in HashBuild: report the error that caused
+	// the cancellation, not a sibling's resulting context.Canceled.
+	states := make([]*xsp.AggState, len(g.workers))
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	var wg sync.WaitGroup
+	for i, w := range g.workers {
+		wg.Add(1)
+		go func(i int, w Operator) {
+			defer wg.Done()
+			st := xsp.NewAggState(g.keyCol, g.aggs...)
+			if err := w.Open(wctx); err != nil {
+				fail(err)
+				return
+			}
+			for {
+				rows, err := w.Next()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if rows == nil {
+					states[i] = st
+					return
+				}
+				if err := wctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				// Per-batch poll of the caller's context (deadline and
+				// countdown contexts cancel inside Err, which the
+				// derived wctx never calls).
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := st.Absorb(rows); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	merged := states[0]
+	for _, st := range states[1:] {
+		if err := merged.Merge(st); err != nil {
+			return err
+		}
+	}
+	g.queue = merged.Rows()
+	g.stats.RowsIn = merged.RowsIn()
+	g.stats.HeldRows = merged.Groups()
+	return nil
+}
+
+// Next implements Operator.
+func (g *ParallelGroupAgg) Next() ([]table.Row, error) {
+	defer g.stats.timed(time.Now())
+	if !g.open {
+		return nil, errOpen(g)
+	}
+	if len(g.queue) == 0 {
+		return nil, nil
+	}
+	n := min(len(g.queue), MaxBatchRows)
+	out := g.queue[:n]
+	g.queue = g.queue[n:]
+	g.stats.emitted(out)
+	return out, nil
+}
+
+// Close implements Operator.
+func (g *ParallelGroupAgg) Close() error {
+	g.open = false
+	g.queue = nil
+	if g.cancel != nil {
+		g.cancel()
+	}
+	var first error
+	for _, w := range g.workers {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, a := range g.aux {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RetainableBatches implements Retainer: AggState.Rows allocates fresh
+// rows and the chunked arrays are never rewritten.
+func (g *ParallelGroupAgg) RetainableBatches() bool { return true }
+
+// Workers returns the partial-aggregation fan-out width.
+func (g *ParallelGroupAgg) Workers() int { return len(g.workers) }
+
+// OutSchema implements Operator: (key, agg1, agg2, …) like GroupAgg.
+func (g *ParallelGroupAgg) OutSchema() table.Schema {
+	in := g.workers[0].OutSchema()
+	cols := make([]string, 0, 1+len(g.aggs))
+	cols = append(cols, in.Cols[g.keyCol])
+	for _, a := range g.aggs {
+		if a.Kind == xsp.Count {
+			cols = append(cols, "count")
+		} else {
+			cols = append(cols, fmt.Sprintf("%s(%s)", a.Kind, in.Cols[a.Col]))
+		}
+	}
+	return table.Schema{Name: in.Name, Cols: cols}
+}
+
+// Stats implements Operator.
+func (g *ParallelGroupAgg) Stats() OpStats { return g.stats }
+
+// Children implements Operator: shared aux first, then the workers.
+func (g *ParallelGroupAgg) Children() []Operator {
+	out := make([]Operator, 0, len(g.aux)+len(g.workers))
+	out = append(out, g.aux...)
+	out = append(out, g.workers...)
+	return out
+}
+
+func (g *ParallelGroupAgg) String() string {
+	in := g.workers[0].OutSchema()
+	return fmt.Sprintf("pgroupagg[%s x%d w=%d]", in.Cols[g.keyCol], len(g.aggs), len(g.workers))
+}

@@ -93,3 +93,65 @@ func open(rows []table.Row) error {
 	ctx := context.Background() // want `context.Background\(\) outside a pure delegation wrapper`
 	return ProbeCtx(ctx, rows)
 }
+
+// PartitionCtx routes build rows into hash partitions without ever
+// consulting ctx: the shape a partitioned parallel build must not have.
+func PartitionCtx(ctx context.Context, rows []table.Row) map[int][]table.Row {
+	parts := make(map[int][]table.Row)
+	for i, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		parts[i%4] = append(parts[i%4], r)
+	}
+	_ = ctx.Err()
+	return parts
+}
+
+// DrainDerivedCtx polls only the context it derived for its workers: a
+// deadline or countdown context cancels inside the parent's Err, which
+// a derived child never calls, so the rule demands the caller's ctx in
+// the loop body.
+func DrainDerivedCtx(ctx context.Context, rows []table.Row) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		if err := wctx.Err(); err != nil {
+			return err
+		}
+		_ = r
+	}
+	return nil
+}
+
+// GatherDrainCtx is the sanctioned exchange shape: poll the caller's
+// ctx alongside the derived sibling-cancel context on every batch.
+func GatherDrainCtx(ctx context.Context, rows []table.Row) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for _, r := range rows {
+		if err := wctx.Err(); err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = r
+	}
+	return nil
+}
+
+// FanOutCtx spawns producer goroutines: the literal bodies are exempt
+// (workers poll their own derived context and unblock when the
+// consumer stops draining), but the spawning function still answers
+// for its own loops.
+func FanOutCtx(ctx context.Context, parts [][]table.Row, out chan<- table.Row) {
+	if err := ctx.Err(); err != nil {
+		return
+	}
+	for _, part := range parts {
+		part := part
+		go func() {
+			for _, r := range part { // exempt: function-literal body
+				out <- r
+			}
+		}()
+	}
+}

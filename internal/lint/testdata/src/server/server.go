@@ -60,3 +60,43 @@ func (h *hub) goodEval(src string) error {
 	defer h.mu.Unlock()
 	return err
 }
+
+// pool mimics the worker-token admission pool: a semaphore channel
+// whose multi-token claims are serialized by a mutex.
+type pool struct {
+	acqMu sync.Mutex
+	sem   chan struct{}
+}
+
+// badRefund returns admission tokens while still holding the acquire
+// lock: with the semaphore full, the send blocks and every other
+// query's admission convoys behind it.
+func (p *pool) badRefund(n int) {
+	p.acqMu.Lock()
+	defer p.acqMu.Unlock()
+	for i := 0; i < n; i++ {
+		p.sem <- struct{}{} // want `channel send while p\.acqMu is held`
+	}
+}
+
+// goodAcquire holds the lock only across non-blocking receives and
+// refunds a failed partial claim after releasing it — the sanctioned
+// multi-token admission shape.
+func (p *pool) goodAcquire(n int) bool {
+	got := 0
+	p.acqMu.Lock()
+	for got < n {
+		select {
+		case <-p.sem:
+			got++
+		default:
+			p.acqMu.Unlock()
+			for i := 0; i < got; i++ {
+				p.sem <- struct{}{}
+			}
+			return false
+		}
+	}
+	p.acqMu.Unlock()
+	return true
+}

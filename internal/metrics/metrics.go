@@ -36,6 +36,10 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// Add shifts the level by n (negative to release), for multi-unit
+// levels like admission tokens.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Set replaces the level.
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 

@@ -44,6 +44,9 @@ type ExecStats struct {
 	SortRows int
 	// GroupRows counts aggregate accumulators (one per distinct key).
 	GroupRows int
+	// Workers counts parallel workers across the plan's exchanges; 0
+	// for a fully serial tree.
+	Workers int
 }
 
 // Compile lowers a logical plan to a streaming operator tree. Join
@@ -184,9 +187,11 @@ func ExecuteStats(n Node) ([]table.Row, table.Schema, ExecStats, error) {
 	return ExecuteStatsCtx(context.Background(), n)
 }
 
-// ExecuteStatsCtx is ExecuteStats under a cancellation context.
+// ExecuteStatsCtx is ExecuteStats under a cancellation context. The
+// degree of parallelism is cost-chosen (ChooseDOP): small inputs run
+// the serial tree, large ones fan out across morsel workers.
 func ExecuteStatsCtx(ctx context.Context, n Node) ([]table.Row, table.Schema, ExecStats, error) {
-	op, err := Compile(n)
+	op, err := CompileDOP(n, ChooseDOP(n))
 	if err != nil {
 		return nil, table.Schema{}, ExecStats{}, err
 	}
@@ -208,16 +213,35 @@ func TreeStats(op exec.Operator) ExecStats {
 		if s.MaxBatch > st.PeakIntermediateRows {
 			st.PeakIntermediateRows = s.MaxBatch
 		}
-		switch o.(type) {
+		switch x := o.(type) {
 		case *exec.Scan:
 			st.Pipelines++
 			st.RowsScanned += s.RowsIn
+		case *exec.MorselScan:
+			st.RowsScanned += s.RowsIn
+		case *exec.Gather:
+			// One parallel pipeline per exchange; its HeldRows is the
+			// peak rows in flight across the worker fan-in, the parallel
+			// analogue of the largest batch.
+			st.Pipelines++
+			st.Workers += x.Workers()
+			if s.HeldRows > st.PeakIntermediateRows {
+				st.PeakIntermediateRows = s.HeldRows
+			}
 		case *exec.HashJoin:
 			st.RowsJoined += s.RowsOut
 			st.BuildRows += s.HeldRows
+		case *exec.HashBuild:
+			st.BuildRows += s.HeldRows
+		case *exec.ProbeJoin:
+			st.RowsJoined += s.RowsOut
 		case *exec.Sort:
 			st.SortRows += s.HeldRows
 		case *exec.GroupAgg:
+			st.GroupRows += s.HeldRows
+		case *exec.ParallelGroupAgg:
+			st.Pipelines++
+			st.Workers += x.Workers()
 			st.GroupRows += s.HeldRows
 		}
 	})
@@ -231,7 +255,7 @@ func TreeStats(op exec.Operator) ExecStats {
 //	   scan(orders)                 rows=60 batches=1 maxbatch=60 time=0s
 //	   scan(users)                  rows=20 batches=1 maxbatch=20 time=0s
 func ExplainAnalyze(ctx context.Context, n Node) (string, error) {
-	op, err := Compile(n)
+	op, err := CompileDOP(n, ChooseDOP(n))
 	if err != nil {
 		return "", err
 	}

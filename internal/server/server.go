@@ -103,8 +103,10 @@ type Metrics struct {
 	BytesIn         metrics.Counter
 	BytesOut        metrics.Counter
 	ConnsTotal      metrics.Counter
+	ParallelQueries metrics.Counter
 	ActiveConns     metrics.Gauge
 	InFlight        metrics.Gauge
+	WorkerTokens    metrics.Gauge
 	Latency         metrics.Histogram
 }
 
@@ -121,8 +123,10 @@ type Snapshot struct {
 	BytesIn         uint64               `json:"bytes_in"`
 	BytesOut        uint64               `json:"bytes_out"`
 	ConnsTotal      uint64               `json:"conns_total"`
+	ParallelQueries uint64               `json:"parallel_queries"`
 	ActiveConns     int64                `json:"active_conns"`
 	InFlight        int64                `json:"in_flight"`
+	WorkerTokens    int64                `json:"worker_tokens"`
 	Latency         metrics.HistSnapshot `json:"latency"`
 	Pool            *store.Stats         `json:"pool,omitempty"`
 }
@@ -133,7 +137,14 @@ type Server struct {
 	cfg     Config
 	baseEnv *xlang.Env
 	m       Metrics
-	sem     chan struct{}
+	// sem holds the worker tokens (receive to acquire, send to refund):
+	// a serial query costs one token, a parallel query one per planned
+	// worker, so an 8-way query occupies eight slots of the pool and
+	// cannot multiply the server's concurrency past MaxWorkers.
+	sem chan struct{}
+	// acqMu serializes multi-token acquisition so two parallel queries
+	// cannot deadlock each holding half of the last tokens.
+	acqMu sync.Mutex
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -164,12 +175,47 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
+	sem := make(chan struct{}, cfg.MaxWorkers)
+	for i := 0; i < cfg.MaxWorkers; i++ {
+		sem <- struct{}{}
+	}
 	return &Server{
 		cfg:      cfg,
 		baseEnv:  base,
-		sem:      make(chan struct{}, cfg.MaxWorkers),
+		sem:      sem,
 		sessions: map[*session]struct{}{},
 	}, nil
+}
+
+// acquire claims n worker tokens, waiting at most wait for all of them;
+// on timeout it refunds any partial claim and reports false. Multi-token
+// claims are serialized so concurrent parallel queries cannot deadlock
+// holding complementary halves of the pool.
+func (s *Server) acquire(n int, wait time.Duration) bool {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	s.acqMu.Lock()
+	got := 0
+	for got < n {
+		select {
+		case <-s.sem:
+			got++
+		case <-deadline.C:
+			s.acqMu.Unlock()
+			s.release(got)
+			return false
+		}
+	}
+	s.acqMu.Unlock()
+	return true
+}
+
+// release refunds n worker tokens. Never called under a lock: refunding
+// is a channel send and must not block a mutex holder.
+func (s *Server) release(n int) {
+	for i := 0; i < n; i++ {
+		s.sem <- struct{}{}
+	}
 }
 
 // Metrics exposes the live counters (snapshot with MetricsSnapshot).
@@ -189,8 +235,10 @@ func (s *Server) MetricsSnapshot() Snapshot {
 		BytesIn:         s.m.BytesIn.Value(),
 		BytesOut:        s.m.BytesOut.Value(),
 		ConnsTotal:      s.m.ConnsTotal.Value(),
+		ParallelQueries: s.m.ParallelQueries.Value(),
 		ActiveConns:     s.m.ActiveConns.Value(),
 		InFlight:        s.m.InFlight.Value(),
+		WorkerTokens:    s.m.WorkerTokens.Value(),
 		Latency:         s.m.Latency.Snapshot(),
 	}
 	if s.cfg.DB != nil {
@@ -387,18 +435,36 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 		return s.handleAdmin(req)
 	}
 
-	// Admission control: a bounded worker pool. Queries that cannot get
-	// a slot within QueueTimeout are rejected, bounding both CPU and
-	// queueing delay under overload.
-	admit := time.NewTimer(s.cfg.QueueTimeout)
-	defer admit.Stop()
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-admit.C:
+	// Compile query statements before admission so the cost-chosen
+	// degree of parallelism prices the request: a dop-way query claims
+	// dop worker tokens, so parallel fan-out spends the same bounded
+	// pool as extra concurrent queries would.
+	tokens := 1
+	var q *xlang.Query
+	if xlang.IsQuery(req.Stmt) {
+		var err error
+		if q, err = xlang.CompileQuery(sess.env, req.Stmt); err != nil {
+			s.m.QueriesErr.Inc()
+			return Response{Error: err.Error()}, false
+		}
+		if tokens = q.DOP(); tokens > s.cfg.MaxWorkers {
+			tokens = s.cfg.MaxWorkers
+		}
+	}
+
+	// Admission control: a bounded worker-token pool. Queries that
+	// cannot claim their tokens within QueueTimeout are rejected,
+	// bounding both CPU and queueing delay under overload.
+	if !s.acquire(tokens, s.cfg.QueueTimeout) {
 		s.m.Rejected.Inc()
 		return Response{Error: "server busy: admission queue full"}, false
 	}
+	defer s.release(tokens)
+	if tokens > 1 {
+		s.m.ParallelQueries.Inc()
+	}
+	s.m.WorkerTokens.Add(int64(tokens))
+	defer s.m.WorkerTokens.Add(-int64(tokens))
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -414,8 +480,8 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	var result string
 	var rows int
 	var err error
-	if xlang.IsQuery(req.Stmt) {
-		rows, err = s.streamQuery(ctx, sess.env, req, send)
+	if q != nil {
+		rows, err = s.streamQuery(ctx, q, req, send)
 		result = fmt.Sprintf("%d rows", rows)
 	} else {
 		var v core.Value
@@ -443,13 +509,9 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 // More-marked line the moment the tree produces it — the client sees
 // first rows while the rest are still being computed, and the server
 // never holds a full result.
-func (s *Server) streamQuery(ctx context.Context, env *xlang.Env, req Request, send func(Response) error) (int, error) {
-	q, err := xlang.CompileQuery(env, req.Stmt)
-	if err != nil {
-		return 0, err
-	}
+func (s *Server) streamQuery(ctx context.Context, q *xlang.Query, req Request, send func(Response) error) (int, error) {
 	rows := 0
-	_, err = q.Run(ctx, func(batch []table.Row) error {
+	_, err := q.Run(ctx, func(batch []table.Row) error {
 		out := make([]string, len(batch))
 		for i, r := range batch {
 			out[i] = fmt.Sprint(r.Tuple())

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"xst/internal/core"
 	"xst/internal/store"
@@ -258,6 +259,42 @@ func (t *Table) ReadPageRows(id store.PageID) ([]Row, error) {
 		return nil, derr
 	}
 	return rows, nil
+}
+
+// MorselSource deals a table's heap pages out as morsels: a shared,
+// goroutine-safe dispenser that parallel scan workers pull from, so
+// page-level work self-balances across workers (a fast worker simply
+// claims more morsels). The page list is snapshotted at construction;
+// rows appended afterwards are not seen, matching BatchCursor.
+type MorselSource struct {
+	table *Table
+	pages []store.PageID
+	next  atomic.Int64
+}
+
+// NewMorselSource snapshots the table's heap chain into a dispenser.
+func (t *Table) NewMorselSource() (*MorselSource, error) {
+	ids, err := t.PageIDs()
+	if err != nil {
+		return nil, err
+	}
+	return &MorselSource{table: t, pages: ids}, nil
+}
+
+// Table returns the table the morsels belong to.
+func (m *MorselSource) Table() *Table { return m.table }
+
+// Pages returns the total number of morsels.
+func (m *MorselSource) Pages() int { return len(m.pages) }
+
+// Next claims the next unclaimed page; ok is false once the chain is
+// exhausted. Safe for concurrent use.
+func (m *MorselSource) Next() (store.PageID, bool) {
+	i := m.next.Add(1) - 1
+	if i >= int64(len(m.pages)) {
+		return 0, false
+	}
+	return m.pages[i], true
 }
 
 // Cursor pulls one decoded row per Next — the record-at-a-time access

@@ -53,17 +53,31 @@ func IsQuery(src string) bool {
 type Query struct {
 	// Node is the optimized logical plan.
 	Node plan.Node
+	// dop is the cost-chosen degree of parallelism (1 = serial),
+	// decided at compile time so admission control can price the query
+	// before it runs.
+	dop int
 }
 
 // Schema reports the result schema.
 func (q *Query) Schema() table.Schema { return q.Node.Schema() }
 
-// Run lowers the plan to a streaming operator tree and feeds each
-// result batch to emit under ctx. Batches are operator scratch — see
-// the exec package contract — and must not be retained. The returned
-// stats report the tree's physical counters.
+// DOP reports the cost-chosen degree of parallelism: the number of
+// workers the executed tree fans out to (1 for a serial tree).
+func (q *Query) DOP() int {
+	if q.dop < 1 {
+		return 1
+	}
+	return q.dop
+}
+
+// Run lowers the plan to a streaming operator tree at the compiled
+// degree of parallelism and feeds each result batch to emit under ctx.
+// Batches are operator scratch — see the exec package contract — and
+// must not be retained. The returned stats report the tree's physical
+// counters.
 func (q *Query) Run(ctx context.Context, emit func(rows []table.Row) error) (plan.ExecStats, error) {
-	op, err := plan.Compile(q.Node)
+	op, err := plan.CompileDOP(q.Node, q.DOP())
 	if err != nil {
 		return plan.ExecStats{}, err
 	}
@@ -72,7 +86,8 @@ func (q *Query) Run(ctx context.Context, emit func(rows []table.Row) error) (pla
 }
 
 // CompileQuery parses src against the environment's table bindings and
-// returns the optimized query.
+// returns the optimized query with its cost-chosen degree of
+// parallelism.
 func CompileQuery(env *Env, src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -83,7 +98,8 @@ func CompileQuery(env *Env, src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{Node: plan.OptimizeCost(n)}, nil
+	node := plan.OptimizeCost(n)
+	return &Query{Node: node, dop: plan.ChooseDOP(node)}, nil
 }
 
 // evalQuery runs a query statement and renders the result as the

@@ -144,6 +144,58 @@ func (s *AggState) newAcc(key core.Value) *acc {
 	return g
 }
 
+// Merge folds another accumulator built over the same keyCol and aggs
+// into s, so partial aggregates computed by independent workers can be
+// combined into one result. o must not be used after the merge. All
+// four aggregate kinds are decomposable: counts and sums add, min/max
+// re-compare, and the int/float promotion for Sum holds only if both
+// sides stayed integral.
+func (s *AggState) Merge(o *AggState) error {
+	if s.keyCol != o.keyCol || len(s.aggs) != len(o.aggs) {
+		return fmt.Errorf("xsp: merging incompatible aggregate states")
+	}
+	for i := range s.aggs {
+		if s.aggs[i] != o.aggs[i] {
+			return fmt.Errorf("xsp: merging incompatible aggregate states")
+		}
+	}
+	fold := func(dst, src *acc) {
+		for i, a := range s.aggs {
+			switch a.Kind {
+			case Count:
+				dst.counts[i] += src.counts[i]
+			case Sum:
+				dst.sums[i] += src.sums[i]
+				dst.isInt[i] = dst.isInt[i] && src.isInt[i]
+			case Min:
+				if src.mins[i] != nil && (dst.mins[i] == nil || core.Compare(src.mins[i], dst.mins[i]) < 0) {
+					dst.mins[i] = src.mins[i]
+				}
+			case Max:
+				if src.maxs[i] != nil && (dst.maxs[i] == nil || core.Compare(src.maxs[i], dst.maxs[i]) > 0) {
+					dst.maxs[i] = src.maxs[i]
+				}
+			}
+		}
+	}
+	for ak, src := range o.atoms {
+		if dst := s.atoms[ak]; dst != nil {
+			fold(dst, src)
+		} else {
+			s.atoms[ak] = src
+		}
+	}
+	for k, src := range o.sets {
+		if dst := s.sets[k]; dst != nil {
+			fold(dst, src)
+		} else {
+			s.sets[k] = src
+		}
+	}
+	s.rows += o.rows
+	return nil
+}
+
 // Groups returns the number of distinct keys seen so far.
 func (s *AggState) Groups() int { return len(s.atoms) + len(s.sets) }
 

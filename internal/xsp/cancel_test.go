@@ -4,7 +4,6 @@ import (
 	"context"
 	"testing"
 
-	"xst/internal/table"
 	"xst/internal/xtest"
 )
 
@@ -19,19 +18,4 @@ func TestPipelineCtxCancel(t *testing.T) {
 		_, err := p.CollectCtx(ctx)
 		return err
 	})
-}
-
-func TestParallelPipelineCtxCancel(t *testing.T) {
-	pool := newPool()
-	tbl := makeUsers(t, pool, 4000)
-	for _, workers := range []int{1, 4, 16} {
-		pp := &ParallelPipeline{
-			Source:  tbl,
-			Factory: func() []Op { return []Op{&Distinct{}} },
-			Workers: workers,
-		}
-		xtest.AssertCancelAborts(t, workers+2, func(ctx context.Context) error {
-			return pp.RunCtx(ctx, func([]table.Row) error { return nil })
-		})
-	}
 }

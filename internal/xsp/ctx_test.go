@@ -60,20 +60,3 @@ func TestPipelineRunCtxMidScan(t *testing.T) {
 		t.Fatalf("scan continued for %d batches after cancel", batches)
 	}
 }
-
-// TestParallelRunCtxCancelled: every worker observes the cancelled
-// context and the fan-out returns ctx.Err().
-func TestParallelRunCtxCancelled(t *testing.T) {
-	tb := ctxTestTable(t, 2000)
-	p := &ParallelPipeline{
-		Source:  tb,
-		Factory: func() []Op { return nil },
-		Workers: 4,
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	err := p.RunCtx(ctx, func([]table.Row) error { return nil })
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-}

@@ -43,21 +43,49 @@ func (c *countdownCtx) Err() error {
 // context.Canceled and that any goroutines it started have exited. Pick
 // n small enough that op's work comfortably exceeds n polling intervals
 // (the algebra's batched loops poll every few hundred iterations).
+//
+// Parallel operator trees are covered too: CountdownContext's polls may
+// come from any worker goroutine, and the goroutine-drain check below
+// fails any fan-out whose workers outlive the aborted run — so this
+// asserts both "some worker saw the cancellation" and "every worker
+// then stopped".
 func AssertCancelAborts(t testing.TB, n int, op func(context.Context) error) {
 	t.Helper()
-	before := runtime.NumGoroutine()
 	ctx, stop := CountdownContext(n)
 	defer stop()
+	assertAborts(t, context.Canceled, func() error { return op(ctx) },
+		"its context self-cancelled")
+}
+
+// AssertErrorAborts runs op — expected to fail on its own (e.g. an
+// injected mid-stream operator error inside a parallel tree) — and
+// asserts it returns an error matching wantErr promptly and that any
+// goroutines it started (worker fan-outs) have exited rather than
+// running the stream dry in the background.
+func AssertErrorAborts(t testing.TB, wantErr error, op func(context.Context) error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	assertAborts(t, wantErr, func() error { return op(ctx) },
+		"it was expected to fail fast")
+}
+
+// assertAborts is the shared engine: op must return an error matching
+// want within 10s, and the goroutine count must drain back to its
+// starting level.
+func assertAborts(t testing.TB, want error, op func() error, why string) {
+	t.Helper()
+	before := runtime.NumGoroutine()
 
 	done := make(chan error, 1)
-	go func() { done <- op(ctx) }()
+	go func() { done <- op() }()
 	select {
 	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("op returned %v after cancellation, want context.Canceled", err)
+		if !errors.Is(err, want) {
+			t.Fatalf("op returned %v, want %v", err, want)
 		}
 	case <-time.After(10 * time.Second):
-		t.Fatalf("op still running 10s after its context self-cancelled on poll %d", n)
+		t.Fatalf("op still running 10s after %s", why)
 	}
 
 	// The op goroutine above has exited; anything it spawned must drain
@@ -69,7 +97,7 @@ func AssertCancelAborts(t testing.TB, n int, op func(context.Context) error) {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak after cancelled op: %d running, %d before",
+			t.Fatalf("goroutine leak after aborted op: %d running, %d before",
 				runtime.NumGoroutine(), before)
 		}
 		time.Sleep(time.Millisecond)
