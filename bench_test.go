@@ -68,6 +68,13 @@ func BenchmarkE14ServerThroughput(b *testing.B) { runExperiment(b, "E14") }
 // alongside the engine benchmarks. Reported as q/s in the qps metric.
 func benchServerLoad(b *testing.B, conns int) {
 	b.Helper()
+	benchServerLoadCfg(b, conns, server.Config{MaxWorkers: 64})
+}
+
+// benchServerLoadCfg is benchServerLoad with a caller-supplied server
+// config (tracing knobs for the overhead benchmarks).
+func benchServerLoadCfg(b *testing.B, conns int, cfg server.Config) {
+	b.Helper()
 	db, err := catalog.Create(store.NewMemPager(), 64)
 	if err != nil {
 		b.Fatal(err)
@@ -81,7 +88,8 @@ func benchServerLoad(b *testing.B, conns int) {
 			b.Fatal(err)
 		}
 	}
-	srv, err := server.New(server.Config{DB: db, MaxWorkers: 64})
+	cfg.DB = db
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -111,6 +119,27 @@ func benchServerLoad(b *testing.B, conns int) {
 func BenchmarkServerThroughput1(b *testing.B)  { benchServerLoad(b, 1) }
 func BenchmarkServerThroughput8(b *testing.B)  { benchServerLoad(b, 8) }
 func BenchmarkServerThroughput64(b *testing.B) { benchServerLoad(b, 64) }
+
+// --- Tracing overhead -------------------------------------------------
+//
+// The acceptance bar for the span tracer: with tracing off the server
+// must run within noise of BenchmarkServerThroughput8 (the off path is
+// one context lookup per statement plus nil checks), and the sampled
+// and always-on costs must stay modest enough to leave on in
+// production. Compare Off against ServerThroughput8 and the variants
+// against each other.
+
+func BenchmarkTracingOff(b *testing.B) {
+	benchServerLoadCfg(b, 8, server.Config{MaxWorkers: 64})
+}
+
+func BenchmarkTracingSampled100(b *testing.B) {
+	benchServerLoadCfg(b, 8, server.Config{MaxWorkers: 64, TraceSample: 100})
+}
+
+func BenchmarkTracingAlways(b *testing.B) {
+	benchServerLoadCfg(b, 8, server.Config{MaxWorkers: 64, TraceSample: 1})
+}
 
 // --- Core micro-benchmarks and ablations -----------------------------
 

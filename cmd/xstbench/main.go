@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"xst/internal/bench"
@@ -98,8 +99,23 @@ func clientMode(addr, stmt string, conns, queries int) int {
 		fmt.Fprintln(os.Stderr, "xstbench:", err)
 		return 1
 	}
-	fmt.Printf("server:  ok=%d err=%d timeout=%d rejected=%d conns=%d latency[%s]\n",
+	fmt.Printf("server:  ok=%d err=%d timeout=%d rejected=%d conns=%d\n",
 		snap.QueriesOK, snap.QueriesErr, snap.QueriesTimeout,
-		snap.Rejected, snap.ConnsTotal, snap.Latency)
+		snap.Rejected, snap.ConnsTotal)
+	// Server-side latency quantiles come from the registry's
+	// xstd_query_latency_seconds histogram (the same series /metrics
+	// exports), not from client-side timestamps — so they include queue
+	// wait but exclude network time.
+	l := snap.Latency
+	fmt.Printf("server:  latency p50 %v p90 %v p99 %v max %v mean %v (n=%d)\n",
+		l.P50.Round(time.Microsecond), l.P90.Round(time.Microsecond),
+		l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond),
+		l.Mean.Round(time.Microsecond), l.Count)
+	text, err := c.MetricsText()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench:", err)
+		return 1
+	}
+	fmt.Printf("server:  %d metric series via .metrics\n", strings.Count(text, "# TYPE"))
 	return 0
 }

@@ -7,6 +7,14 @@
 //	xstd                          # pure calculator server on :7143
 //	xstd -db data.pages           # serve a stored database's tables
 //	xstd -addr :9000 -workers 128 -timeout 5s
+//	xstd -http :7144 -slow-query 250ms -trace-sample 100
+//
+// -http starts a sidecar HTTP listener serving the Prometheus-style
+// /metrics exposition and the standard net/http/pprof profiling
+// endpoints under /debug/pprof/. -slow-query arms the slow-query log
+// (span trees of over-threshold queries, also retrievable with the
+// `.slow` admin command); -trace-sample N traces 1-in-N statements for
+// the `.trace` admin command.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight queries drain (up to -grace), then the database is synced
@@ -18,6 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +51,9 @@ func run() int {
 		workers = flag.Int("workers", 64, "max concurrently evaluating queries")
 		timeout = flag.Duration("timeout", 10*time.Second, "default per-query deadline")
 		grace   = flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+		httpAdr = flag.String("http", "", "HTTP listen address for /metrics and /debug/pprof/ (empty = off)")
+		slowQ   = flag.Duration("slow-query", 0, "trace every statement and log span trees of ones at least this slow (0 = off)")
+		sample  = flag.Int("trace-sample", 0, "trace 1-in-N statements for the .trace admin command (0 = off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -70,11 +84,42 @@ func run() int {
 		DB:             db,
 		MaxWorkers:     *workers,
 		DefaultTimeout: *timeout,
+		SlowQuery:      *slowQ,
+		TraceSample:    *sample,
 		Logf:           logger.Printf,
 	})
 	if err != nil {
 		logger.Printf("xstd: %v", err)
 		return 1
+	}
+
+	// The observability sidecar: Prometheus text exposition plus the
+	// stock pprof handlers, on a separate listener so profiling traffic
+	// never competes with the query protocol port.
+	var httpSrv *http.Server
+	if *httpAdr != "" {
+		l, err := net.Listen("tcp", *httpAdr)
+		if err != nil {
+			logger.Printf("xstd: http listener: %v", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			srv.Registry().WriteText(w)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		httpSrv = &http.Server{Handler: mux}
+		logger.Printf("xstd: metrics and pprof on http://%s", l.Addr())
+		go func() {
+			if err := httpSrv.Serve(l); err != nil && err != http.ErrServerClosed {
+				logger.Printf("xstd: http: %v", err)
+			}
+		}()
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -96,6 +141,11 @@ func run() int {
 			logger.Printf("xstd: %v", err)
 			return 1
 		}
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
 	}
 
 	snap := srv.MetricsSnapshot()

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"xst/internal/table"
+	"xst/internal/trace"
 )
 
 // MaxBatchRows caps the size of any batch flowing between operators.
@@ -102,12 +103,24 @@ func Collect(ctx context.Context, op Operator) ([]table.Row, error) {
 
 // Stream opens op, feeds every batch to emit, and closes it. Batches
 // passed to emit follow the no-retain rule.
+//
+// When the context carries a trace span (trace.WithSpan), Stream opens
+// an "exec" child with "open", "next" and "close" phases under it, and
+// threads the exec span to the operators so parallel workers (Gather,
+// HashBuild, ParallelGroupAgg) attach their per-worker spans to the
+// same tree. Untraced contexts cost one nil check per phase and
+// nothing per batch.
 func Stream(ctx context.Context, op Operator, emit func(rows []table.Row) error) error {
-	if err := op.Open(ctx); err != nil {
+	sp := trace.SpanOf(ctx).Start("exec")
+	defer sp.End()
+	ctx = trace.WithSpan(ctx, sp)
+	if err := openSpanned(ctx, sp, op); err != nil {
 		op.Close()
 		return err
 	}
-	defer op.Close()
+	defer closeSpanned(sp, op)
+	nsp := sp.Start("next")
+	defer nsp.End()
 	for {
 		rows, err := op.Next()
 		if err != nil {
@@ -116,10 +129,26 @@ func Stream(ctx context.Context, op Operator, emit func(rows []table.Row) error)
 		if rows == nil {
 			return nil
 		}
+		nsp.AddRows(len(rows))
+		nsp.AddBatches(1)
 		if err := emit(rows); err != nil {
 			return err
 		}
 	}
+}
+
+// openSpanned runs op.Open under an "open" phase span.
+func openSpanned(ctx context.Context, sp *trace.Span, op Operator) error {
+	osp := sp.Start("open")
+	defer osp.End()
+	return op.Open(ctx)
+}
+
+// closeSpanned runs op.Close under a "close" phase span.
+func closeSpanned(sp *trace.Span, op Operator) error {
+	csp := sp.Start("close")
+	defer csp.End()
+	return op.Close()
 }
 
 // Count drains the tree discarding rows and returns the row count.

@@ -3,14 +3,28 @@ package exec
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xst/internal/core"
 	"xst/internal/table"
+	"xst/internal/trace"
 	"xst/internal/xsp"
 )
+
+// workerSpan opens a per-worker trace span ("<phase>[i]") under the
+// context's active span — nil (free) when the query is untraced. The
+// names mirror the exchange vocabulary: gather workers, build workers,
+// aggregation partials.
+func workerSpan(ctx context.Context, phase string, i int) *trace.Span {
+	sp := trace.SpanOf(ctx)
+	if sp == nil {
+		return nil
+	}
+	return sp.Start(phase + "[" + strconv.Itoa(i) + "]")
+}
 
 // Parallel (exchange-style) operators: the paper's §12 claim that whole
 // sets can be "physically partitioned and every partition processed as
@@ -200,12 +214,12 @@ func (g *Gather) Open(ctx context.Context) error {
 		}
 	}
 	g.ch = make(chan []table.Row, len(g.workers))
-	for _, w := range g.workers {
+	for i, w := range g.workers {
 		g.wg.Add(1)
-		go func(w Operator) {
+		go func(i int, w Operator) {
 			defer g.wg.Done()
-			g.produce(w)
-		}(w)
+			g.produce(i, w)
+		}(i, w)
 	}
 	go func() {
 		g.wg.Wait()
@@ -215,7 +229,9 @@ func (g *Gather) Open(ctx context.Context) error {
 }
 
 // produce drains one worker subtree into the exchange channel.
-func (g *Gather) produce(w Operator) {
+func (g *Gather) produce(i int, w Operator) {
+	wsp := workerSpan(g.parent, "worker", i)
+	defer wsp.End()
 	if err := w.Open(g.ctx); err != nil {
 		g.fail(err)
 		return
@@ -239,6 +255,8 @@ func (g *Gather) produce(w Operator) {
 		if rows == nil {
 			return
 		}
+		wsp.AddRows(len(rows))
+		wsp.AddBatches(1)
 		batch := rows
 		if !retain {
 			batch = cloneBatch(rows)
@@ -422,6 +440,8 @@ func (b *HashBuild) Open(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, bl Operator) {
 			defer wg.Done()
+			bsp := workerSpan(ctx, "build", i)
+			defer bsp.End()
 			local := make([][]table.Row, nparts)
 			if err := bl.Open(wctx); err != nil {
 				fail(err)
@@ -449,6 +469,8 @@ func (b *HashBuild) Open(ctx context.Context) error {
 					fail(err)
 					return
 				}
+				bsp.AddRows(len(rows))
+				bsp.AddBatches(1)
 				for _, r := range rows {
 					if !retain {
 						r = r.Clone()
@@ -729,6 +751,8 @@ func (g *ParallelGroupAgg) Open(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, w Operator) {
 			defer wg.Done()
+			psp := workerSpan(ctx, "partial", i)
+			defer psp.End()
 			st := xsp.NewAggState(g.keyCol, g.aggs...)
 			if err := w.Open(wctx); err != nil {
 				fail(err)
@@ -755,6 +779,8 @@ func (g *ParallelGroupAgg) Open(ctx context.Context) error {
 					fail(err)
 					return
 				}
+				psp.AddRows(len(rows))
+				psp.AddBatches(1)
 				if err := st.Absorb(rows); err != nil {
 					fail(err)
 					return
@@ -769,6 +795,8 @@ func (g *ParallelGroupAgg) Open(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	msp := trace.SpanOf(ctx).Start("merge")
+	defer msp.End()
 	merged := states[0]
 	for _, st := range states[1:] {
 		if err := merged.Merge(st); err != nil {

@@ -17,6 +17,9 @@
 //	            internal/{server,catalog,store}.
 //	atomicmix — struct fields accessed through sync/atomic are never
 //	            also read or written plainly.
+//	spanclose — trace spans (trace.NewRoot / Span.Start) are ended on
+//	            every return path, so span trees never silently
+//	            truncate.
 //
 // The theory needs these mechanically: Childs' compatibility results
 // assume set objects behave like values — canonical, immutable,
@@ -90,7 +93,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Report records a violation with optional suggested fixes.
 func (p *Pass) Report(d Diagnostic) { p.diagnostics = append(p.diagnostics, d) }
 
-// All returns the five invariant analyzers in report order.
+// All returns the six invariant analyzers in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SetMutateAnalyzer,
@@ -98,6 +101,7 @@ func All() []*Analyzer {
 		ValueEqAnalyzer,
 		LockHeldAnalyzer,
 		AtomicMixAnalyzer,
+		SpanCloseAnalyzer,
 	}
 }
 

@@ -51,6 +51,10 @@ func TestAtomicMix(t *testing.T) {
 	linttest.Run(t, loader(t), lint.AtomicMixAnalyzer, "atomicmix")
 }
 
+func TestSpanClose(t *testing.T) {
+	linttest.Run(t, loader(t), lint.SpanCloseAnalyzer, "spanclose")
+}
+
 // TestValueEqSuggestedFix pins the ==/!= rewrite the -fix driver applies.
 func TestValueEqSuggestedFix(t *testing.T) {
 	var eq, neq bool

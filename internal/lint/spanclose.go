@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanCloseAnalyzer enforces the tracer's lifecycle contract: every
+// span obtained from trace.NewRoot or (*trace.Span).Start is ended —
+// End, FinishNs or SetOpStats — on every return path. A span that is
+// never ended reports a zero duration and silently truncates the trees
+// the slow-query log and `.trace` serve, so the leak is invisible at
+// runtime; this catches it statically.
+//
+// The check is local to one function: a span whose value escapes
+// (returned, passed to a call, stored anywhere other than its defining
+// variable) is the callee's or owner's responsibility and is exempt.
+// For a non-escaping span the analyzer flags three shapes:
+//
+//   - the result of Start/NewRoot discarded outright;
+//   - a span variable with no ending call at all;
+//   - a return statement between Start and the first non-deferred
+//     ending call — a path that leaves the span open. `defer sp.End()`
+//     (directly or inside a deferred closure) covers every path.
+var SpanCloseAnalyzer = &Analyzer{
+	Name: "spanclose",
+	Doc:  "flags trace spans (NewRoot/Start) not ended on every return path",
+	Run:  runSpanClose,
+}
+
+// spanEnders are the methods that close a span: End measures wall
+// time, FinishNs and SetOpStats stamp synthetic durations.
+var spanEnders = map[string]bool{"End": true, "FinishNs": true, "SetOpStats": true}
+
+// spanUse records everything one function does with one span variable.
+type spanUse struct {
+	name     string    // variable name, for messages
+	start    token.Pos // the Start/NewRoot call
+	fn       ast.Node  // innermost enclosing FuncDecl/FuncLit of the start
+	ends     []token.Pos
+	deferred bool // some ending call runs under a defer
+	escapes  bool
+}
+
+func runSpanClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanClose(pass, fd, parents)
+		}
+	}
+	return nil
+}
+
+func checkSpanClose(pass *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node) {
+	uses := map[types.Object]*spanUse{}
+
+	// Pass 1: span-creating calls — tracked when bound to a fresh
+	// variable, reported when discarded.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSpanMaker(pass, call) {
+			return true
+		}
+		_, name := calleeName(call)
+		switch p := parents[call].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s discarded; the span is never ended", name)
+		case *ast.AssignStmt:
+			obj := assignedObject(pass, p, call)
+			if obj == nil {
+				pass.Reportf(call.Pos(), "result of %s discarded; the span is never ended", name)
+				return true
+			}
+			uses[obj] = &spanUse{
+				name:  obj.Name(),
+				start: call.Pos(),
+				fn:    enclosingFunc(parents, call),
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other appearance of the tracked variables —
+	// ending calls (deferred or not), benign counter methods, escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		u, tracked := uses[obj]
+		if !tracked {
+			return true
+		}
+		sel, isRecv := parents[id].(*ast.SelectorExpr)
+		if isRecv && sel.X == id {
+			if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+				if spanEnders[sel.Sel.Name] {
+					u.ends = append(u.ends, call.Pos())
+					if underDefer(parents, call) {
+						u.deferred = true
+					}
+				}
+				// Any other method (AddRows, SetNote, …) is a benign use.
+				return true
+			}
+		}
+		// Being the target of a (re)assignment overwrites the variable;
+		// it does not hand the span value anywhere.
+		if as, ok := parents[id].(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if l == id {
+					return true
+				}
+			}
+		}
+		// Receiver positions and the defining assignment aside, the
+		// variable leaving the function's hands makes the span someone
+		// else's to close.
+		if _, def := pass.Info.Defs[id]; !def {
+			u.escapes = true
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if u.escapes {
+			continue
+		}
+		if len(u.ends) == 0 {
+			pass.Reportf(u.start, "span %s is started but never ended (End/FinishNs/SetOpStats)", u.name)
+			continue
+		}
+		if u.deferred {
+			continue
+		}
+		first := u.ends[0]
+		for _, e := range u.ends {
+			if e < first {
+				first = e
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || ret.Pos() <= u.start || ret.Pos() >= first {
+				return true
+			}
+			if enclosingFunc(parents, ret) != u.fn {
+				return true
+			}
+			pass.Reportf(ret.Pos(), "return leaves span %s open; defer %s.End() or end it before returning", u.name, u.name)
+			return true
+		})
+	}
+}
+
+// isSpanMaker reports whether call creates a *trace.Span: trace.NewRoot
+// or the Start method. SpanOf merely looks up an existing span and is
+// not a creation.
+func isSpanMaker(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || !namedIn(tv.Type, "Span", "xst/internal/trace") {
+		return false
+	}
+	_, name := calleeName(call)
+	return name == "Start" || name == "NewRoot"
+}
+
+// assignedObject returns the variable object call is bound to in the
+// assignment, or nil (blank identifier, multi-value mismatch).
+func assignedObject(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) != call || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	return nil
+}
+
+// parentMap records each node's immediate parent within file.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// underDefer reports whether n is anywhere inside a defer statement —
+// directly (`defer sp.End()`) or in a deferred closure's body.
+func underDefer(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit containing n.
+func enclosingFunc(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return p
+		}
+	}
+	return nil
+}

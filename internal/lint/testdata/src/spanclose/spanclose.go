@@ -1,0 +1,102 @@
+// Package spanclose exercises spanclose: spans obtained from
+// trace.NewRoot or Start must be ended on every return path.
+package spanclose
+
+import (
+	"context"
+	"errors"
+
+	"xst/internal/trace"
+)
+
+// Discarded: the span value is dropped on the floor.
+func discarded(parent *trace.Span) {
+	parent.Start("child") // want `result of Start discarded; the span is never ended`
+}
+
+func discardedRoot() {
+	trace.NewRoot("query") // want `result of NewRoot discarded; the span is never ended`
+}
+
+func blanked(parent *trace.Span) {
+	_ = parent.Start("child") // want `result of Start discarded; the span is never ended`
+}
+
+// Never ended: counters recorded, but the span stays open forever.
+func neverEnded(parent *trace.Span, n int) {
+	sp := parent.Start("scan") // want `span sp is started but never ended`
+	sp.AddRows(n)
+}
+
+// Early return: the error path leaves the span open.
+func earlyReturn(parent *trace.Span, fail bool) error {
+	sp := parent.Start("open")
+	if fail {
+		return errors.New("open failed") // want `return leaves span sp open`
+	}
+	sp.End()
+	return nil
+}
+
+// good: defer covers every path.
+func deferredEnd(parent *trace.Span, fail bool) error {
+	sp := parent.Start("open")
+	defer sp.End()
+	if fail {
+		return errors.New("open failed")
+	}
+	return nil
+}
+
+// good: a deferred closure counts too.
+func deferredClosure(parent *trace.Span, fail bool) error {
+	sp := parent.Start("open")
+	defer func() { sp.End() }()
+	if fail {
+		return errors.New("open failed")
+	}
+	return nil
+}
+
+// good: ended before the only return.
+func endBeforeReturn(parent *trace.Span, n int) int {
+	sp := parent.Start("count")
+	sp.AddRows(n)
+	sp.End()
+	return n
+}
+
+// good: synthetic spans close via SetOpStats or FinishNs.
+func synthetic(parent *trace.Span, ns int64) {
+	sp := parent.Start("op")
+	sp.SetOpStats(1, 1, 1, 0, ns)
+	fp := parent.Start("op2")
+	fp.FinishNs(ns)
+}
+
+// good: the span escapes to the caller, which owns ending it.
+func escapesReturn(parent *trace.Span) *trace.Span {
+	sp := parent.Start("handed-off")
+	return sp
+}
+
+// good: the span escapes into a call (trace.WithSpan, a logger, …).
+func escapesCall(ctx context.Context) context.Context {
+	root := trace.NewRoot("query")
+	return trace.WithSpan(ctx, root)
+}
+
+// good: a return inside an unrelated closure between Start and End is
+// not a return path of the enclosing function.
+func innerClosureReturn(parent *trace.Span, xs []int) int {
+	sp := parent.Start("sum")
+	total := 0
+	add := func(x int) int {
+		return x + 1
+	}
+	for _, x := range xs {
+		total += add(x)
+	}
+	sp.End()
+	return total
+}

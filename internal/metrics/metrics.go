@@ -53,12 +53,14 @@ const histBuckets = 33
 
 // Histogram is a log2-bucketed latency histogram. All methods are safe
 // for concurrent use; Record is a single atomic add on the bucket plus
-// two atomic adds for the running sum and count.
+// two atomic adds for the running sum and count. Buckets are µs-spaced
+// but the sum and max run in nanoseconds, so means and maxima of
+// microsecond-scale operator spans aren't truncated to zero.
 type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	count   atomic.Uint64
-	sum     atomic.Uint64 // microseconds
-	max     atomic.Uint64 // microseconds
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
 }
 
 // bucketFor maps a duration to its bucket index.
@@ -82,13 +84,13 @@ func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	us := uint64(d.Microseconds())
+	ns := uint64(d.Nanoseconds())
 	h.buckets[bucketFor(d)].Add(1)
 	h.count.Add(1)
-	h.sum.Add(us)
+	h.sum.Add(ns)
 	for {
 		cur := h.max.Load()
-		if us <= cur || h.max.CompareAndSwap(cur, us) {
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
 			return
 		}
 	}
@@ -121,12 +123,12 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	s := HistSnapshot{
 		Count: total,
-		Max:   time.Duration(h.max.Load()) * time.Microsecond,
+		Max:   time.Duration(h.max.Load()),
 	}
 	if total == 0 {
 		return s
 	}
-	s.Mean = time.Duration(h.sum.Load()/total) * time.Microsecond
+	s.Mean = time.Duration(h.sum.Load() / total)
 	quantile := func(q float64) time.Duration {
 		rank := uint64(q * float64(total))
 		if rank == 0 {
@@ -141,12 +143,35 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		return s.Max
 	}
-	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
-	if s.P50 > s.Max && s.Max > 0 {
-		s.P50 = s.Max
+	// Every quantile is a bucket upper bound and so can exceed the true
+	// observed maximum; clamp them all — not just P50 — so no reported
+	// quantile ever sits above Max.
+	clamp := func(d time.Duration) time.Duration {
+		if d > s.Max && s.Max > 0 {
+			return s.Max
+		}
+		return d
 	}
+	s.P50 = clamp(quantile(0.50))
+	s.P90 = clamp(quantile(0.90))
+	s.P99 = clamp(quantile(0.99))
 	return s
 }
+
+// Buckets returns a point-in-time copy of the per-bucket counts along
+// with each bucket's inclusive upper bound — the raw material for a
+// cumulative (Prometheus-style) exposition. The last bucket is
+// unbounded; its reported bound is the histogram's top edge.
+func (h *Histogram) Buckets() (counts [histBuckets]uint64, bounds [histBuckets]time.Duration) {
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		bounds[i] = (time.Duration(1) << uint(i)) * time.Microsecond
+	}
+	return counts, bounds
+}
+
+// Sum returns the running total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // String renders the snapshot compactly for logs and admin output.
 func (s HistSnapshot) String() string {

@@ -8,6 +8,7 @@ import (
 
 	"xst/internal/exec"
 	"xst/internal/table"
+	"xst/internal/trace"
 	"xst/internal/xsp"
 )
 
@@ -248,12 +249,53 @@ func TreeStats(op exec.Operator) ExecStats {
 	return st
 }
 
+// AttachOpSpans mirrors a drained operator tree under parent as one
+// synthetic trace span per operator, carrying the operator's OpStats
+// (rows out, batches, max batch, held rows, inclusive time). This is
+// the bridge between the executor's counters and the tracer: a traced
+// query's span tree and EXPLAIN ANALYZE are the same data, and
+// RenderOpSpans formats either. A nil parent is a no-op.
+func AttachOpSpans(parent *trace.Span, op exec.Operator) {
+	if parent == nil {
+		return
+	}
+	var rec func(p *trace.Span, o exec.Operator)
+	rec = func(p *trace.Span, o exec.Operator) {
+		st := o.Stats()
+		sp := p.Start(o.String())
+		sp.SetOpStats(st.RowsOut, st.Batches, st.MaxBatch, st.HeldRows, st.Ns)
+		for _, c := range o.Children() {
+			rec(sp, c)
+		}
+	}
+	rec(parent, op)
+}
+
+// RenderOpSpans formats an operator span tree (the children attached
+// by AttachOpSpans) in EXPLAIN ANALYZE's layout.
+func RenderOpSpans(root trace.SpanSnapshot) string {
+	var b strings.Builder
+	root.Walk(func(sp trace.SpanSnapshot, depth int) {
+		line := strings.Repeat("   ", depth) + sp.Name
+		fmt.Fprintf(&b, "%-44s rows=%d batches=%d maxbatch=%d", line, sp.Rows, sp.Batches, sp.MaxBatch)
+		if sp.Held > 0 {
+			fmt.Fprintf(&b, " held=%d", sp.Held)
+		}
+		fmt.Fprintf(&b, " time=%s\n", time.Duration(sp.DurNS).Round(time.Microsecond))
+	})
+	return b.String()
+}
+
 // ExplainAnalyze compiles the plan, drains it under ctx, and renders
 // the physical tree with actual per-operator counters:
 //
 //	hashjoin[ouid=uid build=right]  rows=60 batches=1 maxbatch=60 held=20 time=0s
 //	   scan(orders)                 rows=60 batches=1 maxbatch=60 time=0s
 //	   scan(users)                  rows=20 batches=1 maxbatch=20 time=0s
+//
+// The rendering goes through the same span tree the tracer builds for
+// live queries (AttachOpSpans), so `.trace` output and EXPLAIN ANALYZE
+// can never drift apart.
 func ExplainAnalyze(ctx context.Context, n Node) (string, error) {
 	op, err := CompileDOP(n, ChooseDOP(n))
 	if err != nil {
@@ -262,15 +304,12 @@ func ExplainAnalyze(ctx context.Context, n Node) (string, error) {
 	if _, err := exec.Count(ctx, op); err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	exec.Walk(op, func(o exec.Operator, depth int) {
-		s := o.Stats()
-		line := strings.Repeat("   ", depth) + o.String()
-		fmt.Fprintf(&b, "%-44s rows=%d batches=%d maxbatch=%d", line, s.RowsOut, s.Batches, s.MaxBatch)
-		if s.HeldRows > 0 {
-			fmt.Fprintf(&b, " held=%d", s.HeldRows)
-		}
-		fmt.Fprintf(&b, " time=%s\n", time.Duration(s.Ns).Round(time.Microsecond))
-	})
-	return b.String(), nil
+	root := trace.NewRoot("analyze")
+	AttachOpSpans(root, op)
+	root.End()
+	snap := root.Snapshot()
+	if len(snap.Children) == 0 {
+		return "", nil
+	}
+	return RenderOpSpans(snap.Children[0]), nil
 }

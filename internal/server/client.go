@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"xst/internal/trace"
 )
 
 // Client is a synchronous connection to an xstd server: one Do at a
@@ -113,6 +115,46 @@ func (c *Client) Eval(stmt string) (string, error) {
 		return "", fmt.Errorf("%s", resp.Error)
 	}
 	return resp.Result, nil
+}
+
+// MetricsText fetches the server's Prometheus-style text exposition
+// (the `.metrics` admin command).
+func (c *Client) MetricsText() (string, error) {
+	return c.Eval(".metrics")
+}
+
+// Slow fetches and decodes the server's slow-query log: the span trees
+// of recent statements over the -slow-query threshold, oldest first.
+func (c *Client) Slow() ([]trace.SpanSnapshot, error) {
+	resp, err := c.Do(Request{Stmt: ".slow"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	var out []trace.SpanSnapshot
+	if err := json.Unmarshal([]byte(resp.Result), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace runs stmt forcibly traced (`.trace <stmt>`) and decodes the
+// resulting span tree.
+func (c *Client) Trace(stmt string) (trace.SpanSnapshot, error) {
+	resp, err := c.Do(Request{Stmt: ".trace " + stmt})
+	if err != nil {
+		return trace.SpanSnapshot{}, err
+	}
+	if resp.Error != "" {
+		return trace.SpanSnapshot{}, fmt.Errorf("%s", resp.Error)
+	}
+	var snap trace.SpanSnapshot
+	if err := json.Unmarshal([]byte(resp.Result), &snap); err != nil {
+		return trace.SpanSnapshot{}, err
+	}
+	return snap, nil
 }
 
 // Stats fetches and decodes the server's .stats snapshot.

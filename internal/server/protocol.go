@@ -10,8 +10,11 @@
 //     so the two forms never collide.
 //
 // Statements beginning with '.' are admin commands handled by the
-// server itself (.ping, .stats, .tables, .quit); everything else is
-// evaluated in the connection's session environment.
+// server itself (.ping, .stats, .metrics, .slow, .trace, .tables,
+// .quit); everything else is evaluated in the connection's session
+// environment. `.trace <stmt>` is the one admin form that evaluates:
+// it runs stmt forcibly traced and answers with the query's span tree
+// as JSON instead of the rendered result.
 //
 // Every request produces exactly one *final* response line:
 //

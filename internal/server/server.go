@@ -27,6 +27,7 @@ import (
 	"xst/internal/metrics"
 	"xst/internal/store"
 	"xst/internal/table"
+	"xst/internal/trace"
 	"xst/internal/xlang"
 )
 
@@ -60,6 +61,18 @@ type Config struct {
 	WriteTimeout time.Duration
 	// MaxLineBytes bounds one request line (default 1 MiB).
 	MaxLineBytes int
+	// SlowQuery, when positive, traces every statement and logs those
+	// whose total time meets or exceeds it — one structured JSON line
+	// (the span tree) through Logf, retrievable via the `.slow` admin
+	// command. Zero disables the slow-query log.
+	SlowQuery time.Duration
+	// TraceSample, when positive, traces 1-in-N statements even without
+	// SlowQuery; sampled traces feed the `.trace` admin command. Zero
+	// disables sampling.
+	TraceSample int
+	// SlowLogSize bounds the slow-query and recent-trace rings
+	// (default 64 each).
+	SlowLogSize int
 	// Logf, when set, receives server lifecycle logs.
 	Logf func(format string, args ...any)
 }
@@ -89,6 +102,9 @@ func (c *Config) fill() {
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = 1 << 20
 	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 64
+	}
 }
 
 // Metrics is the server's instrumentation, readable at any time.
@@ -104,6 +120,8 @@ type Metrics struct {
 	BytesOut        metrics.Counter
 	ConnsTotal      metrics.Counter
 	ParallelQueries metrics.Counter
+	TracedQueries   metrics.Counter
+	SlowQueries     metrics.Counter
 	ActiveConns     metrics.Gauge
 	InFlight        metrics.Gauge
 	WorkerTokens    metrics.Gauge
@@ -124,6 +142,8 @@ type Snapshot struct {
 	BytesOut        uint64               `json:"bytes_out"`
 	ConnsTotal      uint64               `json:"conns_total"`
 	ParallelQueries uint64               `json:"parallel_queries"`
+	TracedQueries   uint64               `json:"traced_queries"`
+	SlowQueries     uint64               `json:"slow_queries"`
 	ActiveConns     int64                `json:"active_conns"`
 	InFlight        int64                `json:"in_flight"`
 	WorkerTokens    int64                `json:"worker_tokens"`
@@ -137,6 +157,15 @@ type Server struct {
 	cfg     Config
 	baseEnv *xlang.Env
 	m       Metrics
+	// reg names every metric for the `.metrics` exposition and the HTTP
+	// /metrics endpoint.
+	reg *metrics.Registry
+	// tracer samples 1-in-N statements for always-on tracing.
+	tracer trace.Tracer
+	// slow holds the span trees of queries over the SlowQuery threshold;
+	// traces holds the most recent sampled or forced traces (`.trace`).
+	slow   *traceRing
+	traces *traceRing
 	// sem holds the worker tokens (receive to acquire, send to refund):
 	// a serial query costs one token, a parallel query one per planned
 	// worker, so an 8-way query occupies eight slots of the pool and
@@ -179,13 +208,61 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.MaxWorkers; i++ {
 		sem <- struct{}{}
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		baseEnv:  base,
 		sem:      sem,
 		sessions: map[*session]struct{}{},
-	}, nil
+		slow:     newTraceRing(cfg.SlowLogSize),
+		traces:   newTraceRing(cfg.SlowLogSize),
+	}
+	s.tracer.SetSample(cfg.TraceSample)
+	if err := s.registerMetrics(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return s, nil
 }
+
+// registerMetrics names every server metric in the registry, the
+// catalog behind `.metrics` and the HTTP /metrics endpoint.
+func (s *Server) registerMetrics() error {
+	s.reg = metrics.NewRegistry()
+	var err error
+	counter := func(name, help string, c *metrics.Counter) {
+		if err == nil {
+			err = s.reg.RegisterCounter(name, help, c)
+		}
+	}
+	gauge := func(name, help string, g *metrics.Gauge) {
+		if err == nil {
+			err = s.reg.RegisterGauge(name, help, g)
+		}
+	}
+	counter("xstd_queries_ok_total", "statements answered successfully", &s.m.QueriesOK)
+	counter("xstd_queries_err_total", "statements failed", &s.m.QueriesErr)
+	counter("xstd_queries_timeout_total", "statements past their deadline", &s.m.QueriesTimeout)
+	counter("xstd_rejected_total", "statements rejected by admission control", &s.m.Rejected)
+	counter("xstd_admin_cmds_total", "admin commands served", &s.m.AdminCmds)
+	counter("xstd_rows_streamed_total", "result rows streamed to clients", &s.m.RowsStreamed)
+	counter("xstd_batches_streamed_total", "result batches streamed to clients", &s.m.BatchesStreamed)
+	counter("xstd_bytes_in_total", "request bytes read", &s.m.BytesIn)
+	counter("xstd_bytes_out_total", "response bytes written", &s.m.BytesOut)
+	counter("xstd_conns_total", "connections accepted", &s.m.ConnsTotal)
+	counter("xstd_parallel_queries_total", "queries run with parallel workers", &s.m.ParallelQueries)
+	counter("xstd_traced_queries_total", "statements that carried a span tree", &s.m.TracedQueries)
+	counter("xstd_slow_queries_total", "statements over the slow-query threshold", &s.m.SlowQueries)
+	gauge("xstd_active_conns", "connections currently open", &s.m.ActiveConns)
+	gauge("xstd_in_flight", "statements evaluating now", &s.m.InFlight)
+	gauge("xstd_worker_tokens", "worker tokens held by running queries", &s.m.WorkerTokens)
+	if err == nil {
+		err = s.reg.RegisterHistogram("xstd_query_latency_seconds", "per-statement latency", &s.m.Latency)
+	}
+	return err
+}
+
+// Registry exposes the named-metric catalog (for the HTTP /metrics
+// endpoint and tools that read quantiles by name).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // acquire claims n worker tokens, waiting at most wait for all of them;
 // on timeout it refunds any partial claim and reports false. Multi-token
@@ -236,6 +313,8 @@ func (s *Server) MetricsSnapshot() Snapshot {
 		BytesOut:        s.m.BytesOut.Value(),
 		ConnsTotal:      s.m.ConnsTotal.Value(),
 		ParallelQueries: s.m.ParallelQueries.Value(),
+		TracedQueries:   s.m.TracedQueries.Value(),
+		SlowQueries:     s.m.SlowQueries.Value(),
 		ActiveConns:     s.m.ActiveConns.Value(),
 		InFlight:        s.m.InFlight.Value(),
 		WorkerTokens:    s.m.WorkerTokens.Value(),
@@ -423,16 +502,41 @@ func (s *Server) writeResponse(conn net.Conn, resp Response) error {
 // through send before the final response; everything else produces only
 // the returned response. quit reports that the connection should close
 // after the final response is written.
+//
+// Tracing: a statement is traced when it is a `.trace <stmt>` request,
+// when the slow-query log is armed (SlowQuery > 0 traces everything so
+// a slow query's tree is available post-hoc), or when the 1-in-N
+// sampler picks it. Traced statements carry a root span through
+// compile, admission and execution; the finished tree lands in the
+// recent-traces ring, and in the slow-query log (plus one structured
+// log line) when the statement ran past the threshold.
 func (s *Server) handle(sess *session, req Request, send func(Response) error) (resp Response, quit bool) {
 	start := time.Now()
+	var root *trace.Span
 	defer func() {
 		resp.ID = req.ID
 		resp.ElapsedUS = time.Since(start).Microseconds()
+		s.finishTrace(root, time.Since(start))
 	}()
+
+	// `.trace <stmt>` runs stmt forcibly traced and answers with the
+	// span tree instead of the rendered result; bare `.trace` is an
+	// admin command (most recent sampled trace).
+	forceTrace := false
+	if rest, ok := strings.CutPrefix(req.Stmt, ".trace "); ok && strings.TrimSpace(rest) != "" {
+		forceTrace = true
+		req.Stmt = strings.TrimSpace(rest)
+	}
 
 	if strings.HasPrefix(req.Stmt, ".") {
 		s.m.AdminCmds.Inc()
 		return s.handleAdmin(req)
+	}
+
+	if forceTrace || s.cfg.SlowQuery > 0 || s.tracer.Sample() {
+		root = trace.NewRoot("query")
+		root.SetNote(req.Stmt)
+		s.m.TracedQueries.Inc()
 	}
 
 	// Compile query statements before admission so the cost-chosen
@@ -442,8 +546,11 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	tokens := 1
 	var q *xlang.Query
 	if xlang.IsQuery(req.Stmt) {
+		csp := root.Start("compile")
 		var err error
-		if q, err = xlang.CompileQuery(sess.env, req.Stmt); err != nil {
+		q, err = xlang.CompileQuery(sess.env, req.Stmt)
+		csp.End()
+		if err != nil {
 			s.m.QueriesErr.Inc()
 			return Response{Error: err.Error()}, false
 		}
@@ -455,7 +562,10 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	// Admission control: a bounded worker-token pool. Queries that
 	// cannot claim their tokens within QueueTimeout are rejected,
 	// bounding both CPU and queueing delay under overload.
-	if !s.acquire(tokens, s.cfg.QueueTimeout) {
+	asp := root.Start("admission")
+	admitted := s.acquire(tokens, s.cfg.QueueTimeout)
+	asp.End()
+	if !admitted {
 		s.m.Rejected.Inc()
 		return Response{Error: "server busy: admission queue full"}, false
 	}
@@ -475,6 +585,7 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	ctx = trace.WithSpan(ctx, root)
 
 	s.m.InFlight.Inc()
 	var result string
@@ -501,7 +612,30 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 		return Response{Error: err.Error()}, false
 	}
 	s.m.QueriesOK.Inc()
+	if forceTrace {
+		root.End()
+		return Response{Result: root.Snapshot().JSON(), Rows: rows}, false
+	}
 	return Response{Result: result, Rows: rows}, false
+}
+
+// finishTrace closes a traced statement's root span and files its
+// snapshot: always into the recent-traces ring, and into the slow-query
+// log — with one structured JSON log line — when the statement ran at
+// or past the SlowQuery threshold. A nil root (untraced statement) is
+// a no-op.
+func (s *Server) finishTrace(root *trace.Span, elapsed time.Duration) {
+	if root == nil {
+		return
+	}
+	root.End()
+	snap := root.Snapshot()
+	s.traces.add(snap)
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.m.SlowQueries.Inc()
+		s.slow.add(snap)
+		s.logf("xstd: slow query (%v ≥ %v): %s", elapsed.Round(time.Microsecond), s.cfg.SlowQuery, snap.JSON())
+	}
 }
 
 // streamQuery runs a query statement on the streaming operator tree,
@@ -535,6 +669,20 @@ func (s *Server) handleAdmin(req Request) (Response, bool) {
 			return Response{Error: err.Error()}, false
 		}
 		return Response{Result: string(buf)}, false
+	case ".metrics":
+		return Response{Result: s.reg.Text()}, false
+	case ".slow":
+		buf, err := json.Marshal(s.slow.list())
+		if err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		return Response{Result: string(buf)}, false
+	case ".trace":
+		snap, ok := s.traces.last()
+		if !ok {
+			return Response{Error: "no traces recorded (use `.trace <stmt>`, -trace-sample or -slow-query)"}, false
+		}
+		return Response{Result: snap.JSON()}, false
 	case ".tables":
 		if s.cfg.DB == nil {
 			return Response{Result: "(no database attached)"}, false
@@ -554,6 +702,6 @@ func (s *Server) handleAdmin(req Request) (Response, bool) {
 	case ".quit", ".close", ".exit":
 		return Response{Result: "bye"}, true
 	default:
-		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .tables .quit)", cmd)}, false
+		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .quit)", cmd)}, false
 	}
 }

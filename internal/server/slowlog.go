@@ -1,0 +1,67 @@
+package server
+
+import (
+	"sync"
+
+	"xst/internal/trace"
+)
+
+// traceRing is a fixed-size ring of finished span-tree snapshots: the
+// slow-query log keeps the last N queries that blew the SlowQuery
+// threshold, and the recent-traces ring keeps the last N sampled (or
+// forced) traces for the bare `.trace` admin command. Old entries are
+// overwritten; memory is bounded by size × tree depth, never by query
+// rate.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []trace.SpanSnapshot
+	next int // index of the next write
+	n    int // entries written, capped at len(buf)
+}
+
+func newTraceRing(size int) *traceRing {
+	if size <= 0 {
+		size = 1
+	}
+	return &traceRing{buf: make([]trace.SpanSnapshot, size)}
+}
+
+// add records one snapshot, evicting the oldest when full.
+func (r *traceRing) add(s trace.SpanSnapshot) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// list returns the held snapshots, oldest first.
+func (r *traceRing) list() []trace.SpanSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]trace.SpanSnapshot, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// last returns the most recent snapshot, if any.
+func (r *traceRing) last() (trace.SpanSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return trace.SpanSnapshot{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i += len(r.buf)
+	}
+	return r.buf[i], true
+}

@@ -1,0 +1,24 @@
+package trace
+
+import "context"
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// WithSpan returns a context carrying sp as the active span. Attaching
+// a nil span is free: the context is returned unchanged, so disabled
+// tracing allocates nothing.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanOf returns the context's active span, or nil when the query is
+// untraced — and every Span method on that nil is a no-op, so callers
+// never branch.
+func SpanOf(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

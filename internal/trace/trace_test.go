@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	root := NewRoot("query")
+	root.SetNote("from t select x")
+	c := root.Start("compile")
+	c.End()
+	e := root.Start("exec")
+	e.AddRows(100)
+	e.AddBatches(2)
+	op := e.Start("scan(t)")
+	op.SetOpStats(100, 2, 64, 0, int64(5*time.Microsecond))
+	e.End()
+	root.End()
+
+	snap := root.Snapshot()
+	if snap.Name != "query" || snap.Note != "from t select x" {
+		t.Fatalf("root snapshot = %+v", snap)
+	}
+	if len(snap.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(snap.Children))
+	}
+	ex := snap.Find("exec")
+	if ex == nil || ex.Rows != 100 || ex.Batches != 2 {
+		t.Fatalf("exec span = %+v", ex)
+	}
+	sc := snap.Find("scan(t)")
+	if sc == nil || sc.Rows != 100 || sc.MaxBatch != 64 || sc.DurNS != int64(5*time.Microsecond) {
+		t.Fatalf("operator span = %+v", sc)
+	}
+	if snap.DurNS <= 0 {
+		t.Fatalf("root duration = %d, want > 0", snap.DurNS)
+	}
+}
+
+// TestNilSpanSafe pins the disabled-tracing contract: every method on a
+// nil span is a no-op, so instrumented code never branches on enabled.
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	child := sp.Start("x")
+	if child != nil {
+		t.Fatal("Start on nil span must return nil")
+	}
+	child.End()
+	child.AddRows(1)
+	child.AddBatches(1)
+	child.AddBytes(1)
+	child.SetNote("n")
+	child.SetOpStats(1, 1, 1, 1, 1)
+	child.FinishNs(1)
+	if snap := child.Snapshot(); snap.Name != "" || len(snap.Children) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if SpanOf(ctx) != nil {
+		t.Fatal("empty context must carry no span")
+	}
+	if WithSpan(ctx, nil) != ctx {
+		t.Fatal("attaching a nil span must not allocate a new context")
+	}
+	root := NewRoot("q")
+	ctx = WithSpan(ctx, root)
+	if SpanOf(ctx) != root {
+		t.Fatal("SpanOf lost the span")
+	}
+}
+
+// TestConcurrentStart attaches children from many goroutines — the
+// Gather fan-out shape — and must pass under -race.
+func TestConcurrentStart(t *testing.T) {
+	root := NewRoot("q")
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := root.Start("worker")
+				sp.AddRows(1)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	snap := root.Snapshot()
+	if len(snap.Children) != workers*each {
+		t.Fatalf("children = %d, want %d", len(snap.Children), workers*each)
+	}
+	var rows int64
+	for _, c := range snap.Children {
+		rows += c.Rows
+	}
+	if rows != workers*each {
+		t.Fatalf("rows = %d, want %d", rows, workers*each)
+	}
+}
+
+func TestSnapshotJSONAndRender(t *testing.T) {
+	root := NewRoot("query")
+	e := root.Start("exec")
+	e.AddRows(3)
+	e.AddBatches(1)
+	e.End()
+	root.End()
+	snap := root.Snapshot()
+
+	var back SpanSnapshot
+	if err := json.Unmarshal([]byte(snap.JSON()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Name != "query" || len(back.Children) != 1 || back.Children[0].Rows != 3 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+	text := snap.Render()
+	for _, want := range []string{"query", "exec", "rows=3 batches=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	var tr Tracer
+	if tr.Sample() {
+		t.Fatal("zero-valued tracer must not sample")
+	}
+	tr.SetSample(1)
+	for i := 0; i < 5; i++ {
+		if !tr.Sample() {
+			t.Fatal("rate 1 must sample every query")
+		}
+	}
+	tr.SetSample(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if tr.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampling hit %d of 400", hits)
+	}
+	tr.SetSample(0)
+	if tr.Sample() {
+		t.Fatal("SetSample(0) must disable sampling")
+	}
+}

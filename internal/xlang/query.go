@@ -9,6 +9,7 @@ import (
 	"xst/internal/exec"
 	"xst/internal/plan"
 	"xst/internal/table"
+	"xst/internal/trace"
 	"xst/internal/xsp"
 )
 
@@ -76,12 +77,17 @@ func (q *Query) DOP() int {
 // Batches are operator scratch — see the exec package contract — and
 // must not be retained. The returned stats report the tree's physical
 // counters.
+//
+// When ctx carries a trace span, the drained operator tree is mirrored
+// under it (plan.AttachOpSpans), so a traced query's span tree carries
+// the same per-operator counters EXPLAIN ANALYZE reports.
 func (q *Query) Run(ctx context.Context, emit func(rows []table.Row) error) (plan.ExecStats, error) {
 	op, err := plan.CompileDOP(q.Node, q.DOP())
 	if err != nil {
 		return plan.ExecStats{}, err
 	}
 	err = exec.Stream(ctx, op, emit)
+	plan.AttachOpSpans(trace.SpanOf(ctx), op)
 	return plan.TreeStats(op), err
 }
 
