@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"xst/internal/catalog"
+	"xst/internal/core"
+	"xst/internal/fed"
+	"xst/internal/table"
+)
+
+// fedMode boots an in-process federation of n xstd sites over a sharded
+// synthetic workload, drives the coordinator with a query mix, and
+// reports coordinator-side latency alongside each site's own latency
+// histogram and the xstd_fed_* shipping counters. With -http set it
+// then serves the coordinator registry's /metrics and lingers (the CI
+// federation smoke job curls it).
+func fedMode(n int, seed uint64, queries int, httpAddr string) int {
+	const (
+		nUsers  = 5000
+		nOrders = 20000
+	)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	usersSchema := table.Schema{Name: "users", Cols: []string{"id", "name", "age"}}
+	ordersSchema := table.Schema{Name: "orders", Cols: []string{"oid", "uid", "amount"}}
+	users := make([]table.Row, nUsers)
+	for i := range users {
+		users[i] = table.Row{
+			core.Int(i), core.Str(fmt.Sprintf("u%03d", rng.Intn(500))), core.Int(rng.Intn(80)),
+		}
+	}
+	orders := make([]table.Row, nOrders)
+	for i := range orders {
+		orders[i] = table.Row{
+			core.Int(i), core.Int(rng.Intn(nUsers)), core.Int(rng.Intn(1000)),
+		}
+	}
+	var bounds []core.Value
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, core.Int(i*nOrders/n))
+	}
+
+	ctx := context.Background()
+	boot := time.Now()
+	lf, err := fed.BootLocal(ctx, n, fed.Config{}, func(dbs []*catalog.Database) error {
+		if err := fed.CreateSharded(dbs, usersSchema,
+			&catalog.Partition{Kind: catalog.PartHash, Col: "id"}, users); err != nil {
+			return err
+		}
+		return fed.CreateSharded(dbs, ordersSchema,
+			&catalog.Partition{Kind: catalog.PartRange, Col: "oid", Bounds: bounds}, orders)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench:", err)
+		return 1
+	}
+	defer lf.Shutdown(ctx)
+	fmt.Printf("xstbench: booted %d-site federation in %v (users×%d hash on id, orders×%d range on oid)\n",
+		n, time.Since(boot).Round(time.Millisecond), nUsers, nOrders)
+
+	stmts := []string{
+		"from users where age > 30",
+		"from users group by name count sum(age)",
+		"from orders where oid < 1000 select uid, amount",
+		"from orders join users on uid = id select oid, amount, name",
+		"from users where id = 42",
+		"from users select distinct name",
+	}
+	var lats []time.Duration
+	rows := 0
+	for i := 0; i < queries; i++ {
+		stmt := stmts[i%len(stmts)]
+		start := time.Now()
+		q, err := lf.Coord.Compile(stmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xstbench: %s: %v\n", stmt, err)
+			return 1
+		}
+		_, err = q.Run(ctx, func(b []table.Row) error { rows += len(b); return nil })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xstbench: %s: %v\n", stmt, err)
+			return 1
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	fmt.Printf("coordinator: %d queries, %d rows — p50 %v, p99 %v\n",
+		len(lats), rows, q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond))
+
+	m := lf.Coord.Metrics()
+	fmt.Printf("shipping:    %d fragments, %d bytes, %d rows, %d retries, %d errors, %d/%d sites up\n",
+		m.Fragments.Value(), m.BytesShipped.Value(), m.RowsShipped.Value(),
+		m.Retries.Value(), m.FragErrors.Value(), m.SitesUp.Value(), n)
+	for i, srv := range lf.Servers {
+		l := srv.MetricsSnapshot().Latency
+		fmt.Printf("site %d:      %s — fragment latency p50 %v, p99 %v (n=%d)\n",
+			i, lf.Addrs[i], l.P50.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Count)
+	}
+
+	if httpAddr != "" {
+		l, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xstbench:", err)
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			lf.Registry.WriteText(w)
+		})
+		fmt.Printf("xstbench: federation metrics on http://%s/metrics\n", l.Addr())
+		if err := http.Serve(l, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "xstbench:", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,6 +1,6 @@
 // Command xstbench regenerates the reproduction's evaluation artifacts:
 // every figure, worked example, law table and performance claim, as
-// experiments E1–E14 (see DESIGN.md for the index and EXPERIMENTS.md for
+// experiments E1–E15 (see DESIGN.md for the index and EXPERIMENTS.md for
 // paper-vs-measured records). It doubles as the load generator for a
 // running xstd server.
 //
@@ -19,6 +19,16 @@
 // drives an xstd server with -conns concurrent connections issuing
 // -queries statements each, then prints client-side throughput/latency
 // and the server's own .stats ledger.
+//
+// Federation mode:
+//
+//	xstbench -sites 3 -queries 120
+//
+// boots an in-process federation of N xstd sites over a sharded
+// synthetic workload, drives the coordinator with a query mix, and
+// reports coordinator p50/p99 alongside each site's own latency and the
+// xstd_fed_* shipping counters; add -http to serve the coordinator's
+// /metrics exposition afterwards (for smoke jobs).
 package main
 
 import (
@@ -34,17 +44,23 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E14)")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E15)")
 		quick = flag.Bool("quick", false, "shrink performance workloads")
 		seed  = flag.Uint64("seed", 42, "workload seed")
 
 		srvAddr = flag.String("server", "", "client mode: address of a running xstd server")
 		conns   = flag.Int("conns", 8, "client mode: concurrent connections")
-		queries = flag.Int("queries", 100, "client mode: queries per connection")
+		queries = flag.Int("queries", 100, "client mode: queries per connection; fed mode: total queries")
 		stmt    = flag.String("stmt", "card({1,2,3}+{4,5})", "client mode: statement to evaluate")
+
+		sites   = flag.Int("sites", 0, "fed mode: boot an in-process federation of N sites and benchmark it")
+		httpAdr = flag.String("http", "", "fed mode: serve the coordinator /metrics exposition here and linger")
 	)
 	flag.Parse()
 
+	if *sites > 0 {
+		os.Exit(fedMode(*sites, *seed, *queries, *httpAdr))
+	}
 	if *srvAddr != "" {
 		os.Exit(clientMode(*srvAddr, *stmt, *conns, *queries))
 	}
@@ -54,7 +70,7 @@ func main() {
 	if *exp != "" {
 		r, ok := bench.ByID(*exp, cfg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E14)\n", *exp)
+			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E15)\n", *exp)
 			os.Exit(2)
 		}
 		results = []bench.Result{r}

@@ -8,6 +8,7 @@
 //	xstd -db data.pages           # serve a stored database's tables
 //	xstd -addr :9000 -workers 128 -timeout 5s
 //	xstd -http :7144 -slow-query 250ms -trace-sample 100
+//	xstd -fed host1:7143,host2:7143  # federation coordinator over sites
 //
 // -http starts a sidecar HTTP listener serving the Prometheus-style
 // /metrics exposition and the standard net/http/pprof profiling
@@ -31,12 +32,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"xst/internal/catalog"
+	"xst/internal/fed"
 	"xst/internal/server"
 	"xst/internal/store"
+	"xst/internal/xlang"
 )
 
 func main() {
@@ -54,6 +58,7 @@ func run() int {
 		httpAdr = flag.String("http", "", "HTTP listen address for /metrics and /debug/pprof/ (empty = off)")
 		slowQ   = flag.Duration("slow-query", 0, "trace every statement and log span trees of ones at least this slow (0 = off)")
 		sample  = flag.Int("trace-sample", 0, "trace 1-in-N statements for the .trace admin command (0 = off)")
+		fedStr  = flag.String("fed", "", "comma-separated site addresses: serve as federation coordinator over remote xstd sites")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -79,7 +84,31 @@ func run() int {
 		logger.Printf("xstd: serving tables %v from %s", db.Names(), *dbPath)
 	}
 
-	srv, err := server.New(server.Config{
+	// Federation mode: connect the coordinator to the remote sites and
+	// route query compilation through it — the server's own sessions,
+	// admission control and streaming all apply unchanged.
+	var coord *fed.Coordinator
+	if *fedStr != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		c, err := fed.Connect(ctx, fed.Config{
+			Sites: strings.Split(*fedStr, ","),
+			Logf:  logger.Printf,
+		})
+		cancel()
+		if err != nil {
+			logger.Printf("xstd: %v", err)
+			return 1
+		}
+		coord = c
+		defer coord.Close()
+		var names []string
+		for _, m := range coord.Tables() {
+			names = append(names, m.Name)
+		}
+		logger.Printf("xstd: coordinating tables %v over %d sites", names, coord.Sites())
+	}
+
+	cfg := server.Config{
 		Addr:           *addr,
 		DB:             db,
 		MaxWorkers:     *workers,
@@ -87,10 +116,26 @@ func run() int {
 		SlowQuery:      *slowQ,
 		TraceSample:    *sample,
 		Logf:           logger.Printf,
-	})
+	}
+	if coord != nil {
+		cfg.Compile = func(env *xlang.Env, stmt string) (server.Query, error) {
+			q, err := coord.Compile(stmt)
+			if err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		logger.Printf("xstd: %v", err)
 		return 1
+	}
+	if coord != nil {
+		if err := coord.RegisterMetrics(srv.Registry()); err != nil {
+			logger.Printf("xstd: %v", err)
+			return 1
+		}
 	}
 
 	// The observability sidecar: Prometheus text exposition plus the

@@ -81,6 +81,7 @@ func All(cfg Config) []Result {
 		E12PlanOptimization(cfg),
 		E13ParallelSetProcessing(cfg),
 		E14ServerThroughput(cfg),
+		E15FederatedShipping(cfg),
 	}
 }
 
@@ -116,6 +117,8 @@ func ByID(id string, cfg Config) (Result, bool) {
 		return E13ParallelSetProcessing(cfg), true
 	case "E14":
 		return E14ServerThroughput(cfg), true
+	case "E15":
+		return E15FederatedShipping(cfg), true
 	default:
 		return Result{}, false
 	}

@@ -23,6 +23,59 @@ import (
 // catalogPage is the fixed location of the catalog root.
 const catalogPage = store.PageID(0)
 
+// Partition kinds recorded in catalog entries.
+const (
+	// PartHash marks a table hash-partitioned on a column: a row lives
+	// on site Digest(row[col]) % Sites.
+	PartHash = "hash"
+	// PartRange marks a table range-partitioned on a column under the
+	// canonical value order: site i owns rows with Bounds[i-1] ≤ v <
+	// Bounds[i] (site 0 is unbounded below, the last site unbounded
+	// above), so len(Bounds) == Sites-1.
+	PartRange = "range"
+)
+
+// Partition records how a table is sharded across a federation: which
+// site's slice this database holds, how many sites there are, and the
+// placement rule. It is the fourth element of a catalog entry —
+// optional, so databases written before federation existed still open.
+type Partition struct {
+	// Kind is PartHash or PartRange.
+	Kind string
+	// Col is the partitioning column name.
+	Col string
+	// Site is this database's ordinal in the federation.
+	Site int
+	// Sites is the federation size.
+	Sites int
+	// Bounds are the range split points (PartRange only), ascending,
+	// len == Sites-1.
+	Bounds []core.Value
+}
+
+// valid performs structural checks shared by SetPartition and decode.
+func (p Partition) valid() error {
+	switch p.Kind {
+	case PartHash:
+		if len(p.Bounds) != 0 {
+			return fmt.Errorf("catalog: hash partition carries bounds")
+		}
+	case PartRange:
+		if len(p.Bounds) != p.Sites-1 {
+			return fmt.Errorf("catalog: range partition needs %d bounds, has %d", p.Sites-1, len(p.Bounds))
+		}
+	default:
+		return fmt.Errorf("catalog: unknown partition kind %q", p.Kind)
+	}
+	if p.Col == "" {
+		return fmt.Errorf("catalog: partition without column")
+	}
+	if p.Sites < 1 || p.Site < 0 || p.Site >= p.Sites {
+		return fmt.Errorf("catalog: partition site %d/%d out of range", p.Site, p.Sites)
+	}
+	return nil
+}
+
 // ErrNoTable reports a lookup of an undefined table.
 var ErrNoTable = errors.New("catalog: no such table")
 
@@ -37,6 +90,7 @@ type Database struct {
 	pager  store.Pager
 	pool   *store.BufferPool
 	tables map[string]*table.Table
+	parts  map[string]Partition
 }
 
 // Create formats a fresh database on the pager (which must be empty) and
@@ -55,7 +109,7 @@ func Create(pager store.Pager, frames int) (*Database, error) {
 		return nil, fmt.Errorf("catalog: catalog page allocated as %d", f.ID())
 	}
 	f.Unpin()
-	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}}
+	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}, parts: map[string]Partition{}}
 	if err := db.writeCatalog(); err != nil {
 		return nil, err
 	}
@@ -68,7 +122,7 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 		return nil, errors.New("catalog: pager empty; use Create")
 	}
 	pool := store.NewBufferPool(pager, frames)
-	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}}
+	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}, parts: map[string]Partition{}}
 
 	f, err := pool.Get(catalogPage)
 	if err != nil {
@@ -83,7 +137,7 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 		return nil, err
 	}
 	for _, m := range set.Members() {
-		name, first, schema, err := decodeEntry(m.Elem)
+		name, first, schema, part, err := decodeEntry(m.Elem)
 		if err != nil {
 			return nil, err
 		}
@@ -92,6 +146,9 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 			return nil, err
 		}
 		db.tables[name] = t
+		if part != nil {
+			db.parts[name] = *part
+		}
 	}
 	return db, nil
 }
@@ -173,8 +230,42 @@ func (db *Database) Close() error {
 	return db.pager.Close()
 }
 
+// SetPartition records how a table is sharded across a federation and
+// persists the catalog. The column must exist in the table's schema.
+func (db *Database) SetPartition(name string, p Partition) error {
+	t, err := db.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := p.valid(); err != nil {
+		return err
+	}
+	if t.Schema().Col(p.Col) < 0 {
+		return fmt.Errorf("catalog: partition column %q not in %s(%s)",
+			p.Col, name, t.Schema().Cols)
+	}
+	prev, had := db.parts[name]
+	db.parts[name] = p
+	if err := db.writeCatalog(); err != nil {
+		if had {
+			db.parts[name] = prev
+		} else {
+			delete(db.parts, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// Partition reports a table's recorded partition, if any.
+func (db *Database) Partition(name string) (Partition, bool) {
+	p, ok := db.parts[name]
+	return p, ok
+}
+
 // CatalogSet renders the catalog as its extended set — the value that is
-// actually stored on page 0.
+// actually stored on page 0. Partitioned tables carry a fourth tuple
+// element ⟨kind, col, site, sites, ⟨bounds…⟩⟩.
 func (db *Database) CatalogSet() *core.Set {
 	b := core.NewBuilder(len(db.tables))
 	for name, t := range db.tables {
@@ -182,8 +273,12 @@ func (db *Database) CatalogSet() *core.Set {
 		for i, c := range t.Schema().Cols {
 			cols[i] = core.Str(c)
 		}
-		entry := core.Tuple(core.Str(name), core.Int(int64(t.FirstPage())), core.Tuple(cols...))
-		b.AddClassical(entry)
+		elems := []core.Value{core.Str(name), core.Int(int64(t.FirstPage())), core.Tuple(cols...)}
+		if p, ok := db.parts[name]; ok {
+			elems = append(elems, core.Tuple(core.Str(p.Kind), core.Str(p.Col),
+				core.Int(int64(p.Site)), core.Int(int64(p.Sites)), core.Tuple(p.Bounds...)))
+		}
+		b.AddClassical(core.Tuple(elems...))
 	}
 	return b.Set()
 }
@@ -239,30 +334,58 @@ func decodeCatalog(raw []byte) (*core.Set, error) {
 	return s, nil
 }
 
-func decodeEntry(v core.Value) (name string, first store.PageID, schema table.Schema, err error) {
+func decodeEntry(v core.Value) (name string, first store.PageID, schema table.Schema, part *Partition, err error) {
 	elems, ok := core.TupleElems(v)
-	if !ok || len(elems) != 3 {
-		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad entry %v", v)
+	if !ok || len(elems) < 3 || len(elems) > 4 {
+		return "", 0, table.Schema{}, nil, fmt.Errorf("catalog: bad entry %v", v)
 	}
 	n, ok := elems[0].(core.Str)
 	if !ok {
-		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad name in %v", v)
+		return "", 0, table.Schema{}, nil, fmt.Errorf("catalog: bad name in %v", v)
 	}
 	pg, ok := elems[1].(core.Int)
 	if !ok || pg < 0 {
-		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad page in %v", v)
+		return "", 0, table.Schema{}, nil, fmt.Errorf("catalog: bad page in %v", v)
 	}
 	colVals, ok := core.TupleElems(elems[2])
 	if !ok {
-		return "", 0, table.Schema{}, fmt.Errorf("catalog: bad columns in %v", v)
+		return "", 0, table.Schema{}, nil, fmt.Errorf("catalog: bad columns in %v", v)
 	}
 	cols := make([]string, len(colVals))
 	for i, cv := range colVals {
 		cs, ok := cv.(core.Str)
 		if !ok {
-			return "", 0, table.Schema{}, fmt.Errorf("catalog: bad column %v", cv)
+			return "", 0, table.Schema{}, nil, fmt.Errorf("catalog: bad column %v", cv)
 		}
 		cols[i] = string(cs)
 	}
-	return string(n), store.PageID(pg), table.Schema{Name: string(n), Cols: cols}, nil
+	if len(elems) == 4 {
+		if part, err = decodePartition(elems[3]); err != nil {
+			return "", 0, table.Schema{}, nil, err
+		}
+	}
+	return string(n), store.PageID(pg), table.Schema{Name: string(n), Cols: cols}, part, nil
+}
+
+func decodePartition(v core.Value) (*Partition, error) {
+	elems, ok := core.TupleElems(v)
+	if !ok || len(elems) != 5 {
+		return nil, fmt.Errorf("catalog: bad partition %v", v)
+	}
+	kind, kok := elems[0].(core.Str)
+	col, cok := elems[1].(core.Str)
+	site, sok := elems[2].(core.Int)
+	sites, tok := elems[3].(core.Int)
+	bounds, bok := core.TupleElems(elems[4])
+	if !kok || !cok || !sok || !tok || !bok {
+		return nil, fmt.Errorf("catalog: bad partition %v", v)
+	}
+	p := Partition{Kind: string(kind), Col: string(col), Site: int(site), Sites: int(sites)}
+	if len(bounds) > 0 {
+		p.Bounds = append([]core.Value(nil), bounds...)
+	}
+	if err := p.valid(); err != nil {
+		return nil, err
+	}
+	return &p, nil
 }

@@ -26,7 +26,11 @@ type CostInputs struct {
 	JoinRows int
 }
 
-// EstimateBytes predicts the network bytes a strategy moves.
+// EstimateBytes predicts the network bytes a strategy moves. Result
+// shipment depends on where the join runs: ShipAll and SemiJoin join at
+// the coordinator, so the joined rows never cross the network again and
+// only the inputs count; Broadcast and CoLocated join at the sites, so
+// the result itself must ship back and resultBytes is charged.
 func EstimateBytes(in CostInputs, s Strategy) float64 {
 	leftShip := float64(in.LeftRows) * in.LeftSelectivity * float64(in.LeftRowBytes)
 	rightAll := float64(in.RightRows * in.RightRowBytes)
@@ -40,10 +44,16 @@ func EstimateBytes(in CostInputs, s Strategy) float64 {
 	case SemiJoin:
 		distinctKeys := float64(in.LeftRows) * in.LeftSelectivity
 		keyShip := distinctKeys * float64(in.KeyBytes) * float64(in.Sites)
-		// Matching right rows ≈ key coverage fraction of the right side.
-		frac := in.LeftSelectivity
-		if frac > 1 {
-			frac = 1
+		// Matching right rows ≈ key coverage: the fraction of the right
+		// side whose key appears in the shipped set, not the left-side
+		// selectivity (a highly selective left restriction still covers
+		// the whole right side when both have many rows per key).
+		frac := 1.0
+		if in.RightRows > 0 {
+			frac = distinctKeys / float64(in.RightRows)
+			if frac > 1 {
+				frac = 1
+			}
 		}
 		return leftShip + keyShip + rightAll*frac
 	case CoLocated:

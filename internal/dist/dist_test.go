@@ -353,3 +353,38 @@ func TestChooseStrategyAgreesWithMeasurement(t *testing.T) {
 			pick, measured[pick], best, measured[best])
 	}
 }
+
+// TestSemiJoinKeyCoverage pins the corrected semijoin cost model: the
+// matched-right fraction is key coverage (shipped distinct keys over
+// right rows), not the left selectivity. With an unselective left side
+// over a large right table, the old model charged nearly the whole
+// right side to the semijoin and picked ShipAll; coverage-based costing
+// makes SemiJoin the clear winner.
+func TestSemiJoinKeyCoverage(t *testing.T) {
+	in := CostInputs{
+		LeftRows: 100, RightRows: 10000,
+		LeftRowBytes: 100, RightRowBytes: 20, KeyBytes: 8,
+		LeftSelectivity: 1.0, Sites: 4, JoinRows: 100,
+	}
+	// leftShip 10_000 + keyShip 100*8*4 = 3_200 + rightAll 200_000 *
+	// coverage (100/10_000 = 0.01) = 2_000.
+	if got, want := EstimateBytes(in, SemiJoin), 15200.0; got != want {
+		t.Fatalf("semijoin bytes = %v, want %v", got, want)
+	}
+	if got := ChooseStrategy(in); got != SemiJoin {
+		t.Fatalf("small-left/large-right join chose %v, want SemiJoin", got)
+	}
+	// Coverage saturates at 1: a left side with more keys than right
+	// rows cannot match more than the whole right table.
+	big := in
+	big.LeftRows = 50000
+	if got := EstimateBytes(big, SemiJoin); got < float64(big.RightRows*big.RightRowBytes) {
+		t.Fatalf("saturated coverage must still ship the whole right side, got %v", got)
+	}
+	// Degenerate empty right side must not divide by zero.
+	empty := in
+	empty.RightRows = 0
+	if got := EstimateBytes(empty, SemiJoin); got != 10000+3200 {
+		t.Fatalf("empty right side bytes = %v", got)
+	}
+}

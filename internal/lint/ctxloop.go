@@ -13,10 +13,11 @@ var ctxLoopPkgs = []string{
 	"xst/internal/xsp",
 	"xst/internal/xlang",
 	"xst/internal/exec",
+	"xst/internal/fed",
 }
 
 // CtxLoopAnalyzer keeps the deadline guarantees from the serving layer
-// from rotting as the algebra grows. In internal/{algebra,xsp,xlang,exec}
+// from rotting as the algebra grows. In internal/{algebra,xsp,xlang,exec,fed}
 // it enforces two rules:
 //
 //  1. Inside any function that receives a context.Context, a loop ranging

@@ -73,3 +73,7 @@ func TestValueEqSuggestedFix(t *testing.T) {
 		t.Errorf("expected core.Equal rewrites for both == and != in the valueeq fixture (eq=%v, neq=%v)", eq, neq)
 	}
 }
+
+func TestCtxLoopFed(t *testing.T) {
+	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "fed")
+}

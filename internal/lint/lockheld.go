@@ -12,6 +12,7 @@ var lockHeldPkgs = []string{
 	"xst/internal/server",
 	"xst/internal/catalog",
 	"xst/internal/store",
+	"xst/internal/fed",
 }
 
 // LockHeldAnalyzer enforces lock discipline in the serving path: while a

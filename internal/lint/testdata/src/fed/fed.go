@@ -1,0 +1,75 @@
+// Package fed exercises ctxloop over the federation coordinator's
+// fragment-RPC shapes: its path suffix puts it in the analyzer's scope,
+// so loops encoding rows for shipment or merging gathered partitions in
+// ctx-carrying functions must stay cancellable.
+package fed
+
+import (
+	"context"
+
+	"xst/internal/table"
+)
+
+// EncodeFragmentCtx serializes a scratch-table chunk for a site without
+// ever consulting ctx — the shape a broadcast build-side loader must
+// never have (a dead coordinator query would keep shipping).
+func EncodeFragmentCtx(ctx context.Context, rows []table.Row) ([][]byte, error) {
+	out := make([][]byte, 0, len(rows))
+	for _, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		out = append(out, table.EncodeRow(nil, r))
+	}
+	return out, ctx.Err()
+}
+
+// LoadChunkCtx ships rows with a per-row cancellation poll — the
+// sanctioned loader shape.
+func LoadChunkCtx(ctx context.Context, rows []table.Row) ([][]byte, error) {
+	out := make([][]byte, 0, len(rows))
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, table.EncodeRow(nil, r))
+	}
+	return out, nil
+}
+
+// MergePartialsCtx folds gathered per-site partial rows with the
+// batched polling pattern.
+func MergePartialsCtx(ctx context.Context, rows []table.Row) (int, error) {
+	total := 0
+	steps := 0
+	for _, r := range rows {
+		if steps++; steps%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += len(r)
+	}
+	return total, nil
+}
+
+// DistinctKeysCtx dedups the semijoin key set without polling: the
+// gather cache's exact failure mode. The want below pins it.
+func DistinctKeysCtx(ctx context.Context, rows []table.Row) ([]table.Row, error) {
+	seen := map[int]bool{}
+	keys := []table.Row{}
+	for i, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		if !seen[i] {
+			seen[i] = true
+			keys = append(keys, r)
+		}
+	}
+	return keys, ctx.Err()
+}
+
+// ShipAllCtx delegates cancellation to a ctx-taking callee per row.
+func ShipAllCtx(ctx context.Context, rows []table.Row) error {
+	for _, r := range rows {
+		if _, err := LoadChunkCtx(ctx, []table.Row{r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -100,3 +100,42 @@ func (p *pool) goodAcquire(n int) bool {
 	p.acqMu.Unlock()
 	return true
 }
+
+// sitePool mimics the federation coordinator's per-site connection
+// pool: checkout is mutex-guarded, but fragment RPCs must happen on the
+// checked-out connection after the pool lock is released.
+type sitePool struct {
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+// badShipFragment sends the fragment while still holding the pool lock:
+// one slow site stalls every other worker's connection checkout.
+func (p *sitePool) badShipFragment(req []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle) == 0 {
+		return nil
+	}
+	conn := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	_, err := conn.Write(req) // want `net\.Conn Write while p\.mu is held`
+	return err
+}
+
+// goodShipFragment checks out under the lock and ships after releasing
+// it — the coordinator's sanctioned shape.
+func (p *sitePool) goodShipFragment(req []byte) error {
+	p.mu.Lock()
+	var conn net.Conn
+	if n := len(p.idle); n > 0 {
+		conn = p.idle[n-1]
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	_, err := conn.Write(req)
+	return err
+}

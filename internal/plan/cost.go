@@ -44,6 +44,10 @@ func EstimateRows(n Node) float64 {
 	case *GroupBy:
 		// One row per distinct key; guess the equality selectivity.
 		return EstimateRows(x.Child) * selEq
+	case *Source:
+		return x.Rows
+	case *Rename:
+		return EstimateRows(x.Child)
 	default:
 		return 1
 	}

@@ -123,6 +123,17 @@ func Compile(n Node) (exec.Operator, error) {
 			return nil, err
 		}
 		return exec.NewLimit(child, x.N), nil
+	case *Source:
+		return x.New()
+	case *Rename:
+		child, err := Compile(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		if got, want := child.OutSchema().Arity(), len(x.Cols); got != want {
+			return nil, fmt.Errorf("plan: rename arity %d over child arity %d", want, got)
+		}
+		return exec.NewRename(child, x.Cols), nil
 	case *GroupBy:
 		child, err := Compile(x.Child)
 		if err != nil {

@@ -157,6 +157,25 @@ func (c *Client) Trace(stmt string) (trace.SpanSnapshot, error) {
 	return snap, nil
 }
 
+// Schema fetches and decodes the server's table catalog (the `.schema`
+// admin command): name, columns, row statistics and partition metadata
+// for every bound table. Federation coordinators use this to merge the
+// sites' sharded catalogs.
+func (c *Client) Schema() ([]TableInfo, error) {
+	resp, err := c.Do(Request{Stmt: ".schema"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("%s", resp.Error)
+	}
+	var out []TableInfo
+	if err := json.Unmarshal([]byte(resp.Result), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Stats fetches and decodes the server's .stats snapshot.
 func (c *Client) Stats() (Snapshot, error) {
 	resp, err := c.Do(Request{Stmt: ".stats"})

@@ -11,10 +11,16 @@
 //
 // Statements beginning with '.' are admin commands handled by the
 // server itself (.ping, .stats, .metrics, .slow, .trace, .tables,
-// .quit); everything else is evaluated in the connection's session
-// environment. `.trace <stmt>` is the one admin form that evaluates:
-// it runs stmt forcibly traced and answers with the query's span tree
-// as JSON instead of the rendered result.
+// .schema, .load, .quit); everything else is evaluated in the
+// connection's session environment. `.trace <stmt>` is the one admin
+// form that evaluates: it runs stmt forcibly traced and answers with
+// the query's span tree as JSON instead of the rendered result.
+// `.schema` describes every catalog table as JSON (columns, row count,
+// average encoded row bytes, partition spec) — what a federation
+// coordinator reads at connect time. `.load <json>` creates or extends
+// a session-private scratch table (name must start with "__") from
+// wire-encoded rows; federated joins use it to ship key sets and
+// broadcast build sides to a site.
 //
 // Every request produces exactly one *final* response line:
 //
@@ -31,6 +37,13 @@
 //
 // Batches are emitted as the operator tree produces them, so the first
 // rows of a large result arrive while the rest is still being computed.
+//
+// A request with "wire":true asks for machine-readable batches: each
+// Batch entry is one row in the table codec (table.EncodeRow),
+// base64-encoded, and the final line carries the result column names in
+// "schema". This is the fragment transport of federated execution —
+// rows cross the network once in their canonical encoding instead of as
+// rendered text.
 package server
 
 import (
@@ -47,6 +60,9 @@ type Request struct {
 	// TimeoutMS overrides the server's default per-query deadline,
 	// clamped to the server's maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Wire asks for wire-encoded query batches: base64 of the row codec
+	// instead of rendered tuples, plus the schema on the final line.
+	Wire bool `json:"wire,omitempty"`
 }
 
 // Response is the outcome of one request, or one streamed batch of a
@@ -66,6 +82,9 @@ type Response struct {
 	// Rows is the total row count of a streamed query result (final
 	// line only).
 	Rows int `json:"rows,omitempty"`
+	// Schema carries the result column names on the final line of a
+	// wire-mode query.
+	Schema []string `json:"schema,omitempty"`
 	// ElapsedUS is the server-side evaluation time in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
 }

@@ -13,6 +13,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 	"xst/internal/catalog"
 	"xst/internal/core"
 	"xst/internal/metrics"
+	"xst/internal/plan"
 	"xst/internal/store"
 	"xst/internal/table"
 	"xst/internal/trace"
@@ -75,6 +77,21 @@ type Config struct {
 	SlowLogSize int
 	// Logf, when set, receives server lifecycle logs.
 	Logf func(format string, args ...any)
+	// Compile, when set, replaces xlang.CompileQuery for query
+	// statements — how a federation coordinator reuses the whole server
+	// front end (admission, deadlines, streaming, tracing, metrics)
+	// with its own planner. The session environment is passed for
+	// planners that want it; a coordinator typically ignores it.
+	Compile func(env *xlang.Env, stmt string) (Query, error)
+}
+
+// Query is what the server needs from a compiled query statement:
+// *xlang.Query satisfies it, and so does a federated query. DOP prices
+// admission, Schema labels wire-mode results, Run streams batches.
+type Query interface {
+	DOP() int
+	Schema() table.Schema
+	Run(ctx context.Context, emit func(rows []table.Row) error) (plan.ExecStats, error)
 }
 
 func (c *Config) fill() {
@@ -188,6 +205,12 @@ type Server struct {
 type session struct {
 	conn net.Conn
 	env  *xlang.Env
+
+	// scratch holds session-private tables created by `.load`, over a
+	// lazily created in-memory pool. Only the session's own request
+	// loop touches them (requests on one connection are serial).
+	scratch map[string]*table.Table
+	pool    *store.BufferPool
 
 	mu       sync.Mutex
 	busy     bool // evaluating a request
@@ -530,7 +553,7 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 
 	if strings.HasPrefix(req.Stmt, ".") {
 		s.m.AdminCmds.Inc()
-		return s.handleAdmin(req)
+		return s.handleAdmin(sess, req)
 	}
 
 	if forceTrace || s.cfg.SlowQuery > 0 || s.tracer.Sample() {
@@ -544,11 +567,15 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	// dop worker tokens, so parallel fan-out spends the same bounded
 	// pool as extra concurrent queries would.
 	tokens := 1
-	var q *xlang.Query
+	var q Query
 	if xlang.IsQuery(req.Stmt) {
 		csp := root.Start("compile")
 		var err error
-		q, err = xlang.CompileQuery(sess.env, req.Stmt)
+		if s.cfg.Compile != nil {
+			q, err = s.cfg.Compile(sess.env, req.Stmt)
+		} else {
+			q, err = xlang.CompileQuery(sess.env, req.Stmt)
+		}
 		csp.End()
 		if err != nil {
 			s.m.QueriesErr.Inc()
@@ -616,7 +643,11 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 		root.End()
 		return Response{Result: root.Snapshot().JSON(), Rows: rows}, false
 	}
-	return Response{Result: result, Rows: rows}, false
+	resp = Response{Result: result, Rows: rows}
+	if req.Wire && q != nil {
+		resp.Schema = q.Schema().Cols
+	}
+	return resp, false
 }
 
 // finishTrace closes a traced statement's root span and files its
@@ -642,13 +673,20 @@ func (s *Server) finishTrace(root *trace.Span, elapsed time.Duration) {
 // writing each result batch to the connection as an intermediate
 // More-marked line the moment the tree produces it — the client sees
 // first rows while the rest are still being computed, and the server
-// never holds a full result.
-func (s *Server) streamQuery(ctx context.Context, q *xlang.Query, req Request, send func(Response) error) (int, error) {
+// never holds a full result. Wire-mode requests get each row in the
+// table codec (base64) instead of rendered text.
+func (s *Server) streamQuery(ctx context.Context, q Query, req Request, send func(Response) error) (int, error) {
 	rows := 0
+	var enc []byte
 	_, err := q.Run(ctx, func(batch []table.Row) error {
 		out := make([]string, len(batch))
 		for i, r := range batch {
-			out[i] = fmt.Sprint(r.Tuple())
+			if req.Wire {
+				enc = table.EncodeRow(enc[:0], r)
+				out[i] = base64.StdEncoding.EncodeToString(enc)
+			} else {
+				out[i] = fmt.Sprint(r.Tuple())
+			}
 		}
 		rows += len(batch)
 		s.m.RowsStreamed.Add(uint64(len(batch)))
@@ -658,11 +696,47 @@ func (s *Server) streamQuery(ctx context.Context, q *xlang.Query, req Request, s
 	return rows, err
 }
 
+// TableInfo describes one catalog table for the `.schema` admin
+// command — what a federation coordinator reads at connect time.
+type TableInfo struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+	Rows int      `json:"rows"`
+	// RowBytes is the average encoded row size, sampled from the first
+	// heap page (0 for an empty table).
+	RowBytes int `json:"row_bytes"`
+	// Part is the recorded partition spec, if any.
+	Part *PartInfo `json:"part,omitempty"`
+}
+
+// PartInfo is the wire form of catalog.Partition; range bounds are
+// base64 of the canonical value encoding.
+type PartInfo struct {
+	Kind   string   `json:"kind"`
+	Col    string   `json:"col"`
+	Site   int      `json:"site"`
+	Sites  int      `json:"sites"`
+	Bounds []string `json:"bounds,omitempty"`
+}
+
+// loadRequest is the payload of `.load`: wire-encoded rows for a
+// session-private scratch table.
+type loadRequest struct {
+	Table string   `json:"table"`
+	Cols  []string `json:"cols"`
+	Rows  []string `json:"rows"`
+}
+
 // handleAdmin serves the '.' commands.
-func (s *Server) handleAdmin(req Request) (Response, bool) {
+func (s *Server) handleAdmin(sess *session, req Request) (Response, bool) {
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(req.Stmt), ".load "); ok {
+		return s.handleLoad(sess, rest)
+	}
 	switch cmd := strings.TrimSpace(req.Stmt); cmd {
 	case ".ping":
 		return Response{Result: "pong"}, false
+	case ".schema":
+		return s.handleSchema()
 	case ".stats":
 		buf, err := json.Marshal(s.MetricsSnapshot())
 		if err != nil {
@@ -702,6 +776,99 @@ func (s *Server) handleAdmin(req Request) (Response, bool) {
 	case ".quit", ".close", ".exit":
 		return Response{Result: "bye"}, true
 	default:
-		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .quit)", cmd)}, false
+		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .schema .load .quit)", cmd)}, false
 	}
+}
+
+// handleSchema renders every catalog table as a TableInfo JSON array.
+func (s *Server) handleSchema() (Response, bool) {
+	infos := []TableInfo{}
+	if s.cfg.DB != nil {
+		for _, name := range s.cfg.DB.Names() {
+			t, err := s.cfg.DB.Table(name)
+			if err != nil {
+				continue
+			}
+			info := TableInfo{
+				Name:     name,
+				Cols:     append([]string(nil), t.Schema().Cols...),
+				Rows:     t.Count(),
+				RowBytes: sampleRowBytes(t),
+			}
+			if p, ok := s.cfg.DB.Partition(name); ok {
+				pi := &PartInfo{Kind: p.Kind, Col: p.Col, Site: p.Site, Sites: p.Sites}
+				for _, b := range p.Bounds {
+					pi.Bounds = append(pi.Bounds, base64.StdEncoding.EncodeToString(core.Encode(b)))
+				}
+				info.Part = pi
+			}
+			infos = append(infos, info)
+		}
+	}
+	buf, err := json.Marshal(infos)
+	if err != nil {
+		return Response{Error: err.Error()}, false
+	}
+	return Response{Result: string(buf)}, false
+}
+
+// sampleRowBytes averages the encoded size of the table's first heap
+// page of rows — enough signal for the coordinator's byte-cost model.
+func sampleRowBytes(t *table.Table) int {
+	_, rows, ok, err := t.NewBatchCursor().Next()
+	if err != nil || !ok || len(rows) == 0 {
+		return 0
+	}
+	total := 0
+	var enc []byte
+	for _, r := range rows {
+		enc = table.EncodeRow(enc[:0], r)
+		total += len(enc)
+	}
+	return total / len(rows)
+}
+
+// handleLoad creates or extends a session-private scratch table from
+// wire-encoded rows. Scratch names must start with "__" so a load can
+// never shadow a catalog table in the session environment; the table
+// lives in a lazily created in-memory pool and dies with the session.
+func (s *Server) handleLoad(sess *session, payload string) (Response, bool) {
+	var lr loadRequest
+	if err := json.Unmarshal([]byte(payload), &lr); err != nil {
+		return Response{Error: fmt.Sprintf("bad .load payload: %v", err)}, false
+	}
+	if !strings.HasPrefix(lr.Table, "__") {
+		return Response{Error: fmt.Sprintf(".load table %q must start with __", lr.Table)}, false
+	}
+	t, ok := sess.scratch[lr.Table]
+	if !ok {
+		if len(lr.Cols) == 0 {
+			return Response{Error: ".load needs cols on first chunk"}, false
+		}
+		if sess.pool == nil {
+			sess.pool = store.NewBufferPool(store.NewMemPager(), 256)
+			sess.scratch = map[string]*table.Table{}
+		}
+		var err error
+		t, err = table.Create(sess.pool, table.Schema{Name: lr.Table, Cols: lr.Cols})
+		if err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		sess.scratch[lr.Table] = t
+		sess.env.BindTable(lr.Table, t)
+	}
+	for _, b64 := range lr.Rows {
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return Response{Error: fmt.Sprintf("bad .load row: %v", err)}, false
+		}
+		r, err := table.DecodeRow(raw)
+		if err != nil {
+			return Response{Error: fmt.Sprintf("bad .load row: %v", err)}, false
+		}
+		if _, err := t.Insert(r); err != nil {
+			return Response{Error: err.Error()}, false
+		}
+	}
+	return Response{Result: fmt.Sprintf("%s: %d rows", lr.Table, t.Count())}, false
 }
