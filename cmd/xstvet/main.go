@@ -1,19 +1,27 @@
 // Command xstvet is the repository's invariant checker: a multichecker
-// driver for the five internal/lint analyzers (setmutate, ctxloop,
-// valueeq, lockheld, atomicmix) that enforce the algebra's value
-// semantics and the server's cancellation and lock discipline.
+// driver for the internal/lint analyzers (setmutate, ctxloop, valueeq,
+// lockheld, atomicmix, spanclose, goleak, opclose, connclose,
+// sendguard) that enforce the algebra's value semantics and the
+// server's cancellation, lock and lifecycle discipline. Analysis is
+// interprocedural: function summaries are built across every analyzed
+// package before the analyzers run, so a callee that blocks or takes
+// ownership of its argument is known at each call site.
 //
 // Usage:
 //
 //	go run ./cmd/xstvet ./...          # report violations, exit 1 if any
 //	go run ./cmd/xstvet -fix ./...     # additionally apply safe rewrites
-//	go run ./cmd/xstvet -list          # print the analyzers and exit
+//	go run ./cmd/xstvet -json ./...    # findings as a JSON array on stdout
+//	go run ./cmd/xstvet -list ./...    # analyzers with per-analyzer wall time
 //
 // Intentional violations are waived in source with
-// //lint:ignore <analyzer> <reason> on the same or the preceding line.
+// //lint:ignore <analyzer> <reason> on the same or the preceding line;
+// waivers that no longer suppress anything are themselves reported (and
+// deleted by -fix).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,23 +30,27 @@ import (
 	"xst/internal/lint"
 )
 
+// jsonFinding is the CI-facing diagnostic shape emitted by -json.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
 func main() {
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	list := flag.Bool("list", false, "run the analyzers, then list them with wall time and finding counts")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xstvet [-fix] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: xstvet [-fix] [-json] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	analyzers := lint.All()
-	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -50,19 +62,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	var findings []lint.Finding
+	// Load every package up front and feed the summary store, so each
+	// pass sees module-wide interprocedural facts.
+	var pkgs []*lint.LoadedPackage
+	runner := lint.NewRunner(analyzers)
 	for _, path := range loader.ModulePackages("xst") {
 		pkg, err := loader.LoadSource(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		fs, err := lint.Run(pkg, analyzers)
+		pkgs = append(pkgs, pkg)
+		runner.AddPackage(pkg)
+	}
+	runner.Finalize()
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		fs, err := runner.Run(pkg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		findings = append(findings, fs...)
+	}
+
+	if *list {
+		timings := runner.Timings()
+		counts := map[string]int{}
+		for _, f := range findings {
+			counts[f.Analyzer]++
+		}
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %8.1fms %4d finding(s)  %s\n",
+				a.Name, float64(timings[a.Name].Microseconds())/1000, counts[a.Name], a.Doc)
+		}
+		return
 	}
 
 	if *fix {
@@ -75,8 +110,28 @@ func main() {
 		findings = remaining
 	}
 
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Position.Filename,
+				Line:     f.Position.Line,
+				Column:   f.Position.Column,
+				Message:  f.Diagnostic.Message,
+				Fixable:  len(f.Edits) > 0,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "xstvet: %d violations\n", len(findings))

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 
 	"xst/internal/catalog"
 	"xst/internal/metrics"
@@ -23,6 +24,11 @@ type LocalFed struct {
 	Servers  []*server.Server
 	Addrs    []string
 	DBs      []*catalog.Database
+
+	// serveWG joins the per-site Serve goroutines: Shutdown returns only
+	// after every accept loop has actually exited, so a test that boots
+	// and tears down a federation leaves no goroutine behind.
+	serveWG sync.WaitGroup
 }
 
 // BootLocal builds n in-memory site databases, hands them to populate
@@ -60,7 +66,11 @@ func BootLocal(ctx context.Context, n int, cfg Config, populate func(dbs []*cata
 		}
 		lf.Servers = append(lf.Servers, srv)
 		lf.Addrs = append(lf.Addrs, l.Addr().String())
-		go srv.Serve(l)
+		lf.serveWG.Add(1)
+		go func() {
+			defer lf.serveWG.Done()
+			srv.Serve(l)
+		}()
 	}
 	cfg.Sites = lf.Addrs
 	coord, err := Connect(ctx, cfg)
@@ -90,6 +100,7 @@ func (lf *LocalFed) Shutdown(ctx context.Context) {
 	for _, srv := range lf.Servers {
 		srv.Shutdown(ctx)
 	}
+	lf.serveWG.Wait()
 	for _, db := range lf.DBs {
 		db.Close()
 	}

@@ -149,6 +149,10 @@ func (r *Remote) Next() ([]table.Row, error) {
 			return nil, nil
 		}
 		if err := r.ctx.Err(); err != nil {
+			// Terminal like every other error exit below: the stream is
+			// mid-flight, so the conn has unread lines and cannot be
+			// pooled — drop it and stop its watchdog with it.
+			r.dropConn()
 			return nil, err
 		}
 		resp, n, err := r.conn.recv(r.reqID)

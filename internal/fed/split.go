@@ -505,34 +505,51 @@ func (c *Coordinator) loadTable(ctx context.Context, st *site, conn *siteConn, n
 type gatherCache struct {
 	newOp func() (exec.Operator, error)
 
-	mu    sync.Mutex
-	done  bool
+	// ready is closed once rowsv/err are final. The gatherer is the only
+	// writer and writes strictly before the close, so readers that have
+	// seen ready need no lock.
+	ready chan struct{}
 	rowsv []table.Row
 	err   error
-	keysd bool
-	keysv []table.Row
+
+	mu      sync.Mutex
+	started bool
+	keysd   bool
+	keysv   []table.Row
 }
 
 func newGatherCache(s *splitter, f *fragment) *gatherCache {
 	src := s.source(f).(*plan.Source)
-	return &gatherCache{newOp: src.New}
+	return &gatherCache{newOp: src.New, ready: make(chan struct{})}
 }
 
-// rows returns the gathered fragment rows, gathering on first call.
+// rows returns the gathered fragment rows, gathering on first call. The
+// mutex is never held across the gather itself — the first caller
+// collects under its own context and signals completion by closing
+// ready, while every other caller waits on ready or its own ctx. A
+// wedged gather therefore cannot strand a waiter whose deadline has
+// already expired.
 func (g *gatherCache) rows(ctx context.Context) ([]table.Row, error) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.done {
+	if !g.started {
+		g.started = true
+		g.mu.Unlock()
+		op, err := g.newOp()
+		if err != nil {
+			g.err = err
+		} else {
+			g.rowsv, g.err = exec.Collect(ctx, op)
+		}
+		close(g.ready)
+	} else {
+		g.mu.Unlock()
+	}
+	select {
+	case <-g.ready:
 		return g.rowsv, g.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	g.done = true
-	op, err := g.newOp()
-	if err != nil {
-		g.err = err
-		return nil, err
-	}
-	g.rowsv, g.err = exec.Collect(ctx, op)
-	return g.rowsv, g.err
 }
 
 // distinctKeys projects the cached rows to their distinct values at

@@ -14,6 +14,8 @@ var ctxLoopPkgs = []string{
 	"xst/internal/xlang",
 	"xst/internal/exec",
 	"xst/internal/fed",
+	"xst/internal/trace",
+	"xst/internal/dist",
 }
 
 // CtxLoopAnalyzer keeps the deadline guarantees from the serving layer

@@ -1,37 +1,57 @@
 // Package lint is xstvet's analysis framework: a deliberately small,
 // dependency-free re-implementation of the golang.org/x/tools/go/analysis
-// API shape (Analyzer, Pass, Diagnostic, suggested fixes) plus the five
-// analyzers that enforce the algebra's invariants:
+// API shape (Analyzer, Pass, Diagnostic, suggested fixes), a lightweight
+// intraprocedural CFG (cfg.go) with a summary-based interprocedural
+// layer (summary.go), and the ten analyzers that enforce the algebra's
+// invariants:
 //
 //	setmutate — canonical slices handed out by (*core.Set).Members and
 //	            friends are never mutated or retained, and slices passed
 //	            to ownSet/NewSet inside internal/core are not touched
 //	            after the ownership transfer.
 //	ctxloop   — member loops inside context-carrying functions in
-//	            internal/{algebra,xsp,xlang} poll cancellation, and the
-//	            non-Ctx convenience wrappers are pure delegations.
+//	            internal/{algebra,xsp,xlang,exec,fed,trace,dist} poll
+//	            cancellation, and the non-Ctx convenience wrappers are
+//	            pure delegations.
 //	valueeq   — core.Value operands are compared with core.Equal (or a
 //	            digest), never ==/!=/switch, and never used as map keys.
-//	lockheld  — no channel sends, net.Conn writes, or xlang.Eval* calls
-//	            while a sync.Mutex/RWMutex is held in
-//	            internal/{server,catalog,store}.
+//	lockheld  — no channel sends, net.Conn writes, xlang.Eval* calls, or
+//	            calls to (transitively) blocking functions while a
+//	            sync.Mutex/RWMutex is held in
+//	            internal/{server,catalog,store,fed,trace,dist}.
 //	atomicmix — struct fields accessed through sync/atomic are never
 //	            also read or written plainly.
 //	spanclose — trace spans (trace.NewRoot / Span.Start) are ended on
 //	            every return path, so span trees never silently
 //	            truncate.
+//	goleak    — every goroutine in internal/{exec,fed,server} is joined
+//	            (WaitGroup, channel drain) or bounded by a ctx-done
+//	            select; Gather's drain+join discipline as a contract.
+//	opclose   — locally-created exec.Operators are Closed or released on
+//	            every return path, including compile-error unwinds.
+//	connclose — net.Conn / fed site connections are released on every
+//	            path, never abandoned by retry loops, and error-path
+//	            teardown of receiver-held conns is symmetric.
+//	sendguard — no bare channel send in a worker goroutine without a
+//	            ctx-done select arm.
 //
 // The theory needs these mechanically: Childs' compatibility results
 // assume set objects behave like values — canonical, immutable,
 // structurally comparable — and the serving layer's latency story
-// assumes every hot loop is abortable. A human code-review convention
-// cannot keep either true as the codebase grows; a required CI gate can.
+// assumes every hot loop is abortable and every composed operation's
+// resources die with their query. A human code-review convention cannot
+// keep either true as the codebase grows; a required CI gate can.
 //
 // Violations that are intentional (e.g. the pointer-identity fast path
 // inside core.Equal itself) are waived with a directive comment on the
 // same or the preceding line:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// A waiver that suppresses nothing is itself reported (as analyzer
+// "staleignore", with a suggested fix deleting the comment) whenever
+// its analyzer runs, so waivers cannot outlive the violation they
+// excused.
 package lint
 
 import (
@@ -42,6 +62,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named invariant check.
@@ -61,6 +83,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Summaries is the interprocedural fact store. Run builds a
+	// single-package store on the fly; a Runner shares one across the
+	// whole module so cross-package facts (exec.Stream closes its
+	// operator) reach every pass.
+	Summaries *Summaries
 
 	diagnostics []Diagnostic
 }
@@ -93,7 +120,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Report records a violation with optional suggested fixes.
 func (p *Pass) Report(d Diagnostic) { p.diagnostics = append(p.diagnostics, d) }
 
-// All returns the six invariant analyzers in report order.
+// All returns the ten invariant analyzers in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SetMutateAnalyzer,
@@ -102,6 +129,10 @@ func All() []*Analyzer {
 		LockHeldAnalyzer,
 		AtomicMixAnalyzer,
 		SpanCloseAnalyzer,
+		GoLeakAnalyzer,
+		OpCloseAnalyzer,
+		ConnCloseAnalyzer,
+		SendGuardAnalyzer,
 	}
 }
 
@@ -128,18 +159,84 @@ func (f Finding) String() string {
 
 // Run applies the analyzers to a loaded package and returns the surviving
 // findings sorted by position, with //lint:ignore-waived ones removed.
+// Interprocedural summaries are built from this one package (plus the
+// seed table); use a Runner for module-wide facts.
 func Run(pkg *LoadedPackage, analyzers []*Analyzer) ([]Finding, error) {
+	sums := NewSummaries()
+	sums.AddPackage(pkg)
+	sums.Finalize()
+	return runWith(pkg, analyzers, sums, nil)
+}
+
+// Runner shares one interprocedural summary store and per-analyzer
+// timing across every package of a run — the cmd/xstvet shape: add all
+// packages, Finalize, then Run each.
+type Runner struct {
+	analyzers []*Analyzer
+	sums      *Summaries
+
+	mu      sync.Mutex
+	timings map[string]time.Duration
+}
+
+// NewRunner prepares a run of the given analyzers.
+func NewRunner(analyzers []*Analyzer) *Runner {
+	return &Runner{analyzers: analyzers, sums: NewSummaries(), timings: map[string]time.Duration{}}
+}
+
+// AddPackage feeds one loaded package's functions into the summary
+// store. Call for every package before the first Run.
+func (r *Runner) AddPackage(pkg *LoadedPackage) { r.sums.AddPackage(pkg) }
+
+// Finalize propagates transitive summary facts; call once after the
+// last AddPackage.
+func (r *Runner) Finalize() { r.sums.Finalize() }
+
+// Run applies the runner's analyzers to one package. Safe for
+// concurrent use across distinct packages once Finalize has run.
+func (r *Runner) Run(pkg *LoadedPackage) ([]Finding, error) {
+	return runWith(pkg, r.analyzers, r.sums, r.addTiming)
+}
+
+func (r *Runner) addTiming(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timings[name] += d
+}
+
+// Timings returns cumulative wall time per analyzer across all Run
+// calls so far.
+func (r *Runner) Timings() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.timings))
+	for k, v := range r.timings {
+		out[k] = v
+	}
+	return out
+}
+
+// runWith is the shared per-package driver: run each analyzer, filter
+// waived diagnostics (marking the directives that earned their keep),
+// then report any stale waiver for an analyzer that ran.
+func runWith(pkg *LoadedPackage, analyzers []*Analyzer, sums *Summaries, timed func(string, time.Duration)) ([]Finding, error) {
 	ignores := collectIgnores(pkg.Fset, pkg.Files)
 	var out []Finding
 	for _, a := range analyzers {
+		start := time.Now()
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Summaries: sums,
 		}
-		if err := a.Run(pass); err != nil {
+		err := a.Run(pass)
+		if timed != nil {
+			timed(a.Name, time.Since(start))
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range pass.diagnostics {
@@ -166,6 +263,7 @@ func Run(pkg *LoadedPackage, analyzers []*Analyzer) ([]Finding, error) {
 			out = append(out, f)
 		}
 	}
+	out = append(out, staleWaivers(pkg, analyzers, ignores)...)
 	sort.Slice(out, func(i, j int) bool {
 		pi, pj := out[i].Position, out[j].Position
 		if pi.Filename != pj.Filename {
@@ -179,22 +277,81 @@ func Run(pkg *LoadedPackage, analyzers []*Analyzer) ([]Finding, error) {
 	return out, nil
 }
 
-// ignoreRx matches waiver directives: //lint:ignore <name> <reason>.
-var ignoreRx = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
-
-// ignoreSet maps file → line → analyzer names waived on that line.
-type ignoreSet map[string]map[int][]string
-
-func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == analyzer || name == "all" {
-				return true
+// staleWaivers reports //lint:ignore directives that suppressed nothing.
+// Only directives naming an analyzer that actually ran are assessed
+// ("all" waivers only under the full suite), so a single-analyzer
+// fixture run never misjudges another analyzer's waiver. Each finding
+// carries a fix deleting the directive comment.
+func staleWaivers(pkg *LoadedPackage, analyzers []*Analyzer, ignores ignoreSet) []Finding {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Finding
+	for _, byLine := range ignores {
+		for _, dirs := range byLine {
+			for _, d := range dirs {
+				if d.used {
+					continue
+				}
+				if !ran[d.name] && !(d.name == "all" && fullSuite) {
+					continue
+				}
+				out = append(out, Finding{
+					Analyzer: "staleignore",
+					Position: pkg.Fset.Position(d.pos),
+					Diagnostic: Diagnostic{
+						Pos:     d.pos,
+						Message: fmt.Sprintf("stale //lint:ignore %s — no %s diagnostic here to suppress; delete the waiver", d.name, d.name),
+					},
+					Edits: []ResolvedEdit{{
+						Filename: pkg.Fset.Position(d.pos).Filename,
+						Start:    pkg.Fset.Position(d.pos).Offset,
+						End:      pkg.Fset.Position(d.end).Offset,
+						NewText:  "",
+					}},
+				})
 			}
 		}
 	}
-	return false
+	return out
+}
+
+// ignoreRx matches waiver directives: //lint:ignore <name> <reason>.
+var ignoreRx = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+\S`)
+
+// ignoreDirective is one waiver comment; used tracks whether it
+// suppressed at least one diagnostic this run (stale otherwise).
+type ignoreDirective struct {
+	name     string
+	pos, end token.Pos
+	used     bool
+}
+
+// ignoreSet maps file → line → waiver directives on that line.
+type ignoreSet map[string]map[int][]*ignoreDirective
+
+// covers reports whether a diagnostic at pos is waived for the
+// analyzer, marking the earning directive as used.
+func (s ignoreSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	covered := false
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[l] {
+			if d.name == analyzer || d.name == "all" {
+				d.used = true
+				covered = true
+			}
+		}
+	}
+	return covered
 }
 
 func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
@@ -209,10 +366,12 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 				p := fset.Position(c.Pos())
 				byLine := out[p.Filename]
 				if byLine == nil {
-					byLine = map[int][]string{}
+					byLine = map[int][]*ignoreDirective{}
 					out[p.Filename] = byLine
 				}
-				byLine[p.Line] = append(byLine[p.Line], m[1])
+				byLine[p.Line] = append(byLine[p.Line], &ignoreDirective{
+					name: m[1], pos: c.Pos(), end: c.End(),
+				})
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -76,4 +77,115 @@ func TestValueEqSuggestedFix(t *testing.T) {
 
 func TestCtxLoopFed(t *testing.T) {
 	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "fed")
+}
+
+func TestGoLeak(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.GoLeakAnalyzer, "goleak", "exec")
+}
+
+func TestSendGuard(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.SendGuardAnalyzer, "sendguard", "exec")
+}
+
+func TestOpClose(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.OpCloseAnalyzer, "opclose", "plan")
+}
+
+func TestConnClose(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.ConnCloseAnalyzer, "connclose", "fed")
+}
+
+func TestLockHeldTrace(t *testing.T) {
+	linttest.Run(t, loader(t), lint.LockHeldAnalyzer, "trace")
+}
+
+func TestCtxLoopDist(t *testing.T) {
+	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "dist")
+}
+
+// TestStaleWaiver pins the waiver audit: a live //lint:ignore suppresses
+// its diagnostic silently, a stale one is reported with a deletion fix.
+func TestStaleWaiver(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "waiver"), "server")
+	if err != nil {
+		t.Fatalf("loading waiver fixture: %v", err)
+	}
+	findings, err := lint.Run(pkg, []*lint.Analyzer{lint.LockHeldAnalyzer})
+	if err != nil {
+		t.Fatalf("running lockheld: %v", err)
+	}
+	var stale []lint.Finding
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "staleignore":
+			stale = append(stale, f)
+		case "lockheld":
+			t.Errorf("live waiver failed to suppress: %v", f)
+		default:
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want exactly one stale-waiver finding, got %d: %v", len(stale), stale)
+	}
+	f := stale[0]
+	if len(f.Edits) != 1 || f.Edits[0].NewText != "" {
+		t.Errorf("stale waiver should carry a deletion edit, got %+v", f.Edits)
+	}
+}
+
+// TestRunnerConcurrent exercises the shared summary store and timing
+// registry from concurrent Run calls — the cmd/xstvet shape — and is
+// meaningful mainly under -race.
+func TestRunnerConcurrent(t *testing.T) {
+	l := loader(t)
+	fixtures := []struct{ dir, as string }{
+		{"goleak", "exec"},
+		{"opclose", "plan"},
+		{"connclose", "fed"},
+		{"trace", "trace"},
+		{"dist", "dist"},
+	}
+	r := lint.NewRunner(lint.All())
+	var pkgs []*lint.LoadedPackage
+	for _, fx := range fixtures {
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", fx.dir), fx.as)
+		if err != nil {
+			t.Fatalf("loading %s fixture: %v", fx.dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+		r.AddPackage(pkg)
+	}
+	r.Finalize()
+
+	want := make([]int, len(pkgs))
+	for i, pkg := range pkgs {
+		fs, err := r.Run(pkg)
+		if err != nil {
+			t.Fatalf("sequential run of %s: %v", fixtures[i].dir, err)
+		}
+		want[i] = len(fs)
+	}
+
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fs, err := r.Run(pkg)
+			if err != nil {
+				t.Errorf("concurrent run of %s: %v", fixtures[i].dir, err)
+				return
+			}
+			if len(fs) != want[i] {
+				t.Errorf("concurrent run of %s: got %d findings, want %d", fixtures[i].dir, len(fs), want[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	if tm := r.Timings(); len(tm) != len(lint.All()) {
+		t.Errorf("timings cover %d analyzers, want %d", len(tm), len(lint.All()))
+	}
 }

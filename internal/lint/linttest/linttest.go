@@ -35,8 +35,16 @@ var wantArgRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // the fixture's // want annotations.
 func Run(t *testing.T, l *lint.Loader, a *lint.Analyzer, name string) {
 	t.Helper()
+	RunAs(t, l, a, name, name)
+}
+
+// RunAs is Run with the fixture loaded under an alternate import path:
+// testdata/src/goleak loaded as "exec" exercises analyzers scoped to
+// xst/internal/exec without colliding with the exec fixture directory.
+func RunAs(t *testing.T, l *lint.Loader, a *lint.Analyzer, name, asPath string) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", name)
-	pkg, err := l.LoadDir(dir, name)
+	pkg, err := l.LoadDir(dir, asPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}

@@ -13,6 +13,8 @@ var lockHeldPkgs = []string{
 	"xst/internal/catalog",
 	"xst/internal/store",
 	"xst/internal/fed",
+	"xst/internal/trace",
+	"xst/internal/dist",
 }
 
 // LockHeldAnalyzer enforces lock discipline in the serving path: while a
@@ -263,7 +265,19 @@ func (lh *lockHeld) checkCall(call *ast.CallExpr) {
 				pathMatches(pn.Imported().Path(), "xst/internal/xlang") {
 				lh.pass.Reportf(call.Pos(),
 					"xlang.%s while %s is held serializes query evaluation behind the lock; evaluate outside it", name, lock)
+				return
 			}
+		}
+	}
+
+	// Interprocedural: a callee the summary layer knows to block —
+	// channel operations, network I/O, or driving an operator tree
+	// (exec.Collect gathering remote fragments) — stalls the critical
+	// section just as surely as inline I/O would.
+	if lh.pass.Summaries != nil {
+		if sum := lh.pass.Summaries.ForCall(lh.pass.Info, call); sum != nil && sum.Blocking {
+			lh.pass.Reportf(call.Pos(),
+				"call to %s while %s is held can block indefinitely (channel/network/operator I/O in the callee); move it outside the lock", name, lock)
 		}
 	}
 }

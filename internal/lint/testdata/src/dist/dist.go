@@ -1,0 +1,36 @@
+// Package dist exercises ctxloop in its extended scope: row loops in
+// context-carrying functions must stay cancellable, and ad-hoc
+// background contexts are banned outside delegation wrappers.
+package dist
+
+import (
+	"context"
+
+	"xst/internal/table"
+)
+
+func shipRows(ctx context.Context, rows []table.Row) int {
+	n := 0
+	for _, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		n += len(r)
+	}
+	return n
+}
+
+func shipRowsPolled(ctx context.Context, rows []table.Row) (int, error) {
+	n := 0
+	for i, r := range rows {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		n += len(r)
+	}
+	return n, nil
+}
+
+func respawn() {
+	ctx := context.Background() // want `context\.Background\(\) outside a pure delegation wrapper`
+	_ = ctx
+}

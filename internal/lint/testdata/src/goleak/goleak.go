@@ -1,0 +1,136 @@
+// Package exec exercises goleak: every spawned goroutine must be
+// joined (WaitGroup, channel drain) or bounded by a ctx-done select.
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// badLoop spawns an unbounded worker: nothing joins it, nothing can
+// stop it.
+func badLoop() {
+	go func() { // want `goroutine is neither joined`
+		for {
+			work()
+		}
+	}()
+}
+
+type pool struct {
+	mu sync.Mutex
+}
+
+// badUnderLock: spawning while holding a lock doesn't change the rule —
+// the worker is still unjoined.
+func (p *pool) badUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { // want `goroutine is neither joined`
+		work()
+	}()
+}
+
+// badNested: a goroutine is not joined just because it spawns joined
+// goroutines of its own.
+func badNested() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine is neither joined`
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+		for {
+			work()
+		}
+	}()
+	wg.Wait()
+}
+
+// goodWg is joined by a local WaitGroup waited on in the same function.
+func goodWg(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// goodCtx is bounded by a ctx-done select: cancellation ends it.
+func goodCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// goodCloser closes a channel its owner drains to completion.
+func goodCloser(n int) int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+type srv struct {
+	wg sync.WaitGroup
+}
+
+// goodFieldWg: per-task workers Done a receiver field joined elsewhere
+// in the package (found through the summary layer's wait index).
+func (s *srv) spawn() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+func (s *srv) stop() {
+	s.wg.Wait()
+}
+
+// run pumps until cancelled — a bounded named goroutine body.
+func run(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// goodNamed spawns a named callee whose own body is bounded.
+func goodNamed(ctx context.Context, ch chan int) {
+	go run(ctx, ch)
+}
+
+// goodDelegated: one level of delegation — the body hands its work to a
+// function whose summary shows a bounding shape.
+func goodDelegated(ctx context.Context, ch chan int) {
+	go func() {
+		run(ctx, ch)
+	}()
+}

@@ -1,0 +1,62 @@
+// Package exec exercises sendguard: channel sends inside worker
+// goroutines (and the functions they call directly) need an escape arm.
+package exec
+
+import "context"
+
+// produce is called directly from a worker below, so its bare send is a
+// worker send.
+func produce(ch chan int, v int) {
+	ch <- v // want `channel send in a worker without a ctx-done select arm`
+}
+
+// badBare: a bare send in a worker wedges once the consumer stops
+// draining.
+func badBare(ch chan int) {
+	go func() {
+		ch <- 1 // want `channel send in a worker without a ctx-done select arm`
+	}()
+}
+
+// badHelper pulls produce into the worker region (the diagnostic lands
+// on produce's send).
+func badHelper(ch chan int) {
+	go func() {
+		produce(ch, 2)
+	}()
+}
+
+// goodSelect escapes on cancellation.
+func goodSelect(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// goodDefault never blocks.
+func goodDefault(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// goodBuffered: an error channel sized to its producers cannot block.
+func goodBuffered() error {
+	errs := make(chan error, 4)
+	go func() {
+		errs <- nil
+	}()
+	return <-errs
+}
+
+// goodOutside: sends outside worker regions are the caller's
+// responsibility.
+func goodOutside(ch chan int) {
+	ch <- 9
+}

@@ -1,0 +1,38 @@
+// Package trace exercises lockheld in its extended scope: the tracing
+// layer must not block while holding its mutexes — directly or through
+// a callee the summary layer knows to block.
+package trace
+
+import "sync"
+
+type recorder struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// flush blocks on a channel send — a fact recorded in its summary.
+func (r *recorder) flush(v int) {
+	r.out <- v
+}
+
+func (r *recorder) badSend(v int) {
+	r.mu.Lock()
+	r.out <- v // want `channel send while r\.mu is held`
+	r.mu.Unlock()
+}
+
+// badDelegated blocks through a callee: interprocedural lockheld sees
+// flush's blocking summary.
+func (r *recorder) badDelegated(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flush(v) // want `call to flush while r\.mu is held can block indefinitely`
+}
+
+// goodSend releases before blocking.
+func (r *recorder) goodSend(v int) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.out <- v
+	r.flush(v)
+}

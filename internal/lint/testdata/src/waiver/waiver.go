@@ -1,0 +1,25 @@
+// Package server exercises stale-waiver detection: a //lint:ignore
+// directive that no longer suppresses anything is itself reported (and
+// deletable by -fix), while a live waiver stays silent.
+package server
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// live: the waiver below suppresses a real lockheld diagnostic.
+func (b *box) live(v int) {
+	b.mu.Lock()
+	//lint:ignore lockheld benchmarked: the consumer always drains ahead of producers
+	b.out <- v
+	b.mu.Unlock()
+}
+
+// stale: nothing on the next line trips lockheld anymore.
+func (b *box) stale(v int) {
+	//lint:ignore lockheld left over from an old refactor
+	b.out <- v
+}

@@ -93,10 +93,14 @@ func Compile(n Node) (exec.Operator, error) {
 		}
 		li, err := colIndex(left.OutSchema(), x.LeftCol, "join column")
 		if err != nil {
+			left.Close()
+			right.Close()
 			return nil, err
 		}
 		ri, err := colIndex(right.OutSchema(), x.RightCol, "join column")
 		if err != nil {
+			left.Close()
+			right.Close()
 			return nil, err
 		}
 		buildLeft := EstimateRows(x.Left) < EstimateRows(x.Right)
@@ -114,6 +118,7 @@ func Compile(n Node) (exec.Operator, error) {
 		}
 		idx, err := colIndex(child.OutSchema(), x.Col, "sort column")
 		if err != nil {
+			child.Close()
 			return nil, err
 		}
 		return exec.NewSort(child, idx, x.Desc), nil
@@ -131,6 +136,7 @@ func Compile(n Node) (exec.Operator, error) {
 			return nil, err
 		}
 		if got, want := child.OutSchema().Arity(), len(x.Cols); got != want {
+			child.Close()
 			return nil, fmt.Errorf("plan: rename arity %d over child arity %d", want, got)
 		}
 		return exec.NewRename(child, x.Cols), nil
@@ -142,6 +148,7 @@ func Compile(n Node) (exec.Operator, error) {
 		sch := child.OutSchema()
 		key, err := colIndex(sch, x.Key, "group key")
 		if err != nil {
+			child.Close()
 			return nil, err
 		}
 		aggs := make([]xsp.Agg, len(x.Aggs))
@@ -149,6 +156,7 @@ func Compile(n Node) (exec.Operator, error) {
 			aggs[i] = xsp.Agg{Kind: a.Kind}
 			if a.Kind != xsp.Count {
 				if aggs[i].Col, err = colIndex(sch, a.Col, "aggregate column"); err != nil {
+					child.Close()
 					return nil, err
 				}
 			}

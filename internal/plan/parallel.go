@@ -119,6 +119,7 @@ func CompileDOP(n Node, dop int) (exec.Operator, error) {
 		sch := ws[0].OutSchema()
 		key, err := colIndex(sch, x.Key, "group key")
 		if err != nil {
+			closeOps(ws, aux)
 			return nil, err
 		}
 		aggs := make([]xsp.Agg, len(x.Aggs))
@@ -126,6 +127,7 @@ func CompileDOP(n Node, dop int) (exec.Operator, error) {
 			aggs[i] = xsp.Agg{Kind: a.Kind}
 			if a.Kind != xsp.Count {
 				if aggs[i].Col, err = colIndex(sch, a.Col, "aggregate column"); err != nil {
+					closeOps(ws, aux)
 					return nil, err
 				}
 			}
@@ -144,6 +146,7 @@ func CompileDOP(n Node, dop int) (exec.Operator, error) {
 		}
 		idx, err := colIndex(child.OutSchema(), x.Col, "sort column")
 		if err != nil {
+			child.Close()
 			return nil, err
 		}
 		return exec.NewSort(child, idx, x.Desc), nil
@@ -162,6 +165,16 @@ func CompileDOP(n Node, dop int) (exec.Operator, error) {
 			return Compile(n)
 		}
 		return exec.NewGather(ws, aux...), nil
+	}
+}
+
+// closeOps closes every operator in the given chains, releasing
+// half-built workers on a compile-error unwind.
+func closeOps(groups ...[]exec.Operator) {
+	for _, ops := range groups {
+		for _, op := range ops {
+			op.Close()
+		}
 	}
 }
 
@@ -207,6 +220,7 @@ func compileWorkers(n Node, dop int) (workers, aux []exec.Operator, ok bool, err
 		idx := make([]int, len(x.Cols))
 		for i, c := range x.Cols {
 			if idx[i], err = colIndex(sch, c, "project column"); err != nil {
+				closeOps(ws, aux)
 				return nil, nil, false, err
 			}
 		}
@@ -233,11 +247,13 @@ func compileWorkers(n Node, dop int) (workers, aux []exec.Operator, ok bool, err
 		// out, else one serial builder chain.
 		bw, baux, bok, err := compileWorkers(buildNode, dop)
 		if err != nil {
+			closeOps(pw, paux)
 			return nil, nil, false, err
 		}
 		if !bok {
 			serial, err := Compile(buildNode)
 			if err != nil {
+				closeOps(pw, paux)
 				return nil, nil, false, err
 			}
 			bw, baux = []exec.Operator{serial}, nil
@@ -248,10 +264,12 @@ func compileWorkers(n Node, dop int) (workers, aux []exec.Operator, ok bool, err
 		}
 		li, err := colIndex(lsch, x.LeftCol, "join column")
 		if err != nil {
+			closeOps(pw, paux, bw, baux)
 			return nil, nil, false, err
 		}
 		ri, err := colIndex(rsch, x.RightCol, "join column")
 		if err != nil {
+			closeOps(pw, paux, bw, baux)
 			return nil, nil, false, err
 		}
 		bcol, pcol := ri, li
