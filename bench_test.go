@@ -1,5 +1,5 @@
 // Package xst's root benchmark suite: one testing.B benchmark per
-// reproduced table/figure (E1–E13, mirroring internal/bench and the
+// reproduced table/figure (E1–E16, mirroring internal/bench and the
 // xstbench binary) plus micro-benchmarks and the ablations DESIGN.md
 // calls out (canonical construction, image, relative product, engine
 // scan disciplines). Run with:
@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -20,10 +21,12 @@ import (
 	"xst/internal/core"
 	"xst/internal/dist"
 	"xst/internal/exec"
+	"xst/internal/index"
 	"xst/internal/plan"
 	"xst/internal/process"
 	"xst/internal/relational"
 	"xst/internal/server"
+	"xst/internal/stats"
 	"xst/internal/store"
 	"xst/internal/table"
 	"xst/internal/wal"
@@ -60,6 +63,7 @@ func BenchmarkE11DistributedJoin(b *testing.B)  { runExperiment(b, "E11") }
 func BenchmarkE12PlanOptimization(b *testing.B) { runExperiment(b, "E12") }
 func BenchmarkE13ParallelSetProc(b *testing.B)  { runExperiment(b, "E13") }
 func BenchmarkE14ServerThroughput(b *testing.B) { runExperiment(b, "E14") }
+func BenchmarkE16IndexVsScan(b *testing.B)      { runExperiment(b, "E16") }
 
 // --- Server throughput (queries/sec at 1, 8, 64 connections) ---------
 
@@ -451,6 +455,69 @@ func BenchmarkParallelScaling(b *testing.B) {
 				if n != baseline {
 					b.Fatalf("workers=%d returned %d groups, serial returned %d", workers, n, baseline)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexVsScan is the CI bench-smoke guard for cost-based
+// access paths: a point lookup and a ~1% range over an analyzed,
+// indexed table must compile to index scans (the EXPLAIN text names the
+// access path) while a half-the-table predicate must stay on the
+// sequential scan; each sub-benchmark then measures its chosen plan.
+func BenchmarkIndexVsScan(b *testing.B) {
+	pool := store.NewBufferPool(store.NewMemPager(), 512)
+	ev, err := table.Create(pool, table.Schema{Name: "events", Cols: []string{"eid", "grp", "val"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xtest.NewRand(11)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		grp := "hot"
+		if i%2 == 1 {
+			grp = "cold"
+		}
+		ev.Insert(table.Row{core.Int(i), core.Str(grp), core.Int(r.Intn(1000))})
+	}
+	sc, err := stats.CollectAll(ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hash, err := index.BuildHash(context.Background(), ev, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt, err := index.BuildBTree(context.Background(), ev, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := &plan.Catalog{Stats: sc, Indexes: []*plan.TableIndex{
+		{Table: ev, Col: "eid", Kind: plan.HashIdx, Hash: hash},
+		{Table: ev, Col: "val", Kind: plan.BTreeIdx, BTree: bt},
+	}}
+	cases := []struct {
+		name      string
+		pred      plan.Pred
+		wantIndex bool
+	}{
+		{"point", plan.Cmp{Col: "eid", Op: plan.Eq, Val: core.Int(n / 2)}, true},
+		{"range1pct", plan.Cmp{Col: "val", Op: plan.Lt, Val: core.Int(10)}, true},
+		{"wide50pct", plan.Cmp{Col: "grp", Op: plan.Eq, Val: core.Str("hot")}, false},
+	}
+	for _, tc := range cases {
+		node := plan.OptimizeCatalog(&plan.Select{Child: &plan.Scan{Table: ev}, Pred: tc.pred}, cat)
+		if got := strings.Contains(plan.Explain(node), "indexscan"); got != tc.wantIndex {
+			b.Fatalf("%s: explain names wrong access path (index=%v):\n%s", tc.name, got, plan.Explain(node))
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, _, err := plan.Execute(node)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = rows
 			}
 		})
 	}

@@ -82,6 +82,7 @@ func All(cfg Config) []Result {
 		E13ParallelSetProcessing(cfg),
 		E14ServerThroughput(cfg),
 		E15FederatedShipping(cfg),
+		E16IndexVsScan(cfg),
 	}
 }
 
@@ -119,6 +120,8 @@ func ByID(id string, cfg Config) (Result, bool) {
 		return E14ServerThroughput(cfg), true
 	case "E15":
 		return E15FederatedShipping(cfg), true
+	case "E16":
+		return E16IndexVsScan(cfg), true
 	default:
 		return Result{}, false
 	}

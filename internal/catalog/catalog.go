@@ -10,11 +10,17 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 
 	"xst/internal/core"
+	"xst/internal/index"
+	"xst/internal/plan"
+	"xst/internal/stats"
 	"xst/internal/store"
 	"xst/internal/table"
 	"xst/internal/xlang"
@@ -22,6 +28,33 @@ import (
 
 // catalogPage is the fixed location of the catalog root.
 const catalogPage = store.PageID(0)
+
+// metaTable is the hidden system table holding collected statistics and
+// index declarations as rows ⟨kind, tbl, payload⟩. It persists through
+// the ordinary catalog entry on page 0 but is excluded from Names and
+// BindAll — "__"-prefixed names are reserved (sessions use them for
+// scratch tables, which never reach the catalog).
+const metaTable = "__meta"
+
+// Index kinds recorded in __meta entries.
+const (
+	// IndexHash answers point (equality) lookups.
+	IndexHash = "hash"
+	// IndexBTree answers ordered range scans over atom columns.
+	IndexBTree = "btree"
+)
+
+// Index is one declared index: its definition (persisted) plus the
+// built in-memory structure (rebuilt at Open/Analyze/Vacuum). The
+// structures are immutable once published — rebuilds swap in fresh
+// ones, so plans compiled against an old snapshot stay safe.
+type Index struct {
+	Table string
+	Col   string
+	Kind  string
+	Hash  *index.HashIndex
+	BTree *index.BTree
+}
 
 // Partition kinds recorded in catalog entries.
 const (
@@ -86,11 +119,35 @@ var ErrTableExists = errors.New("catalog: table already exists")
 var ErrCatalogFull = errors.New("catalog: catalog page full")
 
 // Database is a durable collection of tables over one pager.
+//
+// The mutex covers the metadata maps and the planner snapshot, not page
+// I/O: readers (Table, Names, PlanCatalog) take the read lock, mutators
+// (CreateTable, Analyze, CreateIndex, VacuumTable) the write lock.
+// Compiled queries hold *table.Table and index-structure pointers
+// directly, so running scans never contend with catalog changes.
 type Database struct {
 	pager  store.Pager
 	pool   *store.BufferPool
+	mu     sync.RWMutex
 	tables map[string]*table.Table
 	parts  map[string]Partition
+	statsC map[string]*stats.TableStats
+	idxs   map[string][]*Index
+	// snap is the current planner catalog, rebuilt eagerly on every
+	// metadata mutation and handed out as an immutable snapshot.
+	snap *plan.Catalog
+}
+
+func newDatabase(pager store.Pager, pool *store.BufferPool) *Database {
+	return &Database{
+		pager:  pager,
+		pool:   pool,
+		tables: map[string]*table.Table{},
+		parts:  map[string]Partition{},
+		statsC: map[string]*stats.TableStats{},
+		idxs:   map[string][]*Index{},
+		snap:   &plan.Catalog{},
+	}
 }
 
 // Create formats a fresh database on the pager (which must be empty) and
@@ -109,7 +166,7 @@ func Create(pager store.Pager, frames int) (*Database, error) {
 		return nil, fmt.Errorf("catalog: catalog page allocated as %d", f.ID())
 	}
 	f.Unpin()
-	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}, parts: map[string]Partition{}}
+	db := newDatabase(pager, pool)
 	if err := db.writeCatalog(); err != nil {
 		return nil, err
 	}
@@ -122,7 +179,7 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 		return nil, errors.New("catalog: pager empty; use Create")
 	}
 	pool := store.NewBufferPool(pager, frames)
-	db := &Database{pager: pager, pool: pool, tables: map[string]*table.Table{}, parts: map[string]Partition{}}
+	db := newDatabase(pager, pool)
 
 	f, err := pool.Get(catalogPage)
 	if err != nil {
@@ -150,6 +207,10 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 			db.parts[name] = *part
 		}
 	}
+	if err := db.loadMeta(); err != nil {
+		return nil, err
+	}
+	db.rebuildSnapLocked()
 	return db, nil
 }
 
@@ -158,6 +219,8 @@ func (db *Database) Pool() *store.BufferPool { return db.pool }
 
 // CreateTable defines a new table and persists the catalog.
 func (db *Database) CreateTable(schema table.Schema) (*table.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[schema.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, schema.Name)
 	}
@@ -170,11 +233,18 @@ func (db *Database) CreateTable(schema table.Schema) (*table.Table, error) {
 		delete(db.tables, schema.Name)
 		return nil, err
 	}
+	db.rebuildSnapLocked()
 	return t, nil
 }
 
 // Table returns a defined table.
 func (db *Database) Table(name string) (*table.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableLocked(name)
+}
+
+func (db *Database) tableLocked(name string) (*table.Table, error) {
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
@@ -182,10 +252,16 @@ func (db *Database) Table(name string) (*table.Table, error) {
 	return t, nil
 }
 
-// Names lists the defined tables, sorted.
+// Names lists the defined tables, sorted. Reserved "__"-prefixed system
+// tables (the statistics/index store) are omitted.
 func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
+		if strings.HasPrefix(n, "__") {
+			continue
+		}
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -197,7 +273,9 @@ func (db *Database) Names() []string {
 // pages become garbage (page ids are never reused but never reclaimed —
 // the simulation does not implement a free-space map).
 func (db *Database) VacuumTable(name string) (*table.Table, error) {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(name)
 	if err != nil {
 		return nil, err
 	}
@@ -210,11 +288,18 @@ func (db *Database) VacuumTable(name string) (*table.Table, error) {
 		db.tables[name] = t
 		return nil, err
 	}
+	// Indexes hold RIDs into the old heap — rebuild them over the copy.
+	if err := db.rebuildIndexesLocked(name); err != nil {
+		return nil, err
+	}
+	db.rebuildSnapLocked()
 	return compact, nil
 }
 
 // Sync flushes every dirty page and rewrites the catalog.
 func (db *Database) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.writeCatalog(); err != nil {
 		return err
 	}
@@ -233,7 +318,9 @@ func (db *Database) Close() error {
 // SetPartition records how a table is sharded across a federation and
 // persists the catalog. The column must exist in the table's schema.
 func (db *Database) SetPartition(name string, p Partition) error {
-	t, err := db.Table(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(name)
 	if err != nil {
 		return err
 	}
@@ -259,6 +346,8 @@ func (db *Database) SetPartition(name string, p Partition) error {
 
 // Partition reports a table's recorded partition, if any.
 func (db *Database) Partition(name string) (Partition, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	p, ok := db.parts[name]
 	return p, ok
 }
@@ -267,6 +356,12 @@ func (db *Database) Partition(name string) (Partition, bool) {
 // actually stored on page 0. Partitioned tables carry a fourth tuple
 // element ⟨kind, col, site, sites, ⟨bounds…⟩⟩.
 func (db *Database) CatalogSet() *core.Set {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.catalogSetLocked()
+}
+
+func (db *Database) catalogSetLocked() *core.Set {
 	b := core.NewBuilder(len(db.tables))
 	for name, t := range db.tables {
 		cols := make([]core.Value, len(t.Schema().Cols))
@@ -283,8 +378,10 @@ func (db *Database) CatalogSet() *core.Set {
 	return b.Set()
 }
 
+// writeCatalog persists page 0; callers hold the write lock (or have
+// exclusive access during Create/Open).
 func (db *Database) writeCatalog() error {
-	enc := core.Encode(db.CatalogSet())
+	enc := core.Encode(db.catalogSetLocked())
 	if len(enc)+4 > store.PageSize {
 		return fmt.Errorf("%w: %d bytes", ErrCatalogFull, len(enc))
 	}
@@ -305,15 +402,303 @@ func (db *Database) writeCatalog() error {
 // environment twice over: as its materialized extended set, so the REPL
 // can query stored data symbolically (`users[{<1>}]` etc.), and as a
 // table binding, so query statements (`from users where …`) stream it
-// through the planner without materializing.
+// through the planner without materializing. It also wires the
+// database's planner catalog into the environment, making query
+// compilation cost-based; the provider re-resolves per query, so clones
+// of env see statistics refreshed by a later Analyze.
 func (db *Database) BindAll(env *xlang.Env) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for name, t := range db.tables {
+		if strings.HasPrefix(name, "__") {
+			continue
+		}
 		s, err := t.ToXST()
 		if err != nil {
 			return fmt.Errorf("catalog: binding %q: %w", name, err)
 		}
 		env.Bind(name, s)
 		env.BindTable(name, t)
+	}
+	env.BindPlanCatalog(db.PlanCatalog)
+	return nil
+}
+
+// Analyze collects fresh statistics for every user table, rebuilds
+// every declared index, persists both to the hidden __meta table, and
+// republishes the planner snapshot. It returns the number of tables
+// analyzed. This is the `.analyze` admin command's engine.
+func (db *Database) Analyze(ctx context.Context) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fresh := map[string]*stats.TableStats{}
+	for name, t := range db.tables {
+		if strings.HasPrefix(name, "__") {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		ts, err := stats.Collect(t)
+		if err != nil {
+			return 0, fmt.Errorf("catalog: analyze %q: %w", name, err)
+		}
+		fresh[name] = ts
+	}
+	for name := range db.idxs {
+		if err := db.rebuildIndexesLocked(name); err != nil {
+			return 0, err
+		}
+	}
+	db.statsC = fresh
+	if err := db.persistMetaLocked(); err != nil {
+		return 0, err
+	}
+	db.rebuildSnapLocked()
+	return len(fresh), nil
+}
+
+// Stats reports the persisted statistics for one table, if analyzed.
+func (db *Database) Stats(name string) (*stats.TableStats, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ts, ok := db.statsC[name]
+	return ts, ok
+}
+
+// StatsCatalog returns the persisted statistics keyed by table name (a
+// fresh map; the TableStats values are shared and immutable).
+func (db *Database) StatsCatalog() stats.Catalog {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cat := make(stats.Catalog, len(db.statsC))
+	for name, ts := range db.statsC {
+		cat[name] = ts
+	}
+	return cat
+}
+
+// CreateIndex declares and builds an index on table.col, persists the
+// declaration, and republishes the planner snapshot. Kind is IndexHash
+// (point lookups) or IndexBTree (ordered ranges; atom columns only).
+func (db *Database) CreateIndex(ctx context.Context, tbl, col, kind string) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if strings.HasPrefix(tbl, "__") {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tbl)
+	}
+	t, err := db.tableLocked(tbl)
+	if err != nil {
+		return nil, err
+	}
+	if t.Schema().Col(col) < 0 {
+		return nil, fmt.Errorf("catalog: index column %q not in %s(%s)", col, tbl, t.Schema().Cols)
+	}
+	if kind != IndexHash && kind != IndexBTree {
+		return nil, fmt.Errorf("catalog: unknown index kind %q (want %s or %s)", kind, IndexHash, IndexBTree)
+	}
+	for _, ix := range db.idxs[tbl] {
+		if ix.Col == col && ix.Kind == kind {
+			return nil, fmt.Errorf("catalog: index on %s.%s (%s) already exists", tbl, col, kind)
+		}
+	}
+	ix := &Index{Table: tbl, Col: col, Kind: kind}
+	if err := db.buildIndexLocked(ctx, ix); err != nil {
+		return nil, err
+	}
+	db.idxs[tbl] = append(db.idxs[tbl], ix)
+	if err := db.persistMetaLocked(); err != nil {
+		db.idxs[tbl] = db.idxs[tbl][:len(db.idxs[tbl])-1]
+		return nil, err
+	}
+	db.rebuildSnapLocked()
+	return ix, nil
+}
+
+// Indexes reports the declared indexes on a table.
+func (db *Database) Indexes(tbl string) []*Index {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*Index(nil), db.idxs[tbl]...)
+}
+
+// PlanCatalog returns the current planner catalog snapshot (statistics
+// plus built indexes). The snapshot is immutable — mutations publish a
+// fresh one — so callers may hold it across a whole query.
+func (db *Database) PlanCatalog() *plan.Catalog {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.snap
+}
+
+// buildIndexLocked (re)builds ix's in-memory structure from its table.
+func (db *Database) buildIndexLocked(ctx context.Context, ix *Index) error {
+	t, err := db.tableLocked(ix.Table)
+	if err != nil {
+		return err
+	}
+	col := t.Schema().Col(ix.Col)
+	if col < 0 {
+		return fmt.Errorf("catalog: index column %q not in %s(%s)", ix.Col, ix.Table, t.Schema().Cols)
+	}
+	switch ix.Kind {
+	case IndexHash:
+		h, err := index.BuildHash(ctx, t, col)
+		if err != nil {
+			return fmt.Errorf("catalog: building hash index %s.%s: %w", ix.Table, ix.Col, err)
+		}
+		ix.Hash = h
+	case IndexBTree:
+		bt, err := index.BuildBTree(ctx, t, col)
+		if err != nil {
+			return fmt.Errorf("catalog: building btree index %s.%s: %w", ix.Table, ix.Col, err)
+		}
+		ix.BTree = bt
+	default:
+		return fmt.Errorf("catalog: unknown index kind %q", ix.Kind)
+	}
+	return nil
+}
+
+// rebuildIndexesLocked refreshes every index structure on one table —
+// required after Vacuum (RIDs move) and Analyze (rows changed since the
+// structures were built).
+func (db *Database) rebuildIndexesLocked(name string) error {
+	for _, ix := range db.idxs[name] {
+		if err := db.buildIndexLocked(context.Background(), ix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildSnapLocked republishes the planner catalog from the current
+// statistics and index structures. Always a fresh value: snapshots
+// already handed out stay internally consistent.
+func (db *Database) rebuildSnapLocked() {
+	snap := &plan.Catalog{Stats: make(stats.Catalog, len(db.statsC))}
+	for name, ts := range db.statsC {
+		snap.Stats[name] = ts
+	}
+	names := make([]string, 0, len(db.idxs))
+	for name := range db.idxs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t, ok := db.tables[name]
+		if !ok {
+			continue
+		}
+		for _, ix := range db.idxs[name] {
+			ti := &plan.TableIndex{Table: t, Col: ix.Col, Hash: ix.Hash, BTree: ix.BTree}
+			if ix.Kind == IndexBTree {
+				ti.Kind = plan.BTreeIdx
+			}
+			snap.Indexes = append(snap.Indexes, ti)
+		}
+	}
+	db.snap = snap
+}
+
+var metaSchema = table.Schema{Name: metaTable, Cols: []string{"kind", "tbl", "payload"}}
+
+// persistMetaLocked rewrites the __meta table from the in-memory
+// statistics and index declarations: a fresh heap is filled and the
+// catalog repointed (the Vacuum idiom — old pages become garbage).
+func (db *Database) persistMetaLocked() error {
+	t, err := table.Create(db.pool, metaSchema)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.statsC))
+	for name := range db.statsC {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := table.Row{core.Str("stats"), core.Str(name), db.statsC[name].Value()}
+		if _, err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range db.idxs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, ix := range db.idxs[name] {
+			row := table.Row{core.Str("index"), core.Str(name), core.Tuple(core.Str(ix.Col), core.Str(ix.Kind))}
+			if _, err := t.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	prev, had := db.tables[metaTable]
+	db.tables[metaTable] = t
+	if err := db.writeCatalog(); err != nil {
+		if had {
+			db.tables[metaTable] = prev
+		} else {
+			delete(db.tables, metaTable)
+		}
+		return err
+	}
+	return nil
+}
+
+// loadMeta restores statistics and index declarations from __meta at
+// Open time, rebuilding every index structure. Called before the
+// database is shared, so no locking.
+func (db *Database) loadMeta() error {
+	t, ok := db.tables[metaTable]
+	if !ok {
+		return nil
+	}
+	type idxDef struct{ tbl, col, kind string }
+	var defs []idxDef
+	err := t.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		if len(r) != 3 {
+			return false, fmt.Errorf("catalog: bad __meta row %v", r)
+		}
+		kind, kok := r[0].(core.Str)
+		tbl, tok := r[1].(core.Str)
+		if !kok || !tok {
+			return false, fmt.Errorf("catalog: bad __meta row %v", r)
+		}
+		switch string(kind) {
+		case "stats":
+			ts, err := stats.DecodeTableStats(r[2])
+			if err != nil {
+				return false, fmt.Errorf("catalog: __meta stats for %q: %w", tbl, err)
+			}
+			db.statsC[string(tbl)] = ts
+		case "index":
+			elems, ok := core.TupleElems(r[2])
+			if !ok || len(elems) != 2 {
+				return false, fmt.Errorf("catalog: bad __meta index payload %v", r[2])
+			}
+			col, cok := elems[0].(core.Str)
+			ikind, iok := elems[1].(core.Str)
+			if !cok || !iok {
+				return false, fmt.Errorf("catalog: bad __meta index payload %v", r[2])
+			}
+			defs = append(defs, idxDef{tbl: string(tbl), col: string(col), kind: string(ikind)})
+		default:
+			return false, fmt.Errorf("catalog: unknown __meta kind %q", kind)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range defs {
+		ix := &Index{Table: d.tbl, Col: d.col, Kind: d.kind}
+		if err := db.buildIndexLocked(context.Background(), ix); err != nil {
+			return err
+		}
+		db.idxs[d.tbl] = append(db.idxs[d.tbl], ix)
 	}
 	return nil
 }

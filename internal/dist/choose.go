@@ -17,6 +17,11 @@ type CostInputs struct {
 	// LeftSelectivity is the fraction of left rows surviving the
 	// restriction (1 = no restriction).
 	LeftSelectivity float64
+	// LeftKeyDistinct is the number of distinct join-key values on the
+	// left side, when known from collected statistics (0 = unknown).
+	// SemiJoin ships each distinct key once, so this caps its key
+	// shipment; the zero value preserves the sampled heuristic.
+	LeftKeyDistinct int
 	// Sites is the cluster size.
 	Sites int
 	// CoPartitioned reports both tables hash-partitioned on the join
@@ -43,6 +48,9 @@ func EstimateBytes(in CostInputs, s Strategy) float64 {
 		return rightAll*float64(1+in.Sites) + resultBytes
 	case SemiJoin:
 		distinctKeys := float64(in.LeftRows) * in.LeftSelectivity
+		if in.LeftKeyDistinct > 0 && float64(in.LeftKeyDistinct) < distinctKeys {
+			distinctKeys = float64(in.LeftKeyDistinct)
+		}
 		keyShip := distinctKeys * float64(in.KeyBytes) * float64(in.Sites)
 		// Matching right rows ≈ key coverage: the fraction of the right
 		// side whose key appears in the shipped set, not the left-side

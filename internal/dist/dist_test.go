@@ -388,3 +388,39 @@ func TestSemiJoinKeyCoverage(t *testing.T) {
 		t.Fatalf("empty right side bytes = %v", got)
 	}
 }
+
+// TestSemiJoinDistinctKeyCap pins the cost model before and after
+// statistics arrive: with LeftKeyDistinct unset every restricted left
+// row ships a key (the sampled heuristic); a persisted distinct count
+// caps the shipment and can flip the chosen strategy.
+func TestSemiJoinDistinctKeyCap(t *testing.T) {
+	in := CostInputs{
+		LeftRows: 1000, RightRows: 1000,
+		LeftRowBytes: 20, RightRowBytes: 20, KeyBytes: 9,
+		LeftSelectivity: 1.0, Sites: 4,
+	}
+	// Before: leftShip 20_000 + keyShip 1000*9*4 = 36_000 + rightAll
+	// 20_000 * coverage 1 = 76_000; ShipAll (40_000) wins.
+	if got, want := EstimateBytes(in, SemiJoin), 76000.0; got != want {
+		t.Fatalf("semijoin bytes without stats = %v, want %v", got, want)
+	}
+	if got := ChooseStrategy(in); got != ShipAll {
+		t.Fatalf("without stats chose %v, want ShipAll", got)
+	}
+	// After .analyze: 50 distinct keys. keyShip 50*9*4 = 1_800,
+	// coverage 50/1000 = 0.05 → rightShip 1_000; total 22_800 beats
+	// ShipAll.
+	in.LeftKeyDistinct = 50
+	if got, want := EstimateBytes(in, SemiJoin), 22800.0; got != want {
+		t.Fatalf("semijoin bytes with stats = %v, want %v", got, want)
+	}
+	if got := ChooseStrategy(in); got != SemiJoin {
+		t.Fatalf("with stats chose %v, want SemiJoin", got)
+	}
+	// A distinct count above the restricted row estimate is ignored —
+	// there cannot be more shipped keys than surviving rows.
+	in.LeftKeyDistinct = 5000
+	if got, want := EstimateBytes(in, SemiJoin), 76000.0; got != want {
+		t.Fatalf("oversized distinct must not inflate keys: %v, want %v", got, want)
+	}
+}

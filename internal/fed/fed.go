@@ -97,6 +97,11 @@ type TableMeta struct {
 	SiteRows []int
 	// RowBytes is the largest per-site sampled encoded row size.
 	RowBytes int
+	// Distinct maps column name → per-column distinct count, merged as
+	// the max across sites (each site's exact count is a lower bound on
+	// the federation-wide count). Empty until the sites have been
+	// analyzed; consumers treat a missing entry as unknown.
+	Distinct map[string]int
 	// Part is the partition spec shared by all sites (nil when the
 	// table is unpartitioned — rows live wherever they were inserted).
 	Part *PartSpec
@@ -263,6 +268,14 @@ func (c *Coordinator) mergeCatalogs(perSite []map[string]server.TableInfo) error
 			meta.SiteRows[i] = ti.Rows
 			if ti.RowBytes > meta.RowBytes {
 				meta.RowBytes = ti.RowBytes
+			}
+			for col, d := range ti.Distinct {
+				if meta.Distinct == nil {
+					meta.Distinct = map[string]int{}
+				}
+				if d > meta.Distinct[col] {
+					meta.Distinct[col] = d
+				}
 			}
 			if ti.Part != nil {
 				spec, err := decodePartInfo(ti.Part)

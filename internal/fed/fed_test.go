@@ -498,3 +498,31 @@ func TestPartitionPersistence(t *testing.T) {
 		t.Fatalf("partition round-trip: got %+v want %+v", got, want)
 	}
 }
+
+// TestSelectivityUsesDistinctCounts: equality conjuncts switch from the
+// System-R constant to 1/distinct once site statistics are merged, and
+// the splitter's join-cardinality estimate uses the key's distinct
+// count.
+func TestSelectivityUsesDistinctCounts(t *testing.T) {
+	meta := &TableMeta{Name: "t", Cols: []string{"id", "kind"}, SiteRows: []int{500, 500}}
+	f := newFragment("t", meta, table.Schema{Name: "t", Cols: meta.Cols})
+	f.preds = append(f.preds, plan.Cmp{Col: "id", Op: plan.Eq, Val: core.Int(7)})
+	if got := f.selectivity(); got != 0.1 {
+		t.Fatalf("selectivity without stats = %v, want 0.1", got)
+	}
+	meta.Distinct = map[string]int{"id": 1000, "kind": 2}
+	if got := f.selectivity(); got != 1.0/1000 {
+		t.Fatalf("selectivity with stats = %v, want 0.001", got)
+	}
+	// Range conjuncts keep the constant — histograms are not shipped.
+	f.preds = []plan.Cmp{{Col: "id", Op: plan.Lt, Val: core.Int(7)}}
+	if got := f.selectivity(); got != 0.3 {
+		t.Fatalf("range selectivity = %v, want 0.3", got)
+	}
+	if got := f.distinctOf("kind"); got != 2 {
+		t.Fatalf("distinctOf(kind) = %d, want 2", got)
+	}
+	if got := f.distinctOf("missing"); got != 0 {
+		t.Fatalf("distinctOf(missing) = %d, want 0", got)
+	}
+}

@@ -269,13 +269,20 @@ func renderableAggs(key string, aggs []plan.AggSpec) bool {
 }
 
 // selectivity estimates the surviving fraction of the fragment's base
-// rows under its pushed predicates (System-R constants, as plan does).
+// rows under its pushed predicates. Equality conjuncts use 1/distinct
+// when the sites have been analyzed (`.analyze` publishes per-column
+// distinct counts through .schema); everything else falls back to the
+// System-R constants, as plan does without statistics.
 func (f *fragment) selectivity() float64 {
 	s := 1.0
 	for _, p := range f.preds {
 		switch p.Op {
 		case plan.Eq:
-			s *= 0.1
+			if d := f.distinctOf(p.Col); d > 0 {
+				s *= 1 / float64(d)
+			} else {
+				s *= 0.1
+			}
 		case plan.Lt, plan.Le, plan.Gt, plan.Ge:
 			s *= 0.3
 		default:
@@ -283,6 +290,20 @@ func (f *fragment) selectivity() float64 {
 		}
 	}
 	return s
+}
+
+// distinctOf resolves a column's merged distinct count across the
+// fragment's tables (0 = unknown).
+func (f *fragment) distinctOf(col string) int {
+	for _, m := range append([]*TableMeta{f.meta}, f.joinMetas...) {
+		if m == nil {
+			continue
+		}
+		if d, ok := m.Distinct[col]; ok {
+			return d
+		}
+	}
+	return 0
 }
 
 // estRows estimates the fragment's output cardinality across all sites.

@@ -310,10 +310,17 @@ func (s *splitter) costInputs(lf, rf *fragment, lcol, rcol string, disjoint bool
 	}
 	// Fold the right side's own restriction into its effective size.
 	in.RightRows = int(float64(in.RightRows) * rf.selectivity())
-	// System-R equi-join cardinality with per-key uniqueness assumed on
-	// the larger side: |L⋈R| ≈ |L|·|R| / max(|L|,|R|) = min(|L|,|R|).
+	// SemiJoin ships each distinct left key at most once; analyzed
+	// sites publish the exact count.
+	in.LeftKeyDistinct = lf.distinctOf(lcol)
+	// Equi-join cardinality: |L⋈R| ≈ |L|·|R| / max(d(L.k), d(R.k)) when
+	// the key's distinct counts are known; otherwise the System-R
+	// fallback of per-key uniqueness on the larger side, which reduces
+	// to min(|L|,|R|).
 	l, r := lf.estRows(), rf.estRows()
-	if l < r {
+	if d := max(in.LeftKeyDistinct, rf.distinctOf(rcol)); d > 0 {
+		in.JoinRows = int(l * r / float64(d))
+	} else if l < r {
 		in.JoinRows = int(l)
 	} else {
 		in.JoinRows = int(r)

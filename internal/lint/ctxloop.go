@@ -16,6 +16,7 @@ var ctxLoopPkgs = []string{
 	"xst/internal/fed",
 	"xst/internal/trace",
 	"xst/internal/dist",
+	"xst/internal/index",
 }
 
 // CtxLoopAnalyzer keeps the deadline guarantees from the serving layer

@@ -103,6 +103,14 @@ func TestCtxLoopDist(t *testing.T) {
 	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "dist")
 }
 
+func TestCtxLoopIndex(t *testing.T) {
+	linttest.Run(t, loader(t), lint.CtxLoopAnalyzer, "index")
+}
+
+func TestOpCloseIndex(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.OpCloseAnalyzer, "indexop", "index")
+}
+
 // TestStaleWaiver pins the waiver audit: a live //lint:ignore suppresses
 // its diagnostic silently, a stale one is reported with a deletion fix.
 func TestStaleWaiver(t *testing.T) {

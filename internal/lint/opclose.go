@@ -14,6 +14,7 @@ var opclosePkgs = []string{
 	"xst/internal/fed",
 	"xst/internal/exec",
 	"xst/internal/server",
+	"xst/internal/index",
 }
 
 // OpCloseAnalyzer enforces the operator lifecycle: a locally-created

@@ -1,0 +1,87 @@
+// Package index exercises ctxloop over the index layer's bulk-build
+// shapes: its path suffix puts it in the analyzer's scope, so loops
+// hashing or order-encoding table rows in ctx-carrying functions must
+// stay cancellable — a build over a large table outlives most
+// deadlines, and `.createindex`/`.analyze` both drive one.
+package index
+
+import (
+	"context"
+
+	"xst/internal/table"
+)
+
+// BulkHashCtx encodes every row's key without ever consulting ctx —
+// the shape an index build must never regress to (a cancelled
+// .createindex would keep hashing the whole table).
+func BulkHashCtx(ctx context.Context, rows []table.Row) ([][]byte, error) {
+	keys := make([][]byte, 0, len(rows))
+	for _, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		keys = append(keys, table.EncodeRow(nil, r))
+	}
+	return keys, ctx.Err()
+}
+
+// BulkBTreeCtx builds with the batched steps%N poll — the sanctioned
+// build-loop shape (buildPollEvery in the real package).
+func BulkBTreeCtx(ctx context.Context, rows []table.Row) (int, error) {
+	total, steps := 0, 0
+	for _, r := range rows {
+		if steps++; steps%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += len(r)
+	}
+	return total, nil
+}
+
+// VerifyCtx polls per row — fine for the slow per-key check pass that
+// follows a rebuild.
+func VerifyCtx(ctx context.Context, rows []table.Row) error {
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = r
+	}
+	return nil
+}
+
+// RebuildDistinctCtx dedups keys for the stats refresh without
+// polling: the exact failure mode `.analyze` over a wide table would
+// hit. The want below pins it.
+func RebuildDistinctCtx(ctx context.Context, rows []table.Row) (int, error) {
+	seen := map[int]bool{}
+	for i, r := range rows { // want `loop over set members in a context-carrying function has no cancellation check`
+		if len(r) > 0 {
+			seen[i] = true
+		}
+	}
+	return len(seen), ctx.Err()
+}
+
+// RebuildAllCtx delegates cancellation to a ctx-taking callee per row.
+func RebuildAllCtx(ctx context.Context, rows []table.Row) error {
+	for _, r := range rows {
+		if _, err := BulkBTreeCtx(ctx, []table.Row{r}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanCallbackCtx mirrors the real builds: the loop lives inside a
+// function literal handed to a scanner, which runs under the caller's
+// polling regime — exempt by the literal rule.
+func ScanCallbackCtx(ctx context.Context, rows []table.Row) (int, error) {
+	n := 0
+	walk := func() {
+		for _, r := range rows {
+			n += len(r)
+		}
+	}
+	walk()
+	return n, ctx.Err()
+}

@@ -1,0 +1,83 @@
+// Package index exercises opclose over the access-path layer's
+// operator shapes: an IndexScan-like operator built while compiling an
+// access path must be closed, escape, or be handed to an owning callee
+// on every return path — the key-validation unwinds are where leaks
+// hide.
+package index
+
+import "errors"
+
+// scanOp has the structural Operator shape (Open/Next/Close), standing
+// in for an index scan operator.
+type scanOp struct{ open bool }
+
+func (s *scanOp) Open() error  { s.open = true; return nil }
+func (s *scanOp) Next() error  { return nil }
+func (s *scanOp) Close() error { s.open = false; return nil }
+
+func newScan() *scanOp { return &scanOp{} }
+
+var errNoKey = errors.New("no key")
+
+func leafStale() bool { return false }
+
+// badProbeUnwind abandons the live scan when the probe-key check fails.
+func badProbeUnwind(keys int) (*scanOp, error) {
+	sc := newScan() // want `operator sc is not closed on every return path`
+	if keys == 0 {
+		return nil, errNoKey
+	}
+	return sc, nil
+}
+
+// badRangeSwap abandons the previous scan when a stale-leaf retry
+// loops back to open a fresh one against the next leaf.
+func badRangeSwap() error {
+	for {
+		sc := newScan() // want `operator sc is reassigned on a loop path without being closed first`
+		if leafStale() {
+			continue
+		}
+		err := sc.Open()
+		sc.Close()
+		return err
+	}
+}
+
+// goodProbeUnwind closes before the error return.
+func goodProbeUnwind(keys int) (*scanOp, error) {
+	sc := newScan()
+	if keys == 0 {
+		sc.Close()
+		return nil, errNoKey
+	}
+	return sc, nil
+}
+
+// drain takes ownership: it closes its operator on every path, which
+// the summary layer records and propagates to callers.
+func drain(s *scanOp) error {
+	defer s.Close()
+	return s.Open()
+}
+
+// goodHandoff releases the live scan by handing it to drain.
+func goodHandoff(keys int) error {
+	sc := newScan()
+	if keys > 0 {
+		return drain(sc)
+	}
+	sc.Close()
+	return nil
+}
+
+// goodEscape returns the scan — ownership moves to the caller.
+func goodEscape() *scanOp { return newScan() }
+
+type cursor struct{ sc *scanOp }
+
+// goodStore: storing through a field escapes this frame.
+func (c *cursor) attach() {
+	sc := newScan()
+	c.sc = sc
+}

@@ -19,6 +19,8 @@ func EstimateRows(n Node) float64 {
 	switch x := n.(type) {
 	case *Scan:
 		return float64(x.Table.Count())
+	case *IndexAccess:
+		return x.Est
 	case *Select:
 		return EstimateRows(x.Child) * predSelectivity(x.Pred)
 	case *Project:

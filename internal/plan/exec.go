@@ -59,6 +59,17 @@ func Compile(n Node) (exec.Operator, error) {
 	switch x := n.(type) {
 	case *Scan:
 		return exec.NewScan(x.Table), nil
+	case *IndexAccess:
+		if x.Idx.Kind == HashIdx {
+			if x.Idx.Hash == nil {
+				return nil, fmt.Errorf("plan: hash index on %s.%s has no structure", x.Idx.Table.Schema().Name, x.Idx.Col)
+			}
+			return exec.NewHashIndexScan(x.Idx.Table, x.Idx.Hash, x.Eq, x.Desc()), nil
+		}
+		if x.Idx.BTree == nil {
+			return nil, fmt.Errorf("plan: btree index on %s.%s has no structure", x.Idx.Table.Schema().Name, x.Idx.Col)
+		}
+		return exec.NewBTreeIndexScan(x.Idx.Table, x.Idx.BTree, x.Lo, x.Hi, x.LoIncl, x.HiIncl, x.Desc()), nil
 	case *Select:
 		child, err := Compile(x.Child)
 		if err != nil {
@@ -237,6 +248,9 @@ func TreeStats(op exec.Operator) ExecStats {
 		case *exec.Scan:
 			st.Pipelines++
 			st.RowsScanned += s.RowsIn
+		case *exec.IndexScan:
+			st.Pipelines++
+			st.RowsScanned += s.RowsIn
 		case *exec.MorselScan:
 			st.RowsScanned += s.RowsIn
 		case *exec.Gather:
@@ -275,6 +289,14 @@ func TreeStats(op exec.Operator) ExecStats {
 // query's span tree and EXPLAIN ANALYZE are the same data, and
 // RenderOpSpans formats either. A nil parent is a no-op.
 func AttachOpSpans(parent *trace.Span, op exec.Operator) {
+	AttachOpSpansEst(parent, op, nil)
+}
+
+// AttachOpSpansEst is AttachOpSpans with plan-time row estimates: any
+// operator present in est carries its estimate on the span, so the
+// rendered tree shows estimated next to actual rows. Build the map with
+// OpEstimates; nil est attaches plain spans.
+func AttachOpSpansEst(parent *trace.Span, op exec.Operator, est map[exec.Operator]float64) {
 	if parent == nil {
 		return
 	}
@@ -283,11 +305,41 @@ func AttachOpSpans(parent *trace.Span, op exec.Operator) {
 		st := o.Stats()
 		sp := p.Start(o.String())
 		sp.SetOpStats(st.RowsOut, st.Batches, st.MaxBatch, st.HeldRows, st.Ns)
+		if e, ok := est[o]; ok {
+			r := int64(e + 0.5)
+			if r < 1 {
+				r = 1
+			}
+			sp.SetEstRows(r)
+		}
 		for _, c := range o.Children() {
 			rec(sp, c)
 		}
 	}
 	rec(parent, op)
+}
+
+// OpEstimates pairs a compiled operator tree with its logical plan and
+// returns the per-operator cardinality estimates the planner chose the
+// plan on. Serial trees compile one operator per plan node, so the
+// pairing is positional; when a subtree's shapes diverge (parallel
+// fan-outs compile one logical node into many operators) the walk stops
+// there — those operators simply carry no estimate.
+func OpEstimates(n Node, op exec.Operator, cat *Catalog) map[exec.Operator]float64 {
+	m := map[exec.Operator]float64{}
+	var rec func(n Node, o exec.Operator)
+	rec = func(n Node, o exec.Operator) {
+		m[o] = cat.Estimate(n)
+		kids, okids := children(n), o.Children()
+		if len(kids) != len(okids) {
+			return
+		}
+		for i := range kids {
+			rec(kids[i], okids[i])
+		}
+	}
+	rec(n, op)
+	return m
 }
 
 // RenderOpSpans formats an operator span tree (the children attached
@@ -299,6 +351,9 @@ func RenderOpSpans(root trace.SpanSnapshot) string {
 		fmt.Fprintf(&b, "%-44s rows=%d batches=%d maxbatch=%d", line, sp.Rows, sp.Batches, sp.MaxBatch)
 		if sp.Held > 0 {
 			fmt.Fprintf(&b, " held=%d", sp.Held)
+		}
+		if sp.EstRows > 0 {
+			fmt.Fprintf(&b, " est=%d", sp.EstRows)
 		}
 		fmt.Fprintf(&b, " time=%s\n", time.Duration(sp.DurNS).Round(time.Microsecond))
 	})
@@ -316,15 +371,24 @@ func RenderOpSpans(root trace.SpanSnapshot) string {
 // live queries (AttachOpSpans), so `.trace` output and EXPLAIN ANALYZE
 // can never drift apart.
 func ExplainAnalyze(ctx context.Context, n Node) (string, error) {
+	return ExplainAnalyzeCat(ctx, n, nil)
+}
+
+// ExplainAnalyzeCat is ExplainAnalyze with a planner catalog: per-span
+// `est=` annotations come from the catalog's statistics, so the output
+// shows estimated next to actual rows — why the plan was picked and
+// how far the guess was off.
+func ExplainAnalyzeCat(ctx context.Context, n Node, cat *Catalog) (string, error) {
 	op, err := CompileDOP(n, ChooseDOP(n))
 	if err != nil {
 		return "", err
 	}
+	est := OpEstimates(n, op, cat)
 	if _, err := exec.Count(ctx, op); err != nil {
 		return "", err
 	}
 	root := trace.NewRoot("analyze")
-	AttachOpSpans(root, op)
+	AttachOpSpansEst(root, op, est)
 	root.End()
 	snap := root.Snapshot()
 	if len(snap.Children) == 0 {

@@ -50,6 +50,8 @@ func nodeLabel(n Node) string {
 	switch x := n.(type) {
 	case *Scan:
 		return "scan(" + x.Table.Schema().Name + ")"
+	case *IndexAccess:
+		return x.String()
 	case *Select:
 		return "select[" + x.Pred.String() + "]"
 	case *Project:
@@ -68,6 +70,10 @@ func nodeLabel(n Node) string {
 		return fmt.Sprintf("limit[%d]", x.N)
 	case *GroupBy:
 		return "group[" + x.Key + "]"
+	case *Rename:
+		return "rename[" + strings.Join(x.Cols, ",") + "]"
+	case *Source:
+		return x.Label
 	default:
 		return fmt.Sprintf("%T", n)
 	}
@@ -88,6 +94,8 @@ func children(n Node) []Node {
 	case *Limit:
 		return []Node{x.Child}
 	case *GroupBy:
+		return []Node{x.Child}
+	case *Rename:
 		return []Node{x.Child}
 	default:
 		return nil

@@ -77,6 +77,12 @@ func largestScanRows(n Node) int {
 			if c := x.Table.Count(); c > max {
 				max = c
 			}
+		case *IndexAccess:
+			// An index leaf feeds only its estimated matches; a pruned
+			// probe should not trigger fan-out on the base table's size.
+			if c := int(x.Est); c > max {
+				max = c
+			}
 		case *Select:
 			rec(x.Child)
 		case *Project:

@@ -10,7 +10,8 @@ import (
 
 // EstimateRowsWith predicts output cardinality using collected
 // statistics, falling back to the constant model for tables absent from
-// the catalog.
+// the catalog. Every fallback matches EstimateRows exactly, so an empty
+// catalog reproduces the constant model node for node.
 func EstimateRowsWith(n Node, cat stats.Catalog) float64 {
 	switch x := n.(type) {
 	case *Scan:
@@ -18,6 +19,8 @@ func EstimateRowsWith(n Node, cat stats.Catalog) float64 {
 			return float64(ts.Rows)
 		}
 		return float64(x.Table.Count())
+	case *IndexAccess:
+		return x.Est
 	case *Select:
 		return EstimateRowsWith(x.Child, cat) * predSelectivityWith(x.Child, x.Pred, cat)
 	case *Project:
@@ -39,6 +42,30 @@ func EstimateRowsWith(n Node, cat stats.Catalog) float64 {
 			return l
 		}
 		return r
+	case *Distinct:
+		return EstimateRowsWith(x.Child, cat)
+	case *Sort:
+		return EstimateRowsWith(x.Child, cat)
+	case *Limit:
+		est := EstimateRowsWith(x.Child, cat)
+		if n := float64(x.N); n < est {
+			return n
+		}
+		return est
+	case *GroupBy:
+		// One row per distinct key when the catalog knows the count.
+		est := EstimateRowsWith(x.Child, cat)
+		if d := distinctOf(x.Child, x.Key, cat); d > 0 {
+			if dd := float64(d); dd < est {
+				return dd
+			}
+			return est
+		}
+		return est * selEq
+	case *Source:
+		return x.Rows
+	case *Rename:
+		return EstimateRowsWith(x.Child, cat)
 	default:
 		return 1
 	}
@@ -58,6 +85,8 @@ func distinctOf(n Node, col string, cat stats.Catalog) int {
 			return 0
 		}
 		return ts.Columns[i].Distinct
+	case *IndexAccess:
+		return distinctOf(&Scan{Table: x.Idx.Table}, col, cat)
 	case *Select:
 		return distinctOf(x.Child, col, cat)
 	case *Project:
@@ -81,6 +110,8 @@ func columnStats(n Node, col string, cat stats.Catalog) (stats.ColumnStats, bool
 			return stats.ColumnStats{}, false
 		}
 		return ts.Columns[i], true
+	case *IndexAccess:
+		return columnStats(&Scan{Table: x.Idx.Table}, col, cat)
 	case *Select:
 		return columnStats(x.Child, col, cat)
 	case *Project:
@@ -97,31 +128,46 @@ func predSelectivityWith(child Node, p Pred, cat stats.Catalog) float64 {
 		if !ok {
 			return predSelectivity(p)
 		}
+		// The derived combinations (Le as Less+Eq, Gt as 1-Less-Eq) can
+		// drift just outside [0,1] at histogram edges; clamp them.
 		switch x.Op {
 		case Eq:
 			return cs.SelectivityEq(x.Val)
 		case Ne:
-			return 1 - cs.SelectivityEq(x.Val)
+			return clampSel(1 - cs.SelectivityEq(x.Val))
 		case Lt:
 			return cs.SelectivityLess(x.Val)
 		case Le:
-			return cs.SelectivityLess(x.Val) + cs.SelectivityEq(x.Val)
+			return clampSel(cs.SelectivityLess(x.Val) + cs.SelectivityEq(x.Val))
 		case Ge:
-			return 1 - cs.SelectivityLess(x.Val)
+			return clampSel(1 - cs.SelectivityLess(x.Val))
 		case Gt:
-			return 1 - cs.SelectivityLess(x.Val) - cs.SelectivityEq(x.Val)
+			return clampSel(1 - cs.SelectivityLess(x.Val) - cs.SelectivityEq(x.Val))
 		default:
 			return predSelectivity(p)
 		}
 	case And:
+		// Independence assumption, clamped: conjuncts cannot select more
+		// than the most selective one alone claims (and never < 0).
 		s := 1.0
 		for _, q := range x {
 			s *= predSelectivityWith(child, q, cat)
 		}
-		return s
+		return clampSel(s)
 	default:
 		return predSelectivity(p)
 	}
+}
+
+// clampSel bounds a selectivity to [0, 1].
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
 }
 
 // OptimizeCostWith is OptimizeCost driven by measured statistics.
@@ -137,6 +183,14 @@ func chooseJoinSidesWith(n Node, cat stats.Catalog) Node {
 		return &Select{Child: chooseJoinSidesWith(x.Child, cat), Pred: x.Pred}
 	case *Project:
 		return &Project{Child: chooseJoinSidesWith(x.Child, cat), Cols: x.Cols}
+	case *Distinct:
+		return &Distinct{Child: chooseJoinSidesWith(x.Child, cat)}
+	case *Sort:
+		return &Sort{Child: chooseJoinSidesWith(x.Child, cat), Col: x.Col, Desc: x.Desc}
+	case *Limit:
+		return &Limit{Child: chooseJoinSidesWith(x.Child, cat), N: x.N}
+	case *GroupBy:
+		return &GroupBy{Child: chooseJoinSidesWith(x.Child, cat), Key: x.Key, Aggs: x.Aggs}
 	case *Join:
 		left := chooseJoinSidesWith(x.Left, cat)
 		right := chooseJoinSidesWith(x.Right, cat)

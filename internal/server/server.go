@@ -44,7 +44,8 @@ type Config struct {
 	Addr string
 	// DB, when set, is the shared database: its tables are bound into
 	// every session's environment at startup and its buffer-pool stats
-	// appear in .stats. The server never writes to it.
+	// appear in .stats. The server never writes table data; `.analyze`
+	// and `.createindex` update its statistics/index metadata.
 	DB *catalog.Database
 	// MaxWorkers bounds concurrently evaluating queries (default 64).
 	MaxWorkers int
@@ -705,6 +706,10 @@ type TableInfo struct {
 	// RowBytes is the average encoded row size, sampled from the first
 	// heap page (0 for an empty table).
 	RowBytes int `json:"row_bytes"`
+	// Distinct maps column name → exact distinct count from the last
+	// `.analyze`; absent until statistics have been collected. Federation
+	// coordinators feed these into their join cost model.
+	Distinct map[string]int `json:"distinct,omitempty"`
 	// Part is the recorded partition spec, if any.
 	Part *PartInfo `json:"part,omitempty"`
 }
@@ -732,7 +737,19 @@ func (s *Server) handleAdmin(sess *session, req Request) (Response, bool) {
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(req.Stmt), ".load "); ok {
 		return s.handleLoad(sess, rest)
 	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(req.Stmt), ".createindex "); ok {
+		return s.handleCreateIndex(rest)
+	}
 	switch cmd := strings.TrimSpace(req.Stmt); cmd {
+	case ".analyze":
+		if s.cfg.DB == nil {
+			return Response{Error: "(no database attached)"}, false
+		}
+		n, err := s.cfg.DB.Analyze(context.Background())
+		if err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		return Response{Result: fmt.Sprintf("analyzed %d tables", n)}, false
 	case ".ping":
 		return Response{Result: "pong"}, false
 	case ".schema":
@@ -776,8 +793,26 @@ func (s *Server) handleAdmin(sess *session, req Request) (Response, bool) {
 	case ".quit", ".close", ".exit":
 		return Response{Result: "bye"}, true
 	default:
-		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .schema .load .quit)", cmd)}, false
+		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .schema .load .analyze .createindex .quit)", cmd)}, false
 	}
+}
+
+// handleCreateIndex serves `.createindex <table> <col> <kind>`: it
+// declares, builds, and persists an index, making it available to every
+// session's next compiled query.
+func (s *Server) handleCreateIndex(args string) (Response, bool) {
+	if s.cfg.DB == nil {
+		return Response{Error: "(no database attached)"}, false
+	}
+	f := strings.Fields(args)
+	if len(f) != 3 {
+		return Response{Error: ".createindex wants <table> <col> <hash|btree>"}, false
+	}
+	ix, err := s.cfg.DB.CreateIndex(context.Background(), f[0], f[1], f[2])
+	if err != nil {
+		return Response{Error: err.Error()}, false
+	}
+	return Response{Result: fmt.Sprintf("index created: %s.%s (%s)", ix.Table, ix.Col, ix.Kind)}, false
 }
 
 // handleSchema renders every catalog table as a TableInfo JSON array.
@@ -794,6 +829,14 @@ func (s *Server) handleSchema() (Response, bool) {
 				Cols:     append([]string(nil), t.Schema().Cols...),
 				Rows:     t.Count(),
 				RowBytes: sampleRowBytes(t),
+			}
+			if ts, ok := s.cfg.DB.Stats(name); ok {
+				info.Distinct = make(map[string]int, len(ts.Columns))
+				for i, c := range ts.Columns {
+					if i < len(t.Schema().Cols) {
+						info.Distinct[t.Schema().Cols[i]] = c.Distinct
+					}
+				}
 			}
 			if p, ok := s.cfg.DB.Partition(name); ok {
 				pi := &PartInfo{Kind: p.Kind, Col: p.Col, Site: p.Site, Sites: p.Sites}

@@ -12,6 +12,7 @@ import (
 	"xst/internal/core"
 	"xst/internal/store"
 	"xst/internal/table"
+	"xst/internal/trace"
 )
 
 // startServer runs a server on a loopback port and returns it with its
@@ -351,4 +352,82 @@ func TestParseRequest(t *testing.T) {
 			t.Errorf("ParseRequest(%q) = %+v, want %+v", tc.line, got, tc.want)
 		}
 	}
+}
+
+// TestAnalyzeAndCreateIndex covers the statistics/index admin surface:
+// .analyze persists stats (visible in .schema's distinct counts),
+// .createindex builds an index, and a traced point query shows the
+// planner choosing the index access path with its estimate attached.
+func TestAnalyzeAndCreateIndex(t *testing.T) {
+	db, err := catalog.Create(store.NewMemPager(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(table.Schema{Name: "events", Cols: []string{"id", "kind"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		kind := "view"
+		if i%2 == 1 {
+			kind = "click"
+		}
+		if _, err := tb.Insert(table.Row{core.Int(int64(i)), core.Str(kind)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, addr := startServer(t, Config{DB: db})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got, err := c.Eval(".createindex events id hash"); err != nil || !strings.Contains(got, "events.id") {
+		t.Fatalf(".createindex = %q, %v", got, err)
+	}
+	if _, err := c.Eval(".createindex events id trie"); err == nil {
+		t.Fatal("bad index kind must fail")
+	}
+	if got, err := c.Eval(".analyze"); err != nil || got != "analyzed 1 tables" {
+		t.Fatalf(".analyze = %q, %v", got, err)
+	}
+
+	// Statistics show up in the coordinator-facing schema.
+	infos, err := c.Schema()
+	if err != nil || len(infos) != 1 {
+		t.Fatalf("Schema = %+v, %v", infos, err)
+	}
+	if infos[0].Distinct["id"] != 200 || infos[0].Distinct["kind"] != 2 {
+		t.Fatalf("schema distinct = %+v", infos[0].Distinct)
+	}
+
+	// A traced point query must run through the index, estimate attached.
+	snap, err := c.Trace("from events where id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	snap.Walk(func(sp trace.SpanSnapshot, _ int) {
+		if strings.HasPrefix(sp.Name, "indexscan(") {
+			found = true
+			if sp.Rows != 1 || sp.EstRows != 1 {
+				t.Errorf("indexscan span rows=%d est=%d, want 1/1", sp.Rows, sp.EstRows)
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("no indexscan span in trace:\n%s", snap.Render())
+	}
+
+	// A half-the-table predicate must stay on the full scan.
+	snap, err = c.Trace(`from events where kind = "view"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Walk(func(sp trace.SpanSnapshot, _ int) {
+		if strings.HasPrefix(sp.Name, "indexscan(") {
+			t.Errorf("wide predicate chose index: %s", sp.Name)
+		}
+	})
 }

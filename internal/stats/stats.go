@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"fmt"
 	"sort"
 
 	"xst/internal/core"
@@ -25,6 +26,19 @@ type ColumnStats struct {
 	bounds []core.Value
 	// rows is the total row count the histogram describes.
 	rows int
+}
+
+// Rows reports the total row count the column's histogram describes.
+func (c ColumnStats) Rows() int { return c.rows }
+
+// Bounds returns the equi-depth histogram bucket upper bounds. The
+// returned slice is shared; callers must not mutate it.
+func (c ColumnStats) Bounds() []core.Value { return c.bounds }
+
+// NewColumnStats rebuilds a ColumnStats from previously persisted parts
+// (the inverse of the accessors above). bounds is retained, not copied.
+func NewColumnStats(distinct, rows int, min, max core.Value, bounds []core.Value) ColumnStats {
+	return ColumnStats{Distinct: distinct, Min: min, Max: max, bounds: bounds, rows: rows}
 }
 
 // TableStats summarizes one table.
@@ -93,10 +107,15 @@ func (c ColumnStats) SelectivityEq(v core.Value) float64 {
 }
 
 // SelectivityLess estimates the fraction of rows with column < v from
-// the equi-depth histogram: the fraction of bucket bounds below v.
+// the equi-depth histogram: the fraction of bucket bounds below v. The
+// result is always in [0, 1]; values outside the observed [Min, Max]
+// clamp to 0 or 1 respectively, and a nil v (no bound) yields 1.
 func (c ColumnStats) SelectivityLess(v core.Value) float64 {
 	if c.rows == 0 || len(c.bounds) == 0 {
 		return 0
+	}
+	if v == nil {
+		return 1
 	}
 	if core.Compare(v, c.Min) <= 0 {
 		return 0
@@ -110,16 +129,102 @@ func (c ColumnStats) SelectivityLess(v core.Value) float64 {
 			below++
 		}
 	}
-	return float64(below) / float64(len(c.bounds))
+	return clamp01(float64(below) / float64(len(c.bounds)))
 }
 
-// SelectivityRange estimates lo <= column < hi.
+// SelectivityRange estimates lo <= column < hi. A nil bound is open on
+// that side; an inverted range (lo > hi) selects nothing. The result is
+// clamped to [0, 1].
 func (c ColumnStats) SelectivityRange(lo, hi core.Value) float64 {
-	s := c.SelectivityLess(hi) - c.SelectivityLess(lo)
+	if c.rows == 0 || len(c.bounds) == 0 {
+		return 0
+	}
+	if lo != nil && hi != nil && core.Compare(lo, hi) > 0 {
+		return 0
+	}
+	less := c.SelectivityLess(hi)
+	if lo != nil {
+		less -= c.SelectivityLess(lo)
+	}
+	return clamp01(less)
+}
+
+// clamp01 bounds an estimate to [0, 1]; derived combinations (Le as
+// Less+Eq, Gt as 1-Less-Eq) can otherwise drift just outside.
+func clamp01(s float64) float64 {
 	if s < 0 {
 		return 0
 	}
+	if s > 1 {
+		return 1
+	}
 	return s
+}
+
+// Value encodes the statistics as an extended-set value so the catalog
+// can persist them next to the schema. Layout:
+//
+//	⟨rows, ⟨col…⟩⟩  where col = ⟨distinct, rows, min, max, ⟨bounds…⟩⟩
+//
+// Columns that describe zero rows have no min/max and use the short
+// form ⟨distinct, rows⟩.
+func (t *TableStats) Value() core.Value {
+	cols := make([]core.Value, len(t.Columns))
+	for i, c := range t.Columns {
+		if c.rows == 0 || c.Min == nil {
+			cols[i] = core.Tuple(core.Int(int64(c.Distinct)), core.Int(int64(c.rows)))
+			continue
+		}
+		cols[i] = core.Tuple(
+			core.Int(int64(c.Distinct)),
+			core.Int(int64(c.rows)),
+			c.Min,
+			c.Max,
+			core.Tuple(c.bounds...),
+		)
+	}
+	return core.Tuple(core.Int(int64(t.Rows)), core.Tuple(cols...))
+}
+
+// DecodeTableStats is the inverse of TableStats.Value.
+func DecodeTableStats(v core.Value) (*TableStats, error) {
+	elems, ok := core.TupleElems(v)
+	if !ok || len(elems) != 2 {
+		return nil, fmt.Errorf("stats: bad table stats %v", v)
+	}
+	rows, ok := elems[0].(core.Int)
+	if !ok || rows < 0 {
+		return nil, fmt.Errorf("stats: bad row count in %v", v)
+	}
+	colVals, ok := core.TupleElems(elems[1])
+	if !ok {
+		return nil, fmt.Errorf("stats: bad column list in %v", v)
+	}
+	ts := &TableStats{Rows: int(rows), Columns: make([]ColumnStats, len(colVals))}
+	for i, cv := range colVals {
+		ce, ok := core.TupleElems(cv)
+		if !ok || (len(ce) != 2 && len(ce) != 5) {
+			return nil, fmt.Errorf("stats: bad column stats %v", cv)
+		}
+		distinct, dok := ce[0].(core.Int)
+		crows, rok := ce[1].(core.Int)
+		if !dok || !rok || distinct < 0 || crows < 0 {
+			return nil, fmt.Errorf("stats: bad column counts in %v", cv)
+		}
+		cs := ColumnStats{Distinct: int(distinct), rows: int(crows)}
+		if len(ce) == 5 {
+			bounds, bok := core.TupleElems(ce[4])
+			if !bok {
+				return nil, fmt.Errorf("stats: bad histogram in %v", cv)
+			}
+			cs.Min, cs.Max = ce[2], ce[3]
+			if len(bounds) > 0 {
+				cs.bounds = append([]core.Value(nil), bounds...)
+			}
+		}
+		ts.Columns[i] = cs
+	}
+	return ts, nil
 }
 
 // Catalog maps table names to their statistics.

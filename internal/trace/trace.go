@@ -47,6 +47,7 @@ type Span struct {
 	maxBatch int64
 	held     int64
 	bytes    int64
+	estRows  int64
 	note     string
 
 	mu       sync.Mutex
@@ -136,6 +137,15 @@ func (s *Span) SetOpStats(rows, batches, maxBatch, held int, ns int64) {
 	s.FinishNs(ns)
 }
 
+// SetEstRows records the planner's cardinality estimate on a synthetic
+// operator span, so rendered trees show estimated next to actual rows.
+func (s *Span) SetEstRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.estRows = n
+}
+
 // SpanSnapshot is an immutable deep copy of a finished span tree —
 // what the slow-query log stores and the `.trace` admin command
 // returns as JSON.
@@ -147,6 +157,7 @@ type SpanSnapshot struct {
 	MaxBatch int64          `json:"max_batch,omitempty"`
 	Held     int64          `json:"held,omitempty"`
 	Bytes    int64          `json:"bytes,omitempty"`
+	EstRows  int64          `json:"est_rows,omitempty"`
 	Note     string         `json:"note,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
@@ -166,6 +177,7 @@ func (s *Span) Snapshot() SpanSnapshot {
 		MaxBatch: s.maxBatch,
 		Held:     s.held,
 		Bytes:    s.bytes,
+		EstRows:  s.estRows,
 		Note:     s.note,
 	}
 	s.mu.Lock()

@@ -8,6 +8,7 @@ import (
 
 	"xst/internal/algebra"
 	"xst/internal/core"
+	"xst/internal/plan"
 	"xst/internal/table"
 )
 
@@ -21,6 +22,11 @@ import (
 type Env struct {
 	vars   map[string]core.Value
 	tables map[string]*table.Table
+	// planCat provides the planner catalog (statistics + indexes) for
+	// query compilation. A provider rather than a snapshot: `.analyze`
+	// and CREATE INDEX update the database's catalog, and every session
+	// clone should see the refreshed one on its next query.
+	planCat func() *plan.Catalog
 }
 
 // NewEnv returns an empty environment.
@@ -41,7 +47,21 @@ func (e *Env) Clone() *Env {
 	for k, t := range e.tables {
 		tables[k] = t
 	}
-	return &Env{vars: vars, tables: tables}
+	return &Env{vars: vars, tables: tables, planCat: e.planCat}
+}
+
+// BindPlanCatalog registers a planner-catalog provider (statistics and
+// declared indexes); queries compiled against this environment become
+// cost-based. The provider is shared by clones.
+func (e *Env) BindPlanCatalog(fn func() *plan.Catalog) { e.planCat = fn }
+
+// PlanCatalog resolves the current planner catalog; nil when no
+// provider is bound (plans then use the constant cost model).
+func (e *Env) PlanCatalog() *plan.Catalog {
+	if e.planCat == nil {
+		return nil
+	}
+	return e.planCat()
 }
 
 // BindTable registers a stored table for query statements.

@@ -58,6 +58,10 @@ type Query struct {
 	// decided at compile time so admission control can price the query
 	// before it runs.
 	dop int
+	// cat is the planner catalog the plan was optimized against (nil
+	// without one); Run reuses it to annotate traced operator spans
+	// with the estimates the plan was chosen on.
+	cat *plan.Catalog
 }
 
 // Schema reports the result schema.
@@ -79,15 +83,17 @@ func (q *Query) DOP() int {
 // counters.
 //
 // When ctx carries a trace span, the drained operator tree is mirrored
-// under it (plan.AttachOpSpans), so a traced query's span tree carries
-// the same per-operator counters EXPLAIN ANALYZE reports.
+// under it (plan.AttachOpSpansEst) with both actual counters and the
+// plan-time estimates, so a traced query's span tree carries the same
+// per-operator data EXPLAIN ANALYZE reports.
 func (q *Query) Run(ctx context.Context, emit func(rows []table.Row) error) (plan.ExecStats, error) {
 	op, err := plan.CompileDOP(q.Node, q.DOP())
 	if err != nil {
 		return plan.ExecStats{}, err
 	}
+	est := plan.OpEstimates(q.Node, op, q.cat)
 	err = exec.Stream(ctx, op, emit)
-	plan.AttachOpSpans(trace.SpanOf(ctx), op)
+	plan.AttachOpSpansEst(trace.SpanOf(ctx), op, est)
 	return plan.TreeStats(op), err
 }
 
@@ -104,8 +110,9 @@ func CompileQuery(env *Env, src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	node := plan.OptimizeCost(n)
-	return &Query{Node: node, dop: plan.ChooseDOP(node)}, nil
+	cat := env.PlanCatalog()
+	node := plan.OptimizeCatalog(n, cat)
+	return &Query{Node: node, dop: plan.ChooseDOP(node), cat: cat}, nil
 }
 
 // evalQuery runs a query statement and renders the result as the
