@@ -1,6 +1,6 @@
 // Command xstbench regenerates the reproduction's evaluation artifacts:
 // every figure, worked example, law table and performance claim, as
-// experiments E1–E16 (see DESIGN.md for the index and EXPERIMENTS.md for
+// experiments E1–E18 (see DESIGN.md for the index and EXPERIMENTS.md for
 // paper-vs-measured records). It doubles as the load generator for a
 // running xstd server.
 //
@@ -44,7 +44,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (E1..E16)")
+		exp   = flag.String("exp", "", "run a single experiment (E1..E18)")
 		quick = flag.Bool("quick", false, "shrink performance workloads")
 		seed  = flag.Uint64("seed", 42, "workload seed")
 
@@ -70,7 +70,7 @@ func main() {
 	if *exp != "" {
 		r, ok := bench.ByID(*exp, cfg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E16)\n", *exp)
+			fmt.Fprintf(os.Stderr, "xstbench: unknown experiment %q (want E1..E18)\n", *exp)
 			os.Exit(2)
 		}
 		results = []bench.Result{r}

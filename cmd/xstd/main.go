@@ -40,6 +40,7 @@ import (
 	"xst/internal/fed"
 	"xst/internal/server"
 	"xst/internal/store"
+	"xst/internal/wal"
 	"xst/internal/xlang"
 )
 
@@ -51,6 +52,7 @@ func run() int {
 	var (
 		addr    = flag.String("addr", ":7143", "listen address")
 		dbPath  = flag.String("db", "", "database file to serve (tables bound read-only into every session)")
+		walPath = flag.String("wal", "", "write-ahead log for -db: replay committed transactions at open, fsync every commit (empty = not durable)")
 		frames  = flag.Int("frames", 256, "buffer-pool frames for the database")
 		workers = flag.Int("workers", 64, "max concurrently evaluating queries")
 		timeout = flag.Duration("timeout", 10*time.Second, "default per-query deadline")
@@ -70,11 +72,35 @@ func run() int {
 			logger.Printf("xstd: %v", err)
 			return 1
 		}
-		db, err = catalog.Open(pager, *frames)
-		if err != nil {
-			pager.Close()
-			logger.Printf("xstd: %v", err)
-			return 1
+		if *walPath != "" {
+			walLog, err := wal.OpenFileLog(*walPath)
+			if err != nil {
+				pager.Close()
+				logger.Printf("xstd: %v", err)
+				return 1
+			}
+			defer walLog.Close()
+			if pager.NumPages() == 0 {
+				db, err = catalog.CreateDurable(pager, walLog, *frames)
+			} else {
+				var redone int
+				db, redone, err = catalog.OpenDurable(pager, walLog, *frames)
+				if err == nil && redone > 0 {
+					logger.Printf("xstd: recovery replayed %d committed transactions from %s", redone, *walPath)
+				}
+			}
+			if err != nil {
+				pager.Close()
+				logger.Printf("xstd: %v", err)
+				return 1
+			}
+		} else {
+			db, err = catalog.Open(pager, *frames)
+			if err != nil {
+				pager.Close()
+				logger.Printf("xstd: %v", err)
+				return 1
+			}
 		}
 		defer func() {
 			if err := db.Close(); err != nil {

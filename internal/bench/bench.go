@@ -83,6 +83,8 @@ func All(cfg Config) []Result {
 		E14ServerThroughput(cfg),
 		E15FederatedShipping(cfg),
 		E16IndexVsScan(cfg),
+		E17MixedReadWrite(cfg),
+		E18DurabilityOverhead(cfg),
 	}
 }
 
@@ -122,6 +124,10 @@ func ByID(id string, cfg Config) (Result, bool) {
 		return E15FederatedShipping(cfg), true
 	case "E16":
 		return E16IndexVsScan(cfg), true
+	case "E17":
+		return E17MixedReadWrite(cfg), true
+	case "E18":
+		return E18DurabilityOverhead(cfg), true
 	default:
 		return Result{}, false
 	}

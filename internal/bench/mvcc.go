@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xst/internal/catalog"
+	"xst/internal/store"
+	"xst/internal/table"
+	"xst/internal/workload"
+)
+
+// E17MixedReadWrite is the snapshot-isolation concurrency experiment:
+// N streaming readers run full snapshot scans over the events table
+// while M writers commit whole batches through the transaction path.
+// The claims under test: every scan sees a whole number of committed
+// batches (atomic visibility — no torn commits leak), and reader
+// throughput with writers streaming stays within an order of magnitude
+// of the writer-free baseline (snapshot readers are never blocked by
+// the single-writer commit path; they contend only on the buffer-pool
+// mutex). Reader p50/p99 with writers on and off are reported side by
+// side.
+func E17MixedReadWrite(cfg Config) Result {
+	const id = "E17"
+	spec := workload.DefaultMixedSpec(cfg.Quick)
+	db, err := catalog.Create(store.NewMemPager(), 2048)
+	if err != nil {
+		return errResult(id, err)
+	}
+	if _, err := db.CreateTable(workload.EventsSchema()); err != nil {
+		return errResult(id, err)
+	}
+	ctx := context.Background()
+	if err := db.Load(ctx, "events", workload.EventRows(spec.Seed, 0, spec.Initial)); err != nil {
+		return errResult(id, err)
+	}
+
+	// One snapshot scan: pin, count through the view, release. Returns
+	// the row count and the scan's wall time.
+	scanOnce := func() (int, time.Duration, error) {
+		start := time.Now()
+		rt := db.BeginRead()
+		defer rt.View.Release()
+		tab, err := db.Table("events")
+		if err != nil {
+			return 0, 0, err
+		}
+		n := 0
+		err = tab.At(rt.View).Scan(func(store.RID, table.Row) (bool, error) {
+			n++
+			return true, nil
+		})
+		return n, time.Since(start), err
+	}
+
+	// readerPhase runs spec.Readers goroutines scanning until stop is
+	// closed (at least once each), enforcing whole-batch visibility.
+	readerPhase := func(stop <-chan struct{}) (lats []time.Duration, err error) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r := 0; r < spec.Readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for first := true; ; first = false {
+					if !first {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+					n, d, serr := scanOnce()
+					if serr == nil && (n < spec.Initial || (n-spec.Initial)%spec.Batch != 0) {
+						serr = fmt.Errorf("scan saw %d rows — not initial+k×batch (torn commit visible)", n)
+					}
+					mu.Lock()
+					if serr != nil && err == nil {
+						err = serr
+					}
+					lats = append(lats, d)
+					mu.Unlock()
+					if serr != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return lats, err
+	}
+
+	// Baseline: writers off. Each reader scans for a fixed wall budget.
+	baseBudget := 400 * time.Millisecond
+	if cfg.Quick {
+		baseBudget = 150 * time.Millisecond
+	}
+	stopBase := make(chan struct{})
+	time.AfterFunc(baseBudget, func() { close(stopBase) })
+	baseStart := time.Now()
+	baseLats, err := readerPhase(stopBase)
+	if err != nil {
+		return errResult(id, err)
+	}
+	baseElapsed := time.Since(baseStart)
+
+	// Mixed: writers streaming batch commits; readers run until the last
+	// batch lands.
+	var next atomic.Int64
+	writeStart := time.Now()
+	stopMix := make(chan struct{})
+	var wwg sync.WaitGroup
+	var werr atomic.Value
+	for w := 0; w < spec.Writers; w++ {
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for {
+				b := int(next.Add(1))
+				if b > spec.Batches {
+					return
+				}
+				if err := db.Load(ctx, "events", workload.EventRows(spec.Seed, b, spec.Batch)); err != nil {
+					werr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	go func() { wwg.Wait(); close(stopMix) }()
+	mixLats, err := readerPhase(stopMix)
+	if err != nil {
+		return errResult(id, err)
+	}
+	writeElapsed := time.Since(writeStart)
+	if e, ok := werr.Load().(error); ok {
+		return errResult(id, e)
+	}
+
+	// Final state: exactly every batch, no more, no less.
+	finalN, _, err := scanOnce()
+	if err != nil {
+		return errResult(id, err)
+	}
+	wantN := spec.Initial + spec.Batches*spec.Batch
+	baseRate := float64(len(baseLats)) / baseElapsed.Seconds()
+	mixRate := float64(len(mixLats)) / writeElapsed.Seconds()
+	writeRate := float64(spec.Batches*spec.Batch) / writeElapsed.Seconds()
+
+	pass := finalN == wantN && len(mixLats) >= spec.Readers && mixRate > baseRate/10
+
+	rows := [][]string{
+		{"writers off", fmt.Sprintf("%d", len(baseLats)),
+			quantile(baseLats, 0.50).String(), quantile(baseLats, 0.99).String(),
+			fmt.Sprintf("%.0f", baseRate)},
+		{"writers on", fmt.Sprintf("%d", len(mixLats)),
+			quantile(mixLats, 0.50).String(), quantile(mixLats, 0.99).String(),
+			fmt.Sprintf("%.0f", mixRate)},
+	}
+	lines := tableRows([]string{"phase", "scans", "reader p50", "reader p99", "scans/s"}, rows)
+	lines = append(lines,
+		fmt.Sprintf("%d writers committed %d×%d rows at %.0f rows/s; final count %d (want %d)",
+			spec.Writers, spec.Batches, spec.Batch, writeRate, finalN, wantN))
+	return Result{
+		ID:    id,
+		Title: "Mixed read/write under snapshot isolation (readers vs streaming commits)",
+		Lines: lines,
+		Pass:  pass,
+	}
+}
+
+// quantile returns the q-th latency quantile (nearest-rank).
+func quantile(durs []time.Duration, q float64) time.Duration {
+	if len(durs) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), durs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"xst/internal/catalog"
+	"xst/internal/store"
+	"xst/internal/wal"
+	"xst/internal/workload"
+)
+
+// E18DurabilityOverhead measures what the write-ahead log costs: the
+// same event stream is loaded into (a) an in-memory database, (b) a
+// durable database committing batch-sized transactions — one fsync per
+// batch, the group-commit shape Database.Load provides, (c) a durable
+// database in relaxed SetNoSync mode, and (d) a durable database
+// committing one row per transaction — one fsync per row, the naive
+// shape. The claim under test: per-statement fsync regresses throughput
+// by far more than 3×, and batching commits amortizes that back —
+// batched durable load must beat the naive per-row rate by ≥3×. As a
+// correctness anchor, the fsynced database is closed and reopened and
+// must recover every row.
+func E18DurabilityOverhead(cfg Config) Result {
+	const id = "E18"
+	rows, batch, naiveRows := 50_000, 500, 1_000
+	if cfg.Quick {
+		rows, batch, naiveRows = 5_000, 500, 120
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "xst-e18-")
+	if err != nil {
+		return errResult(id, err)
+	}
+	defer os.RemoveAll(dir)
+
+	// loadStream commits total rows in chunk-sized transactions.
+	loadStream := func(db *catalog.Database, total, chunk int) (time.Duration, error) {
+		if _, err := db.CreateTable(workload.EventsSchema()); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for off := 0; off < total; off += chunk {
+			n := chunk
+			if total-off < n {
+				n = total - off
+			}
+			if err := db.Load(ctx, "events", workload.EventRows(cfg.Seed, off/chunk, n)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	openDurable := func(name string) (*catalog.Database, *wal.FileLog, error) {
+		pager, err := store.OpenFilePager(filepath.Join(dir, name+".pages"))
+		if err != nil {
+			return nil, nil, err
+		}
+		log, err := wal.OpenFileLog(filepath.Join(dir, name+".wal"))
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := catalog.CreateDurable(pager, log, 1024)
+		return db, log, err
+	}
+
+	// (a) In-memory baseline.
+	mem, err := catalog.Create(store.NewMemPager(), 1024)
+	if err != nil {
+		return errResult(id, err)
+	}
+	memT, err := loadStream(mem, rows, batch)
+	if err != nil {
+		return errResult(id, err)
+	}
+
+	// (b) Durable, batched commits: one fsync per batch.
+	dbF, logF, err := openDurable("fsync")
+	if err != nil {
+		return errResult(id, err)
+	}
+	fsyncT, err := loadStream(dbF, rows, batch)
+	if err != nil {
+		return errResult(id, err)
+	}
+	if err := dbF.Close(); err != nil {
+		return errResult(id, err)
+	}
+	if err := logF.Close(); err != nil {
+		return errResult(id, err)
+	}
+
+	// (c) Durable, relaxed: log appends without fsync.
+	dbN, _, err := openDurable("nosync")
+	if err != nil {
+		return errResult(id, err)
+	}
+	dbN.WAL().SetNoSync(true)
+	nosyncT, err := loadStream(dbN, rows, batch)
+	if err != nil {
+		return errResult(id, err)
+	}
+	dbN.Close()
+
+	// (d) Durable, naive: one row per transaction, one fsync per row.
+	dbR, _, err := openDurable("perrow")
+	if err != nil {
+		return errResult(id, err)
+	}
+	naiveT, err := loadStream(dbR, naiveRows, 1)
+	if err != nil {
+		return errResult(id, err)
+	}
+	dbR.Close()
+
+	// Reopen the fsynced database: every committed row must be there.
+	pager, err := store.OpenFilePager(filepath.Join(dir, "fsync.pages"))
+	if err != nil {
+		return errResult(id, err)
+	}
+	log, err := wal.OpenFileLog(filepath.Join(dir, "fsync.wal"))
+	if err != nil {
+		return errResult(id, err)
+	}
+	re, _, err := catalog.OpenDurable(pager, log, 1024)
+	if err != nil {
+		return errResult(id, err)
+	}
+	defer re.Close()
+	tab, err := re.Table("events")
+	if err != nil {
+		return errResult(id, err)
+	}
+	recovered := tab.Count()
+
+	rate := func(n int, d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(n) / d.Seconds()
+	}
+	memR, fsyncR, nosyncR, naiveR := rate(rows, memT), rate(rows, fsyncT), rate(rows, nosyncT), rate(naiveRows, naiveT)
+	over := func(r float64) string {
+		if r == 0 {
+			return "inf"
+		}
+		return fmt.Sprintf("%.2fx", memR/r)
+	}
+	pass := recovered == rows && fsyncR > 3*naiveR
+
+	lines := tableRows(
+		[]string{"mode", "rows", "txn size", "time", "rows/s", "overhead"},
+		[][]string{
+			{"memory (no wal)", fmt.Sprintf("%d", rows), fmt.Sprintf("%d", batch), memT.String(), fmt.Sprintf("%.0f", memR), "1.00x"},
+			{"wal fsync/batch", fmt.Sprintf("%d", rows), fmt.Sprintf("%d", batch), fsyncT.String(), fmt.Sprintf("%.0f", fsyncR), over(fsyncR)},
+			{"wal nosync", fmt.Sprintf("%d", rows), fmt.Sprintf("%d", batch), nosyncT.String(), fmt.Sprintf("%.0f", nosyncR), over(nosyncR)},
+			{"wal fsync/row", fmt.Sprintf("%d", naiveRows), "1", naiveT.String(), fmt.Sprintf("%.0f", naiveR), over(naiveR)},
+		})
+	lines = append(lines, fmt.Sprintf("reopen after close: recovered %d/%d rows; batched/naive = %.1fx",
+		recovered, rows, fsyncR/naiveR))
+	return Result{
+		ID:    id,
+		Title: "Durability overhead (WAL fsync ablation, group-commit batching)",
+		Lines: lines,
+		Pass:  pass,
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"xst/internal/stats"
 	"xst/internal/store"
 	"xst/internal/table"
+	"xst/internal/wal"
 	"xst/internal/xlang"
 )
 
@@ -136,6 +137,17 @@ type Database struct {
 	// snap is the current planner catalog, rebuilt eagerly on every
 	// metadata mutation and handed out as an immutable snapshot.
 	snap *plan.Catalog
+
+	// mgr runs every mutation as a wal transaction (txn.go). Databases
+	// built by Create/Open log to a discard log — transactional but not
+	// durable; CreateDurable/OpenDurable bind a real log.
+	mgr *wal.Manager
+	// writeMu serializes writers for the lifetime of a transaction
+	// (single-writer, many-snapshot-readers). db.mu stays read-mostly:
+	// commits hold it only for the instant that publishes new state.
+	writeMu sync.Mutex
+	// autoCk checkpoints the log once it exceeds this many bytes.
+	autoCk int64
 }
 
 func newDatabase(pager store.Pager, pool *store.BufferPool) *Database {
@@ -147,6 +159,8 @@ func newDatabase(pager store.Pager, pool *store.BufferPool) *Database {
 		statsC: map[string]*stats.TableStats{},
 		idxs:   map[string][]*Index{},
 		snap:   &plan.Catalog{},
+		mgr:    wal.NewManager(pager, wal.NewNullLog()),
+		autoCk: defaultAutoCheckpoint,
 	}
 }
 
@@ -217,24 +231,18 @@ func Open(pager store.Pager, frames int) (*Database, error) {
 // Pool exposes the buffer pool (statistics, advanced use).
 func (db *Database) Pool() *store.BufferPool { return db.pool }
 
-// CreateTable defines a new table and persists the catalog.
+// CreateTable defines a new table and persists the catalog, as one
+// transaction.
 func (db *Database) CreateTable(schema table.Schema) (*table.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[schema.Name]; ok {
-		return nil, fmt.Errorf("%w: %q", ErrTableExists, schema.Name)
-	}
-	t, err := table.Create(db.pool, schema)
-	if err != nil {
+	tx := db.Begin()
+	if _, err := tx.CreateTable(schema); err != nil {
+		tx.Abort()
 		return nil, err
 	}
-	db.tables[schema.Name] = t
-	if err := db.writeCatalog(); err != nil {
-		delete(db.tables, schema.Name)
+	if err := tx.Commit(context.Background()); err != nil {
 		return nil, err
 	}
-	db.rebuildSnapLocked()
-	return t, nil
+	return db.Table(schema.Name)
 }
 
 // Table returns a defined table.
@@ -269,31 +277,20 @@ func (db *Database) Names() []string {
 }
 
 // VacuumTable compacts a table (dropping tombstones and half-empty
-// pages) and repoints the catalog at the compacted copy. The old heap's
-// pages become garbage (page ids are never reused but never reclaimed —
-// the simulation does not implement a free-space map).
+// pages) and repoints the catalog at the compacted copy, as one
+// transaction — readers holding a pre-vacuum snapshot keep scanning
+// the old heap, whose pages become garbage only logically (page ids
+// are never reused but never reclaimed — there is no free-space map).
 func (db *Database) VacuumTable(name string) (*table.Table, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(name)
-	if err != nil {
+	tx := db.Begin()
+	if err := tx.Vacuum(name); err != nil {
+		tx.Abort()
 		return nil, err
 	}
-	compact, err := t.Vacuum()
-	if err != nil {
+	if err := tx.Commit(context.Background()); err != nil {
 		return nil, err
 	}
-	db.tables[name] = compact
-	if err := db.writeCatalog(); err != nil {
-		db.tables[name] = t
-		return nil, err
-	}
-	// Indexes hold RIDs into the old heap — rebuild them over the copy.
-	if err := db.rebuildIndexesLocked(name); err != nil {
-		return nil, err
-	}
-	db.rebuildSnapLocked()
-	return compact, nil
+	return db.Table(name)
 }
 
 // Sync flushes every dirty page and rewrites the catalog.
@@ -316,32 +313,15 @@ func (db *Database) Close() error {
 }
 
 // SetPartition records how a table is sharded across a federation and
-// persists the catalog. The column must exist in the table's schema.
+// persists the catalog, as one transaction. The column must exist in
+// the table's schema.
 func (db *Database) SetPartition(name string, p Partition) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, err := db.tableLocked(name)
-	if err != nil {
+	tx := db.Begin()
+	if err := tx.SetPartition(name, p); err != nil {
+		tx.Abort()
 		return err
 	}
-	if err := p.valid(); err != nil {
-		return err
-	}
-	if t.Schema().Col(p.Col) < 0 {
-		return fmt.Errorf("catalog: partition column %q not in %s(%s)",
-			p.Col, name, t.Schema().Cols)
-	}
-	prev, had := db.parts[name]
-	db.parts[name] = p
-	if err := db.writeCatalog(); err != nil {
-		if had {
-			db.parts[name] = prev
-		} else {
-			delete(db.parts, name)
-		}
-		return err
-	}
-	return nil
+	return tx.Commit(context.Background())
 }
 
 // Partition reports a table's recorded partition, if any.
@@ -362,20 +342,7 @@ func (db *Database) CatalogSet() *core.Set {
 }
 
 func (db *Database) catalogSetLocked() *core.Set {
-	b := core.NewBuilder(len(db.tables))
-	for name, t := range db.tables {
-		cols := make([]core.Value, len(t.Schema().Cols))
-		for i, c := range t.Schema().Cols {
-			cols[i] = core.Str(c)
-		}
-		elems := []core.Value{core.Str(name), core.Int(int64(t.FirstPage())), core.Tuple(cols...)}
-		if p, ok := db.parts[name]; ok {
-			elems = append(elems, core.Tuple(core.Str(p.Kind), core.Str(p.Col),
-				core.Int(int64(p.Site)), core.Int(int64(p.Sites)), core.Tuple(p.Bounds...)))
-		}
-		b.AddClassical(core.Tuple(elems...))
-	}
-	return b.Set()
+	return catalogSetOf(db.tables, db.parts)
 }
 
 // writeCatalog persists page 0; callers hold the write lock (or have
@@ -426,36 +393,20 @@ func (db *Database) BindAll(env *xlang.Env) error {
 
 // Analyze collects fresh statistics for every user table, rebuilds
 // every declared index, persists both to the hidden __meta table, and
-// republishes the planner snapshot. It returns the number of tables
-// analyzed. This is the `.analyze` admin command's engine.
+// republishes the planner snapshot — one transaction. It returns the
+// number of tables analyzed. This is the `.analyze` admin command's
+// engine.
 func (db *Database) Analyze(ctx context.Context) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	fresh := map[string]*stats.TableStats{}
-	for name, t := range db.tables {
-		if strings.HasPrefix(name, "__") {
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		ts, err := stats.Collect(t)
-		if err != nil {
-			return 0, fmt.Errorf("catalog: analyze %q: %w", name, err)
-		}
-		fresh[name] = ts
-	}
-	for name := range db.idxs {
-		if err := db.rebuildIndexesLocked(name); err != nil {
-			return 0, err
-		}
-	}
-	db.statsC = fresh
-	if err := db.persistMetaLocked(); err != nil {
+	tx := db.Begin()
+	n, err := tx.analyze(ctx)
+	if err != nil {
+		tx.Abort()
 		return 0, err
 	}
-	db.rebuildSnapLocked()
-	return len(fresh), nil
+	if err := tx.Commit(ctx); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Stats reports the persisted statistics for one table, if analyzed.
@@ -479,39 +430,50 @@ func (db *Database) StatsCatalog() stats.Catalog {
 }
 
 // CreateIndex declares and builds an index on table.col, persists the
-// declaration, and republishes the planner snapshot. Kind is IndexHash
-// (point lookups) or IndexBTree (ordered ranges; atom columns only).
+// declaration, and republishes the planner snapshot — one transaction.
+// Kind is IndexHash (point lookups) or IndexBTree (ordered ranges;
+// atom columns only).
 func (db *Database) CreateIndex(ctx context.Context, tbl, col, kind string) (*Index, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if strings.HasPrefix(tbl, "__") {
-		return nil, fmt.Errorf("%w: %q", ErrNoTable, tbl)
-	}
-	t, err := db.tableLocked(tbl)
-	if err != nil {
-		return nil, err
-	}
-	if t.Schema().Col(col) < 0 {
-		return nil, fmt.Errorf("catalog: index column %q not in %s(%s)", col, tbl, t.Schema().Cols)
-	}
-	if kind != IndexHash && kind != IndexBTree {
-		return nil, fmt.Errorf("catalog: unknown index kind %q (want %s or %s)", kind, IndexHash, IndexBTree)
-	}
-	for _, ix := range db.idxs[tbl] {
-		if ix.Col == col && ix.Kind == kind {
-			return nil, fmt.Errorf("catalog: index on %s.%s (%s) already exists", tbl, col, kind)
+	tx := db.Begin()
+	// The writer lock (held by the transaction) excludes concurrent
+	// metadata mutation, so the catalog read below needs only a brief
+	// RLock — released before Commit, which takes db.mu itself.
+	ix, err := func() (*Index, error) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if strings.HasPrefix(tbl, "__") {
+			return nil, fmt.Errorf("%w: %q", ErrNoTable, tbl)
 		}
-	}
-	ix := &Index{Table: tbl, Col: col, Kind: kind}
-	if err := db.buildIndexLocked(ctx, ix); err != nil {
+		t, err := db.tableLocked(tbl)
+		if err != nil {
+			return nil, err
+		}
+		if t.Schema().Col(col) < 0 {
+			return nil, fmt.Errorf("catalog: index column %q not in %s(%s)", col, tbl, t.Schema().Cols)
+		}
+		if kind != IndexHash && kind != IndexBTree {
+			return nil, fmt.Errorf("catalog: unknown index kind %q (want %s or %s)", kind, IndexHash, IndexBTree)
+		}
+		for _, ix := range db.idxs[tbl] {
+			if ix.Col == col && ix.Kind == kind {
+				return nil, fmt.Errorf("catalog: index on %s.%s (%s) already exists", tbl, col, kind)
+			}
+		}
+		ix := &Index{Table: tbl, Col: col, Kind: kind}
+		if err := buildIndexOn(ctx, t, ix); err != nil {
+			return nil, err
+		}
+		tx.newIdxs = map[string][]*Index{tbl: append(append([]*Index{}, db.idxs[tbl]...), ix)}
+		tx.metaDirty = true
+		return ix, nil
+	}()
+	if err != nil {
+		tx.Abort()
 		return nil, err
 	}
-	db.idxs[tbl] = append(db.idxs[tbl], ix)
-	if err := db.persistMetaLocked(); err != nil {
-		db.idxs[tbl] = db.idxs[tbl][:len(db.idxs[tbl])-1]
+	if err := tx.Commit(ctx); err != nil {
 		return nil, err
 	}
-	db.rebuildSnapLocked()
 	return ix, nil
 }
 
@@ -529,47 +491,6 @@ func (db *Database) PlanCatalog() *plan.Catalog {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.snap
-}
-
-// buildIndexLocked (re)builds ix's in-memory structure from its table.
-func (db *Database) buildIndexLocked(ctx context.Context, ix *Index) error {
-	t, err := db.tableLocked(ix.Table)
-	if err != nil {
-		return err
-	}
-	col := t.Schema().Col(ix.Col)
-	if col < 0 {
-		return fmt.Errorf("catalog: index column %q not in %s(%s)", ix.Col, ix.Table, t.Schema().Cols)
-	}
-	switch ix.Kind {
-	case IndexHash:
-		h, err := index.BuildHash(ctx, t, col)
-		if err != nil {
-			return fmt.Errorf("catalog: building hash index %s.%s: %w", ix.Table, ix.Col, err)
-		}
-		ix.Hash = h
-	case IndexBTree:
-		bt, err := index.BuildBTree(ctx, t, col)
-		if err != nil {
-			return fmt.Errorf("catalog: building btree index %s.%s: %w", ix.Table, ix.Col, err)
-		}
-		ix.BTree = bt
-	default:
-		return fmt.Errorf("catalog: unknown index kind %q", ix.Kind)
-	}
-	return nil
-}
-
-// rebuildIndexesLocked refreshes every index structure on one table —
-// required after Vacuum (RIDs move) and Analyze (rows changed since the
-// structures were built).
-func (db *Database) rebuildIndexesLocked(name string) error {
-	for _, ix := range db.idxs[name] {
-		if err := db.buildIndexLocked(context.Background(), ix); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // rebuildSnapLocked republishes the planner catalog from the current
@@ -602,51 +523,6 @@ func (db *Database) rebuildSnapLocked() {
 }
 
 var metaSchema = table.Schema{Name: metaTable, Cols: []string{"kind", "tbl", "payload"}}
-
-// persistMetaLocked rewrites the __meta table from the in-memory
-// statistics and index declarations: a fresh heap is filled and the
-// catalog repointed (the Vacuum idiom — old pages become garbage).
-func (db *Database) persistMetaLocked() error {
-	t, err := table.Create(db.pool, metaSchema)
-	if err != nil {
-		return err
-	}
-	names := make([]string, 0, len(db.statsC))
-	for name := range db.statsC {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		row := table.Row{core.Str("stats"), core.Str(name), db.statsC[name].Value()}
-		if _, err := t.Insert(row); err != nil {
-			return err
-		}
-	}
-	names = names[:0]
-	for name := range db.idxs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		for _, ix := range db.idxs[name] {
-			row := table.Row{core.Str("index"), core.Str(name), core.Tuple(core.Str(ix.Col), core.Str(ix.Kind))}
-			if _, err := t.Insert(row); err != nil {
-				return err
-			}
-		}
-	}
-	prev, had := db.tables[metaTable]
-	db.tables[metaTable] = t
-	if err := db.writeCatalog(); err != nil {
-		if had {
-			db.tables[metaTable] = prev
-		} else {
-			delete(db.tables, metaTable)
-		}
-		return err
-	}
-	return nil
-}
 
 // loadMeta restores statistics and index declarations from __meta at
 // Open time, rebuilding every index structure. Called before the
@@ -694,8 +570,12 @@ func (db *Database) loadMeta() error {
 		return err
 	}
 	for _, d := range defs {
+		t, ok := db.tables[d.tbl]
+		if !ok {
+			return fmt.Errorf("%w: %q (from __meta index)", ErrNoTable, d.tbl)
+		}
 		ix := &Index{Table: d.tbl, Col: d.col, Kind: d.kind}
-		if err := db.buildIndexLocked(context.Background(), ix); err != nil {
+		if err := buildIndexOn(context.Background(), t, ix); err != nil {
 			return err
 		}
 		db.idxs[d.tbl] = append(db.idxs[d.tbl], ix)

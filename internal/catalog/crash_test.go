@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+	"xst/internal/wal"
+	"xst/internal/xtest"
+)
+
+// Kill-the-process crash recovery: a victim process commits batch after
+// batch into a durable database until it is SIGKILLed mid-stream, then
+// the parent reopens the files and checks that exactly a prefix of the
+// committed batches survived — every committed batch whole, the torn
+// tail gone, catalog, __meta and indexes all consistent.
+
+const crashBatch = 50
+
+func crashSchema() table.Schema {
+	return table.Schema{Name: "events", Cols: []string{"batch", "seq"}}
+}
+
+func openCrashDB(dir string) (*Database, int, error) {
+	pager, err := store.OpenFilePager(filepath.Join(dir, "base.pages"))
+	if err != nil {
+		return nil, 0, err
+	}
+	log, err := wal.OpenFileLog(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, 0, err
+	}
+	if pager.NumPages() == 0 {
+		db, err := CreateDurable(pager, log, 256)
+		return db, 0, err
+	}
+	return OpenDurable(pager, log, 256)
+}
+
+// TestCrashVictim is the subprocess body: it creates the events table
+// (and a hash index on batch), then commits batches of crashBatch rows
+// forever, announcing each commit on stdout so the parent knows when to
+// pull the trigger. Not a test in ordinary runs.
+func TestCrashVictim(t *testing.T) {
+	dir, ok := xtest.InVictim()
+	if !ok {
+		t.Skip("crash victim body; run via TestCrashRecovery")
+	}
+	db, _, err := openCrashDB(dir)
+	if err != nil {
+		t.Fatalf("victim open: %v", err)
+	}
+	if _, err := db.CreateTable(crashSchema()); err != nil {
+		t.Fatalf("victim create: %v", err)
+	}
+	if _, err := db.CreateIndex(context.Background(), "events", "batch", IndexHash); err != nil {
+		t.Fatalf("victim index: %v", err)
+	}
+	for b := 0; ; b++ {
+		rows := make([]table.Row, crashBatch)
+		for i := range rows {
+			rows[i] = table.Row{core.Int(int64(b)), core.Int(int64(i))}
+		}
+		if err := db.Load(context.Background(), "events", rows); err != nil {
+			t.Fatalf("victim load: %v", err)
+		}
+		fmt.Printf("COMMITTED %d\n", b)
+		os.Stdout.Sync()
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	if _, ok := xtest.InVictim(); ok {
+		t.Skip("victim process runs only its own body")
+	}
+	dir := t.TempDir()
+	cmd := xtest.Victim(t, "TestCrashVictim", dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let a handful of commits land, then SIGKILL with a commit very
+	// likely in flight (the victim commits continuously).
+	sc := bufio.NewScanner(out)
+	committed := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "COMMITTED ") {
+			continue
+		}
+		fmt.Sscanf(line, "COMMITTED %d", &committed)
+		if committed >= 5 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if committed < 0 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("victim never committed a batch")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	db, redone, err := openCrashDB(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db.Close()
+	t.Logf("victim acknowledged %d batches; recovery replayed %d transactions", committed+1, redone)
+
+	tab, err := db.Table("events")
+	if err != nil {
+		t.Fatalf("events table lost: %v", err)
+	}
+	// Atomicity: a whole number of batches, at least every acknowledged
+	// one (acknowledged = fsynced before the print).
+	n := tab.Count()
+	if n%crashBatch != 0 {
+		t.Fatalf("recovered %d rows — not a whole number of %d-row batches (torn commit visible)", n, crashBatch)
+	}
+	if n < (committed+1)*crashBatch {
+		t.Fatalf("recovered %d rows < %d acknowledged", n, (committed+1)*crashBatch)
+	}
+	// Batch integrity: batches 0..k-1 each present exactly once, with
+	// every seq.
+	seen := map[int64]map[int64]bool{}
+	err = tab.Scan(func(_ store.RID, r table.Row) (bool, error) {
+		b := int64(r[0].(core.Int))
+		q := int64(r[1].(core.Int))
+		if seen[b] == nil {
+			seen[b] = map[int64]bool{}
+		}
+		if seen[b][q] {
+			return false, fmt.Errorf("duplicate row (%d,%d)", b, q)
+		}
+		seen[b][q] = true
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := n / crashBatch
+	for b := 0; b < k; b++ {
+		if len(seen[int64(b)]) != crashBatch {
+			t.Fatalf("batch %d has %d rows, want %d", b, len(seen[int64(b)]), crashBatch)
+		}
+	}
+	// The index declaration survived and was rebuilt over the recovered
+	// heap.
+	idxs := db.Indexes("events")
+	if len(idxs) != 1 || idxs[0].Hash == nil {
+		t.Fatalf("index on events lost after recovery: %+v", idxs)
+	}
+	if got := len(idxs[0].Hash.Lookup(core.Key(core.Int(0)))); got != crashBatch {
+		t.Fatalf("index lookup batch 0: %d rids, want %d", got, crashBatch)
+	}
+	// The recovered database accepts and persists new transactions.
+	if err := db.Load(context.Background(), "events",
+		[]table.Row{{core.Int(int64(k)), core.Int(0)}}); err != nil {
+		t.Fatalf("post-recovery load: %v", err)
+	}
+	if got, _ := db.Table("events"); got.Count() != n+1 {
+		t.Fatalf("post-recovery count %d, want %d", got.Count(), n+1)
+	}
+}

@@ -33,6 +33,7 @@ type IndexScan struct {
 	desc           string
 
 	ctx   context.Context
+	src   *table.Table // tab, possibly pinned to the Open ctx's view
 	rids  []store.RID
 	pos   int
 	buf   []table.Row
@@ -59,6 +60,10 @@ func (s *IndexScan) Open(ctx context.Context) error {
 	s.stats = OpStats{}
 	defer s.stats.timed(time.Now())
 	s.ctx = ctx
+	s.src = s.tab
+	if v := store.ViewFrom(ctx); v != nil {
+		s.src = s.tab.At(v)
+	}
 	s.rids = s.rids[:0]
 	s.pos = 0
 	s.open = true
@@ -123,7 +128,7 @@ func (s *IndexScan) Next() ([]table.Row, error) {
 	n := min(len(s.rids)-s.pos, MaxBatchRows)
 	s.buf = s.buf[:0]
 	for _, rid := range s.rids[s.pos : s.pos+n] {
-		r, err := s.tab.Get(rid)
+		r, err := s.src.Get(rid)
 		if err != nil {
 			return nil, err
 		}
@@ -138,6 +143,7 @@ func (s *IndexScan) Next() ([]table.Row, error) {
 // Close implements Operator.
 func (s *IndexScan) Close() error {
 	s.open = false
+	s.src = nil
 	s.rids = nil
 	s.buf = nil
 	return nil

@@ -85,11 +85,16 @@ type MorselScan struct {
 // NewMorselScan returns a scan worker pulling from src.
 func NewMorselScan(src *table.MorselSource) *MorselScan { return &MorselScan{src: src} }
 
-// Open implements Operator.
+// Open implements Operator. Bind pins the shared source to the
+// context's snapshot view (first worker wins; the others adopt its
+// epoch-consistent page list), so all N workers scan one snapshot.
 func (s *MorselScan) Open(ctx context.Context) error {
 	s.stats = OpStats{}
 	defer s.stats.timed(time.Now())
 	s.ctx = ctx
+	if err := s.src.Bind(ctx); err != nil {
+		return err
+	}
 	s.pend = nil
 	s.open = true
 	return ctx.Err()

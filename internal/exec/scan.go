@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"xst/internal/store"
 	"xst/internal/table"
 )
 
@@ -24,12 +25,19 @@ type Scan struct {
 // NewScan returns a scan operator over t.
 func NewScan(t *table.Table) *Scan { return &Scan{tab: t} }
 
-// Open implements Operator.
+// Open implements Operator. When the context carries a snapshot view
+// (store.WithView), the cursor is pinned to that view's commit epoch,
+// so the stream returns exactly the rows committed when the view was
+// taken even while writers commit new epochs mid-scan.
 func (s *Scan) Open(ctx context.Context) error {
 	s.stats = OpStats{}
 	defer s.stats.timed(time.Now())
 	s.ctx = ctx
-	s.cur = s.tab.NewBatchCursor()
+	tab := s.tab
+	if v := store.ViewFrom(ctx); v != nil {
+		tab = tab.At(v)
+	}
+	s.cur = tab.NewBatchCursor()
 	s.pend = nil
 	s.open = true
 	return ctx.Err()

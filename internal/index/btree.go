@@ -22,7 +22,6 @@ type btNode struct {
 	keys     []string
 	children []*btNode     // interior: len(keys)+1
 	vals     [][]store.RID // leaf: parallel to keys
-	next     *btNode       // leaf chain for range scans
 }
 
 // NewBTree returns an empty tree.
@@ -83,11 +82,9 @@ func (n *btNode) insert(key string, rid store.RID, t *BTree) (string, *btNode) {
 			leaf: true,
 			keys: append([]string(nil), n.keys[mid:]...),
 			vals: append([][]store.RID(nil), n.vals[mid:]...),
-			next: n.next,
 		}
 		n.keys = n.keys[:mid]
 		n.vals = n.vals[:mid]
-		n.next = right
 		return right.keys[0], right
 	}
 	i := lowerBound(n.keys, key)
@@ -137,30 +134,43 @@ func (t *BTree) Lookup(key string) []store.RID {
 }
 
 // Range visits every (key, postings) with lo <= key < hi in key order,
-// stopping early on false. An empty hi means unbounded.
+// stopping early on false. An empty hi means unbounded. The walk is a
+// recursive in-order descent rather than a leaf chain: persistent
+// (path-copied) trees share subtrees across versions, where sibling
+// links would dangle into older versions.
 func (t *BTree) Range(lo, hi string, fn func(key string, rids []store.RID) bool) {
-	n := t.root
-	for !n.leaf {
-		i := lowerBound(n.keys, lo)
-		if i < len(n.keys) && n.keys[i] == lo {
-			i++
-		}
-		n = n.children[i]
-	}
-	for n != nil {
-		for i, k := range n.keys {
-			if k < lo {
-				continue
-			}
+	t.root.rangeVisit(lo, hi, fn)
+}
+
+// rangeVisit reports whether the walk should continue past n.
+func (n *btNode) rangeVisit(lo, hi string, fn func(key string, rids []store.RID) bool) bool {
+	if n.leaf {
+		for i := lowerBound(n.keys, lo); i < len(n.keys); i++ {
+			k := n.keys[i]
 			if hi != "" && k >= hi {
-				return
+				return false
 			}
 			if !fn(k, n.vals[i]) {
-				return
+				return false
 			}
 		}
-		n = n.next
+		return true
 	}
+	i := lowerBound(n.keys, lo)
+	if i < len(n.keys) && n.keys[i] == lo {
+		i++
+	}
+	for ; i < len(n.children); i++ {
+		if !n.children[i].rangeVisit(lo, hi, fn) {
+			return false
+		}
+		// The separator right of child i is the next child's first key:
+		// stop descending once it reaches hi.
+		if i < len(n.keys) && hi != "" && n.keys[i] >= hi {
+			return false
+		}
+	}
+	return true
 }
 
 // Keys returns every key in order (mainly for tests).

@@ -1,0 +1,164 @@
+package index
+
+import "xst/internal/store"
+
+// Incremental index maintenance under MVCC. Published index structures
+// are immutable — plans compiled against an old planner snapshot keep
+// probing them while the catalog publishes successors — so a commit
+// cannot Insert into the structure it found. Instead it derives a new
+// version that shares almost everything with the old one:
+//
+//   - HashIndex.WithInserts layers a small delta map over the committed
+//     index (reads consult base then delta). Layers cap at
+//     maxDeltaDepth; past that the chain is flattened into one map so
+//     lookup cost stays O(depth cap), amortized by the flatten.
+//   - BTree.Inserted path-copies: each insert clones only the root-to-
+//     leaf path (and the touched posting list), leaving every other
+//     subtree shared with the committed tree.
+//
+// Either way the committed structure is never written, so concurrent
+// readers need no locks — the same copy-on-write discipline the buffer
+// pool applies to page images.
+
+// Entry is one (key, rid) pair staged for incremental maintenance.
+type Entry struct {
+	Key string
+	RID store.RID
+}
+
+// maxDeltaDepth bounds how many delta layers may stack on a hash index
+// before WithInserts flattens the chain.
+const maxDeltaDepth = 4
+
+// WithInserts returns a new index equal to h plus the entries, without
+// modifying h. The result layers a delta over h, or flattens the whole
+// chain when the layer budget is spent.
+func (h *HashIndex) WithInserts(entries []Entry) *HashIndex {
+	if h.depth >= maxDeltaDepth {
+		return h.flattenWith(entries)
+	}
+	nw := &HashIndex{m: make(map[string][]store.RID, len(entries)), base: h, depth: h.depth + 1}
+	for _, e := range entries {
+		nw.m[e.Key] = append(nw.m[e.Key], e.RID)
+	}
+	nw.size = h.Len()
+	for k := range nw.m {
+		if h.Lookup(k) == nil {
+			nw.size++
+		}
+	}
+	return nw
+}
+
+// flattenWith merges the whole delta chain plus entries into one flat
+// index (base-first, so posting order matches insertion order).
+func (h *HashIndex) flattenWith(entries []Entry) *HashIndex {
+	var chain []*HashIndex
+	for n := h; n != nil; n = n.base {
+		chain = append(chain, n)
+	}
+	nw := NewHashIndex()
+	for i := len(chain) - 1; i >= 0; i-- {
+		for k, ps := range chain[i].m {
+			nw.m[k] = append(nw.m[k], ps...)
+		}
+	}
+	for _, e := range entries {
+		nw.m[e.Key] = append(nw.m[e.Key], e.RID)
+	}
+	return nw
+}
+
+// Depth reports the delta-layer depth (0 for a flat index; tests).
+func (h *HashIndex) Depth() int { return h.depth }
+
+// Inserted returns a new tree equal to t plus the entries, without
+// modifying t: inserts path-copy from the root down, so the two trees
+// share every untouched subtree and posting list.
+func (t *BTree) Inserted(entries []Entry) *BTree {
+	nt := &BTree{root: t.root, size: t.size}
+	for _, e := range entries {
+		root, mid, right := nt.root.insertCopy(e.Key, e.RID, nt)
+		if right != nil {
+			root = &btNode{keys: []string{mid}, children: []*btNode{root, right}}
+		}
+		nt.root = root
+	}
+	return nt
+}
+
+// clone shallow-copies a node: fresh key/val/child slices, shared
+// posting lists and subtrees.
+func (n *btNode) clone() *btNode {
+	c := &btNode{leaf: n.leaf, keys: append([]string(nil), n.keys...)}
+	if n.leaf {
+		c.vals = append([][]store.RID(nil), n.vals...)
+	} else {
+		c.children = append([]*btNode(nil), n.children...)
+	}
+	return c
+}
+
+// insertCopy is btNode.insert in persistent form: it returns the
+// replacement for n (a path copy) plus split information. Posting-list
+// appends copy the list first — the backing array is shared with the
+// committed tree.
+func (n *btNode) insertCopy(key string, rid store.RID, t *BTree) (*btNode, string, *btNode) {
+	c := n.clone()
+	if c.leaf {
+		i := lowerBound(c.keys, key)
+		if i < len(c.keys) && c.keys[i] == key {
+			ps := make([]store.RID, len(c.vals[i])+1)
+			copy(ps, c.vals[i])
+			ps[len(ps)-1] = rid
+			c.vals[i] = ps
+			return c, "", nil
+		}
+		c.keys = append(c.keys, "")
+		copy(c.keys[i+1:], c.keys[i:])
+		c.keys[i] = key
+		c.vals = append(c.vals, nil)
+		copy(c.vals[i+1:], c.vals[i:])
+		c.vals[i] = []store.RID{rid}
+		t.size++
+		if len(c.keys) <= btreeOrder {
+			return c, "", nil
+		}
+		mid := len(c.keys) / 2
+		right := &btNode{
+			leaf: true,
+			keys: append([]string(nil), c.keys[mid:]...),
+			vals: append([][]store.RID(nil), c.vals[mid:]...),
+		}
+		c.keys = c.keys[:mid]
+		c.vals = c.vals[:mid]
+		return c, right.keys[0], right
+	}
+	i := lowerBound(c.keys, key)
+	if i < len(c.keys) && c.keys[i] == key {
+		i++
+	}
+	child, midKey, right := c.children[i].insertCopy(key, rid, t)
+	c.children[i] = child
+	if right == nil {
+		return c, "", nil
+	}
+	c.keys = append(c.keys, "")
+	copy(c.keys[i+1:], c.keys[i:])
+	c.keys[i] = midKey
+	c.children = append(c.children, nil)
+	copy(c.children[i+2:], c.children[i+1:])
+	c.children[i+1] = right
+	if len(c.keys) <= btreeOrder {
+		return c, "", nil
+	}
+	mid := len(c.keys) / 2
+	sep := c.keys[mid]
+	r := &btNode{
+		keys:     append([]string(nil), c.keys[mid+1:]...),
+		children: append([]*btNode(nil), c.children[mid+1:]...),
+	}
+	c.keys = c.keys[:mid]
+	c.children = c.children[:mid+1]
+	return c, sep, r
+}

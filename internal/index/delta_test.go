@@ -1,0 +1,146 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"xst/internal/store"
+)
+
+func drid(p, s int) store.RID {
+	return store.RID{Page: store.PageID(p), Slot: uint16(s)}
+}
+
+// WithInserts must leave the base untouched, answer merged lookups, and
+// flatten once the layer budget is spent.
+func TestHashWithInserts(t *testing.T) {
+	base := NewHashIndex()
+	for i := 0; i < 100; i++ {
+		base.Insert(fmt.Sprintf("k%03d", i), drid(1, i))
+	}
+	baseLen := base.Len()
+
+	layered := base.WithInserts([]Entry{
+		{Key: "k000", RID: drid(2, 0)}, // existing key: posting grows
+		{Key: "new1", RID: drid(2, 1)}, // fresh key
+	})
+	if base.Len() != baseLen || len(base.Lookup("k000")) != 1 || base.Lookup("new1") != nil {
+		t.Fatal("WithInserts mutated the base index")
+	}
+	if got := layered.Lookup("k000"); len(got) != 2 || got[0] != drid(1, 0) || got[1] != drid(2, 0) {
+		t.Fatalf("layered lookup k000 = %v", got)
+	}
+	if got := layered.Lookup("new1"); len(got) != 1 || got[0] != drid(2, 1) {
+		t.Fatalf("layered lookup new1 = %v", got)
+	}
+	if layered.Len() != baseLen+1 {
+		t.Fatalf("layered Len = %d, want %d", layered.Len(), baseLen+1)
+	}
+	if layered.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", layered.Depth())
+	}
+
+	// Stack layers past the cap: the chain must flatten, and lookups
+	// must keep answering every layer's entries in insertion order.
+	ix := base
+	for round := 0; round < maxDeltaDepth+2; round++ {
+		ix = ix.WithInserts([]Entry{{Key: "hot", RID: drid(3, round)}})
+	}
+	if ix.Depth() > maxDeltaDepth {
+		t.Fatalf("Depth = %d, want flattened ≤ %d", ix.Depth(), maxDeltaDepth)
+	}
+	got := ix.Lookup("hot")
+	if len(got) != maxDeltaDepth+2 {
+		t.Fatalf("hot postings = %v, want %d entries", got, maxDeltaDepth+2)
+	}
+	for i, r := range got {
+		if r != drid(3, i) {
+			t.Fatalf("hot postings out of order: %v", got)
+		}
+	}
+	if got := ix.Lookup("k050"); len(got) != 1 || got[0] != drid(1, 50) {
+		t.Fatalf("base key lost through flatten: %v", got)
+	}
+}
+
+// Inserted must path-copy: the old tree keeps answering the old world
+// while the new tree includes the inserts, across leaf and interior
+// splits and root splits.
+func TestBTreeInserted(t *testing.T) {
+	old := NewBTree()
+	for i := 0; i < 500; i += 2 { // even keys only
+		old.Insert(fmt.Sprintf("k%04d", i), drid(1, i))
+	}
+	oldLen := old.Len()
+
+	var ents []Entry
+	for i := 1; i < 500; i += 2 { // odd keys
+		ents = append(ents, Entry{Key: fmt.Sprintf("k%04d", i), RID: drid(2, i)})
+	}
+	ents = append(ents, Entry{Key: "k0000", RID: drid(2, 0)}) // posting append on shared list
+	nw := old.Inserted(ents)
+
+	if old.Len() != oldLen {
+		t.Fatalf("old tree Len changed: %d → %d", oldLen, old.Len())
+	}
+	if got := old.Lookup("k0001"); got != nil {
+		t.Fatalf("old tree sees new key: %v", got)
+	}
+	if got := old.Lookup("k0000"); len(got) != 1 {
+		t.Fatalf("old tree posting list mutated: %v", got)
+	}
+	if nw.Len() != oldLen+len(ents)-1 {
+		t.Fatalf("new tree Len = %d, want %d", nw.Len(), oldLen+len(ents)-1)
+	}
+	if got := nw.Lookup("k0001"); len(got) != 1 || got[0] != drid(2, 1) {
+		t.Fatalf("new tree missing inserted key: %v", got)
+	}
+	if got := nw.Lookup("k0000"); len(got) != 2 || got[1] != drid(2, 0) {
+		t.Fatalf("new tree posting append: %v", got)
+	}
+
+	// Every key, old and new, must come back in order from Range.
+	var keys []string
+	nw.Range("", "", func(k string, _ []store.RID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("Range out of order after persistent inserts")
+	}
+	if len(keys) != nw.Len() {
+		t.Fatalf("Range visited %d keys, Len says %d", len(keys), nw.Len())
+	}
+}
+
+// The recursive Range must agree with Keys and honor half-open bounds
+// on both the mutable and the persistent tree.
+func TestBTreeRangeBounds(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 300; i++ {
+		bt.Insert(fmt.Sprintf("k%03d", i), drid(1, i))
+	}
+	nw := bt.Inserted([]Entry{{Key: "k999", RID: drid(2, 0)}})
+	for _, tr := range []*BTree{bt, nw} {
+		var got []string
+		tr.Range("k100", "k110", func(k string, _ []store.RID) bool {
+			got = append(got, k)
+			return true
+		})
+		want := []string{"k100", "k101", "k102", "k103", "k104", "k105", "k106", "k107", "k108", "k109"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Range[k100,k110) = %v", got)
+		}
+		// Early stop must hold.
+		n := 0
+		tr.Range("", "", func(string, []store.RID) bool {
+			n++
+			return n < 5
+		})
+		if n != 5 {
+			t.Fatalf("Range ignored early stop: visited %d", n)
+		}
+	}
+}

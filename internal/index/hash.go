@@ -3,8 +3,14 @@ package index
 import "xst/internal/store"
 
 // HashIndex is a point-access index from encoded keys to RID postings.
+// A committed index may carry delta layers (see WithInserts): reads
+// consult the base chain then the local map, so published versions stay
+// immutable while commits stack incremental inserts on top.
 type HashIndex struct {
-	m map[string][]store.RID
+	m     map[string][]store.RID
+	base  *HashIndex // committed layer underneath, nil when flat
+	depth int        // delta layers below this one
+	size  int        // distinct keys across the chain (layered only)
 }
 
 // NewHashIndex returns an empty hash index.
@@ -17,15 +23,38 @@ func (h *HashIndex) Insert(key string, rid store.RID) {
 	h.m[key] = append(h.m[key], rid)
 }
 
-// Lookup returns the postings for key (nil if absent).
-func (h *HashIndex) Lookup(key string) []store.RID { return h.m[key] }
+// Lookup returns the postings for key (nil if absent). On a layered
+// index the base postings come first, then the delta's.
+func (h *HashIndex) Lookup(key string) []store.RID {
+	if h.base == nil {
+		return h.m[key]
+	}
+	b := h.base.Lookup(key)
+	d := h.m[key]
+	switch {
+	case len(d) == 0:
+		return b
+	case len(b) == 0:
+		return d
+	}
+	out := make([]store.RID, 0, len(b)+len(d))
+	return append(append(out, b...), d...)
+}
 
 // Len returns the number of distinct keys.
-func (h *HashIndex) Len() int { return len(h.m) }
+func (h *HashIndex) Len() int {
+	if h.base == nil {
+		return len(h.m)
+	}
+	return h.size
+}
 
 // Delete removes one rid from a posting list; it reports whether the rid
-// was present.
+// was present. Only flat (mutable, pre-publication) indexes support it.
 func (h *HashIndex) Delete(key string, rid store.RID) bool {
+	if h.base != nil {
+		panic("index: Delete on a layered (published) hash index")
+	}
 	ps := h.m[key]
 	for i, p := range ps {
 		if p == rid {

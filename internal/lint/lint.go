@@ -120,7 +120,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Report records a violation with optional suggested fixes.
 func (p *Pass) Report(d Diagnostic) { p.diagnostics = append(p.diagnostics, d) }
 
-// All returns the ten invariant analyzers in report order.
+// All returns the eleven invariant analyzers in report order.
 func All() []*Analyzer {
 	return []*Analyzer{
 		SetMutateAnalyzer,
@@ -133,6 +133,7 @@ func All() []*Analyzer {
 		OpCloseAnalyzer,
 		ConnCloseAnalyzer,
 		SendGuardAnalyzer,
+		TxnEndAnalyzer,
 	}
 }
 

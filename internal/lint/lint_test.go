@@ -95,6 +95,10 @@ func TestConnClose(t *testing.T) {
 	linttest.RunAs(t, loader(t), lint.ConnCloseAnalyzer, "connclose", "fed")
 }
 
+func TestTxnEnd(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.TxnEndAnalyzer, "txnend", "catalog")
+}
+
 func TestLockHeldTrace(t *testing.T) {
 	linttest.Run(t, loader(t), lint.LockHeldAnalyzer, "trace")
 }

@@ -121,6 +121,15 @@ type acquisition struct {
 // predicate) and reports any not released on every exit path, plus
 // defer-in-loop releases. Shared by opclose and connclose.
 func (p *Pass) checkLifecycles(fn *ast.FuncDecl, parents map[ast.Node]ast.Node, isRes func(types.Type) bool, kind, msg string) {
+	p.checkLifecyclesRel(fn, parents, isRes, kind, msg, nil)
+}
+
+// checkLifecyclesRel is checkLifecycles with an extra release predicate:
+// extra(st, obj) reporting true means st ends obj's lifecycle even
+// though the summary layer would not recognize it (txnend's
+// Commit/Abort, which are not Close-shaped). A nil extra restores the
+// plain behavior.
+func (p *Pass) checkLifecyclesRel(fn *ast.FuncDecl, parents map[ast.Node]ast.Node, isRes func(types.Type) bool, kind, msg string, extra func(ast.Stmt, types.Object) bool) {
 	cfg := buildCFG(fn.Body)
 	var acqs []acquisition
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -144,6 +153,9 @@ func (p *Pass) checkLifecycles(fn *ast.FuncDecl, parents map[ast.Node]ast.Node, 
 	for _, acq := range acqs {
 		acq := acq
 		rel := func(st ast.Stmt) bool {
+			if extra != nil && extra(st, acq.obj) {
+				return true
+			}
 			if p.Summaries != nil && p.Summaries.ReleasesIn(p.Info, st, acq.obj) {
 				return true
 			}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// txnendPkgs are the layers that begin WAL transactions: the catalog's
+// mutators, the table layer's maintenance paths, and the server's
+// statement handlers.
+var txnendPkgs = []string{
+	"xst/internal/catalog",
+	"xst/internal/table",
+	"xst/internal/server",
+}
+
+// TxnEndAnalyzer enforces the transaction lifecycle: a locally-begun
+// transaction (any value whose method set has both Commit and Abort)
+// must, on every path out of the function, be Committed, Aborted, or
+// escape into an owner (returned, stored into a struct, captured by a
+// closure). The paths that slip through review are the validation
+// unwinds between Begin and Commit: an early error return that leaves
+// the writer lock held and the shadow map staged wedges every later
+// writer — a deadlock in slow motion rather than a leak.
+//
+// `defer tx.Abort()` right after Begin is the sanctioned unwind shape
+// (Abort after Commit is a no-op), and a plain Commit/Abort pair on the
+// branches works too. Methods on transaction types themselves are
+// exempt: Commit and Abort manipulate their own receiver's state under
+// a different discipline.
+var TxnEndAnalyzer = &Analyzer{
+	Name: "txnend",
+	Doc:  "flags locally-begun transactions not committed or aborted on every return path",
+	Run:  runTxnEnd,
+}
+
+func runTxnEnd(pass *Pass) error {
+	if !pathMatches(pass.Pkg.Path(), txnendPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Recv != nil && isTxnMethod(pass, fn) {
+				continue
+			}
+			pass.checkLifecyclesRel(fn, parents, isTxnType, "transaction",
+				"transaction %s is not committed or aborted on every return path; Abort it on error unwinds (or defer the Abort — it is a no-op after Commit)",
+				txnEndsIn(pass))
+		}
+	}
+	return nil
+}
+
+// txnEndsIn recognizes the statements that end a transaction's
+// lifecycle: a call to Commit, CommitWith or Abort on the tracked
+// object, directly or under a defer. Inspection is over the statement's
+// shallow node, so a Commit inside one branch of an if is credited to
+// that branch only, not to every path through the condition.
+func txnEndsIn(pass *Pass) func(ast.Stmt, types.Object) bool {
+	return func(st ast.Stmt, obj types.Object) bool {
+		n := shallowNode(st)
+		if n == nil {
+			return false
+		}
+		ended := false
+		ast.Inspect(n, func(nn ast.Node) bool {
+			call, ok := nn.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name := calleeName(call)
+			switch name {
+			case "Commit", "CommitWith", "Abort":
+				if recv != nil && isObj(pass.Info, recv, obj) {
+					ended = true
+					return false
+				}
+			}
+			return true
+		})
+		return ended
+	}
+}
+
+// isTxnMethod reports a method declared on a transaction type.
+func isTxnMethod(pass *Pass, fn *ast.FuncDecl) bool {
+	obj := pass.Info.Defs[fn.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isTxnType(sig.Recv().Type())
+}
+
+// isTxnType reports whether t's method set (value or pointer) contains
+// both Commit and Abort — the structural transaction shape, so
+// wal.Txn, catalog.Txn, fixtures and future transaction types all
+// qualify without this package importing them.
+func isTxnType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	has := func(ms *types.MethodSet) bool {
+		found := 0
+		for _, name := range []string{"Commit", "Abort"} {
+			for i := 0; i < ms.Len(); i++ {
+				if ms.At(i).Obj().Name() == name {
+					found++
+					break
+				}
+			}
+		}
+		return found == 2
+	}
+	if has(types.NewMethodSet(t)) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return has(types.NewMethodSet(types.NewPointer(t)))
+	}
+	return false
+}

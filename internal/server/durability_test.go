@@ -1,0 +1,156 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xst/internal/catalog"
+	"xst/internal/core"
+	"xst/internal/store"
+	"xst/internal/table"
+	"xst/internal/trace"
+	"xst/internal/wal"
+)
+
+// End-to-end durability through the wire protocol: shared-table loads
+// commit through the WAL, the freshly loaded rows are immediately
+// servable through the index access path (incremental maintenance —
+// no .analyze in between), `.checkpoint` folds the log, and the WAL
+// metrics move.
+
+func durableDB(t *testing.T) *catalog.Database {
+	t.Helper()
+	dir := t.TempDir()
+	pager, err := store.OpenFilePager(filepath.Join(dir, "base.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.OpenFileLog(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := catalog.CreateDurable(pager, log, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadChunk(t *testing.T, c *Client, tbl string, cols []string, rows []table.Row) string {
+	t.Helper()
+	lr := struct {
+		Table string   `json:"table"`
+		Cols  []string `json:"cols,omitempty"`
+		Rows  []string `json:"rows"`
+	}{Table: tbl, Cols: cols}
+	for _, r := range rows {
+		lr.Rows = append(lr.Rows, base64.StdEncoding.EncodeToString(table.EncodeRow(nil, r)))
+	}
+	buf, _ := json.Marshal(lr)
+	got, err := c.Eval(".load " + string(buf))
+	if err != nil {
+		t.Fatalf(".load %s: %v", tbl, err)
+	}
+	return got
+}
+
+func TestDurableLoadIndexedImmediately(t *testing.T) {
+	db := durableDB(t)
+	_, addr := startServer(t, Config{DB: db})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// First chunk creates the shared table durably.
+	rows := make([]table.Row, 200)
+	for i := range rows {
+		rows[i] = table.Row{core.Int(int64(i)), core.Str("a")}
+	}
+	if got := loadChunk(t, c, "events", []string{"id", "kind"}, rows); got != "events: 200 rows" {
+		t.Fatalf("first chunk: %q", got)
+	}
+	if got, err := c.Eval(".createindex events id hash"); err != nil || !strings.Contains(got, "events.id") {
+		t.Fatalf(".createindex = %q, %v", got, err)
+	}
+	if _, err := c.Eval(".analyze"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load more rows, then point-look-up a brand-new key immediately:
+	// the layered index must serve it through the index access path.
+	rows = rows[:0]
+	for i := 200; i < 260; i++ {
+		rows = append(rows, table.Row{core.Int(int64(i)), core.Str("b")})
+	}
+	if got := loadChunk(t, c, "events", nil, rows); got != "events: 260 rows" {
+		t.Fatalf("second chunk: %q", got)
+	}
+	snap, err := c.Trace("from events where id = 237")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawIndex bool
+	var gotRows int64
+	snap.Walk(func(sp trace.SpanSnapshot, _ int) {
+		if strings.HasPrefix(sp.Name, "indexscan(") {
+			sawIndex = true
+			gotRows = sp.Rows
+		}
+	})
+	if !sawIndex {
+		t.Fatalf("point lookup after load skipped the index:\n%s", snap.Render())
+	}
+	if gotRows != 1 {
+		t.Fatalf("indexscan returned %d rows, want the freshly loaded row", gotRows)
+	}
+
+	// The WAL observed all of it, and `.checkpoint` folds the log.
+	metrics, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"xstd_wal_appends_total", "xstd_txn_commit_total", "xstd_wal_fsync_seconds"} {
+		if !strings.Contains(metrics, m) {
+			t.Fatalf("metric %s missing from registry", m)
+		}
+	}
+	if v := metricValue(t, metrics, "xstd_txn_commit_total"); v == 0 {
+		t.Fatal("no transactions counted")
+	}
+	if v := metricValue(t, metrics, "xstd_wal_appends_total"); v == 0 {
+		t.Fatal("no WAL appends counted")
+	}
+	if got, err := c.Eval(".checkpoint"); err != nil || got != "checkpoint complete" {
+		t.Fatalf(".checkpoint = %q, %v", got, err)
+	}
+	if db.WAL().LoggedBytes() != 0 {
+		t.Fatalf("log not truncated after checkpoint: %d bytes", db.WAL().LoggedBytes())
+	}
+	metrics, _ = c.MetricsText()
+	if v := metricValue(t, metrics, "xstd_checkpoints_total"); v == 0 {
+		t.Fatal("checkpoint not counted")
+	}
+}
+
+// metricValue extracts one counter's value from the text exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

@@ -30,6 +30,7 @@ import (
 	"xst/internal/store"
 	"xst/internal/table"
 	"xst/internal/trace"
+	"xst/internal/wal"
 	"xst/internal/xlang"
 )
 
@@ -144,6 +145,16 @@ type Metrics struct {
 	InFlight        metrics.Gauge
 	WorkerTokens    metrics.Gauge
 	Latency         metrics.Histogram
+
+	// Durability: write-ahead-log and transaction activity, fed by the
+	// attached database's wal.Manager hooks (zero when no DB).
+	WALAppends  metrics.Counter
+	WALBytes    metrics.Counter
+	Checkpoints metrics.Counter
+	TxnBegin    metrics.Counter
+	TxnCommit   metrics.Counter
+	TxnAbort    metrics.Counter
+	WALFsync    metrics.Histogram
 }
 
 // Snapshot is a point-in-time view of the server's metrics, the payload
@@ -244,6 +255,9 @@ func New(cfg Config) (*Server, error) {
 	if err := s.registerMetrics(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if cfg.DB != nil {
+		s.hookWAL()
+	}
 	return s, nil
 }
 
@@ -278,10 +292,35 @@ func (s *Server) registerMetrics() error {
 	gauge("xstd_active_conns", "connections currently open", &s.m.ActiveConns)
 	gauge("xstd_in_flight", "statements evaluating now", &s.m.InFlight)
 	gauge("xstd_worker_tokens", "worker tokens held by running queries", &s.m.WorkerTokens)
+	counter("xstd_wal_appends_total", "records appended to the write-ahead log", &s.m.WALAppends)
+	counter("xstd_wal_bytes_total", "bytes appended to the write-ahead log", &s.m.WALBytes)
+	counter("xstd_checkpoints_total", "log checkpoints (folds into the base file)", &s.m.Checkpoints)
+	counter("xstd_txn_begin_total", "transactions started", &s.m.TxnBegin)
+	counter("xstd_txn_commit_total", "transactions committed", &s.m.TxnCommit)
+	counter("xstd_txn_abort_total", "transactions aborted", &s.m.TxnAbort)
 	if err == nil {
 		err = s.reg.RegisterHistogram("xstd_query_latency_seconds", "per-statement latency", &s.m.Latency)
 	}
+	if err == nil {
+		err = s.reg.RegisterHistogram("xstd_wal_fsync_seconds", "write-ahead-log fsync latency", &s.m.WALFsync)
+	}
 	return err
+}
+
+// hookWAL feeds the database's transaction-manager events into the
+// server's metric counters.
+func (s *Server) hookWAL() {
+	s.cfg.DB.WAL().SetHooks(wal.Hooks{
+		Append: func(bytes int) {
+			s.m.WALAppends.Inc()
+			s.m.WALBytes.Add(uint64(bytes))
+		},
+		Sync:       func(d time.Duration) { s.m.WALFsync.Record(d) },
+		Begin:      func() { s.m.TxnBegin.Inc() },
+		Commit:     func(int) { s.m.TxnCommit.Inc() },
+		Abort:      func() { s.m.TxnAbort.Inc() },
+		Checkpoint: func() { s.m.Checkpoints.Inc() },
+	})
 }
 
 // Registry exposes the named-metric catalog (for the HTTP /metrics
@@ -563,6 +602,17 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 		s.m.TracedQueries.Inc()
 	}
 
+	// Snapshot isolation: pin the commit epoch together with the planner
+	// catalog that was current at the same instant, so compile and
+	// execution see one consistent world — an in-flight streaming query
+	// keeps returning its pinned snapshot while writers commit.
+	var rt catalog.ReadTxn
+	if s.cfg.DB != nil && xlang.IsQuery(req.Stmt) {
+		rt = s.cfg.DB.BeginRead()
+		defer rt.View.Release()
+		sess.env.BindPlanCatalog(func() *plan.Catalog { return rt.Snap })
+	}
+
 	// Compile query statements before admission so the cost-chosen
 	// degree of parallelism prices the request: a dop-way query claims
 	// dop worker tokens, so parallel fan-out spends the same bounded
@@ -614,6 +664,9 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	ctx = trace.WithSpan(ctx, root)
+	if rt.View != nil {
+		ctx = store.WithView(ctx, rt.View)
+	}
 
 	s.m.InFlight.Inc()
 	var result string
@@ -750,6 +803,14 @@ func (s *Server) handleAdmin(sess *session, req Request) (Response, bool) {
 			return Response{Error: err.Error()}, false
 		}
 		return Response{Result: fmt.Sprintf("analyzed %d tables", n)}, false
+	case ".checkpoint":
+		if s.cfg.DB == nil {
+			return Response{Error: "(no database attached)"}, false
+		}
+		if err := s.cfg.DB.Checkpoint(); err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		return Response{Result: "checkpoint complete"}, false
 	case ".ping":
 		return Response{Result: "pong"}, false
 	case ".schema":
@@ -793,7 +854,7 @@ func (s *Server) handleAdmin(sess *session, req Request) (Response, bool) {
 	case ".quit", ".close", ".exit":
 		return Response{Result: "bye"}, true
 	default:
-		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .schema .load .analyze .createindex .quit)", cmd)}, false
+		return Response{Error: fmt.Sprintf("unknown admin command %q (try .ping .stats .metrics .slow .trace .tables .schema .load .analyze .createindex .checkpoint .quit)", cmd)}, false
 	}
 }
 
@@ -871,17 +932,19 @@ func sampleRowBytes(t *table.Table) int {
 	return total / len(rows)
 }
 
-// handleLoad creates or extends a session-private scratch table from
-// wire-encoded rows. Scratch names must start with "__" so a load can
-// never shadow a catalog table in the session environment; the table
-// lives in a lazily created in-memory pool and dies with the session.
+// handleLoad routes wire-encoded rows to one of two destinations. A
+// "__"-prefixed name is a session-private scratch table over a lazily
+// created in-memory pool that dies with the session. Any other name is
+// a shared catalog table loaded through one transaction per chunk —
+// one WAL fsync for the whole batch — created durably on the first
+// chunk if absent.
 func (s *Server) handleLoad(sess *session, payload string) (Response, bool) {
 	var lr loadRequest
 	if err := json.Unmarshal([]byte(payload), &lr); err != nil {
 		return Response{Error: fmt.Sprintf("bad .load payload: %v", err)}, false
 	}
 	if !strings.HasPrefix(lr.Table, "__") {
-		return Response{Error: fmt.Sprintf(".load table %q must start with __", lr.Table)}, false
+		return s.loadShared(sess, lr)
 	}
 	t, ok := sess.scratch[lr.Table]
 	if !ok {
@@ -913,5 +976,46 @@ func (s *Server) handleLoad(sess *session, payload string) (Response, bool) {
 			return Response{Error: err.Error()}, false
 		}
 	}
+	return Response{Result: fmt.Sprintf("%s: %d rows", lr.Table, t.Count())}, false
+}
+
+// loadShared loads one chunk of rows into a shared catalog table as a
+// single transaction: the rows, any table creation, the catalog page,
+// and the incremental index layers all commit under one log fsync.
+func (s *Server) loadShared(sess *session, lr loadRequest) (Response, bool) {
+	if s.cfg.DB == nil {
+		return Response{Error: "(no database attached)"}, false
+	}
+	db := s.cfg.DB
+	if _, err := db.Table(lr.Table); err != nil {
+		if len(lr.Cols) == 0 {
+			return Response{Error: ".load needs cols on first chunk"}, false
+		}
+		t, err := db.CreateTable(table.Schema{Name: lr.Table, Cols: lr.Cols})
+		if err != nil {
+			return Response{Error: err.Error()}, false
+		}
+		sess.env.BindTable(lr.Table, t)
+	}
+	rows := make([]table.Row, 0, len(lr.Rows))
+	for _, b64 := range lr.Rows {
+		raw, err := base64.StdEncoding.DecodeString(b64)
+		if err != nil {
+			return Response{Error: fmt.Sprintf("bad .load row: %v", err)}, false
+		}
+		r, err := table.DecodeRow(raw)
+		if err != nil {
+			return Response{Error: fmt.Sprintf("bad .load row: %v", err)}, false
+		}
+		rows = append(rows, r)
+	}
+	if err := db.Load(context.Background(), lr.Table, rows); err != nil {
+		return Response{Error: err.Error()}, false
+	}
+	t, err := db.Table(lr.Table)
+	if err != nil {
+		return Response{Error: err.Error()}, false
+	}
+	sess.env.BindTable(lr.Table, t)
 	return Response{Result: fmt.Sprintf("%s: %d rows", lr.Table, t.Count())}, false
 }

@@ -33,8 +33,16 @@ type Frame struct {
 // ID returns the page id held by the frame.
 func (f *Frame) ID() PageID { return f.id }
 
-// Data returns the page bytes. Valid while the frame is pinned.
-func (f *Frame) Data() []byte { return f.data }
+// Data returns the page bytes. Valid while the frame is pinned. The
+// read is synchronized because a transaction commit replaces the slice
+// (pointer swap) rather than mutating it in place; holders of the
+// returned slice keep reading the image they resolved.
+func (f *Frame) Data() []byte {
+	f.pool.mu.Lock()
+	d := f.data
+	f.pool.mu.Unlock()
+	return d
+}
 
 // MarkDirty records that the page must be written back before eviction.
 func (f *Frame) MarkDirty() {
@@ -56,7 +64,10 @@ func (f *Frame) Unpin() {
 	}
 }
 
-// BufferPool caches pages over a pager with LRU replacement.
+// BufferPool caches pages over a pager with LRU replacement. It also
+// carries the MVCC state (see view.go): the commit epoch, refcounts of
+// epochs pinned by active Views, and superseded page images retained
+// for them.
 type BufferPool struct {
 	mu     sync.Mutex
 	pager  Pager
@@ -64,6 +75,10 @@ type BufferPool struct {
 	lru    *list.List // unpinned frames, front = oldest
 	cap    int
 	stats  Stats
+
+	epoch    uint64                   // last committed epoch
+	active   map[uint64]int           // epoch → pinned-view count
+	versions map[PageID][]pageVersion // superseded images, ascending super
 }
 
 // NewBufferPool builds a pool with the given frame capacity (≥ 1).
@@ -72,10 +87,12 @@ func NewBufferPool(p Pager, frames int) *BufferPool {
 		panic("store: buffer pool needs at least one frame")
 	}
 	return &BufferPool{
-		pager:  p,
-		frames: make(map[PageID]*Frame, frames),
-		lru:    list.New(),
-		cap:    frames,
+		pager:    p,
+		frames:   make(map[PageID]*Frame, frames),
+		lru:      list.New(),
+		cap:      frames,
+		active:   map[uint64]int{},
+		versions: map[PageID][]pageVersion{},
 	}
 }
 
@@ -97,6 +114,11 @@ func (bp *BufferPool) ResetStats() {
 func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	return bp.getLocked(id)
+}
+
+// getLocked is Get with bp.mu already held (shared with View.Page).
+func (bp *BufferPool) getLocked(id PageID) (*Frame, error) {
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		if f.pins == 0 {

@@ -21,7 +21,7 @@ func (h *HeapFile) NewCursor() *HeapCursor {
 // the end of the heap.
 func (c *HeapCursor) Next() (RID, []byte, bool, error) {
 	for !c.done {
-		fr, err := c.heap.pool.Get(c.page)
+		fr, err := c.heap.io.Page(c.page)
 		if err != nil {
 			return RID{}, nil, false, err
 		}
@@ -79,7 +79,7 @@ func (c *PageCursor) Next(fn func(page PageID, recs [][]byte) error) (bool, erro
 	if c.page == InvalidPage {
 		return false, nil
 	}
-	fr, err := c.heap.pool.Get(c.page)
+	fr, err := c.heap.io.Page(c.page)
 	if err != nil {
 		return false, err
 	}

@@ -20,18 +20,20 @@ var ErrRecordTooLarge = errors.New("store: record larger than page payload")
 var ErrNoRecord = errors.New("store: no such record")
 
 // HeapFile is an append-oriented record collection: a chain of slotted
-// pages reached through a buffer pool. It is the physical home of stored
-// extended sets.
+// pages reached through a page source. It is the physical home of
+// stored extended sets. The source is usually a buffer pool, but the
+// same heap code also runs against a wal transaction shadow
+// (uncommitted writes) or an epoch-pinned snapshot view — see WithIO.
 type HeapFile struct {
-	pool  *BufferPool
+	io    PageIO
 	first PageID
 	last  PageID
 	count int
 }
 
 // CreateHeap starts a heap file with one empty page.
-func CreateHeap(pool *BufferPool) (*HeapFile, error) {
-	f, err := pool.Allocate()
+func CreateHeap(io PageIO) (*HeapFile, error) {
+	f, err := io.AllocatePage()
 	if err != nil {
 		return nil, err
 	}
@@ -39,16 +41,16 @@ func CreateHeap(pool *BufferPool) (*HeapFile, error) {
 	f.MarkDirty()
 	id := f.ID()
 	f.Unpin()
-	return &HeapFile{pool: pool, first: id, last: id}, nil
+	return &HeapFile{io: io, first: id, last: id}, nil
 }
 
 // OpenHeap reattaches to an existing chain headed at first. The record
 // count is recomputed by walking the chain.
-func OpenHeap(pool *BufferPool, first PageID) (*HeapFile, error) {
-	h := &HeapFile{pool: pool, first: first, last: first}
+func OpenHeap(io PageIO, first PageID) (*HeapFile, error) {
+	h := &HeapFile{io: io, first: first, last: first}
 	id := first
 	for id != InvalidPage {
-		fr, err := pool.Get(id)
+		fr, err := io.Page(id)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +76,7 @@ func (h *HeapFile) Pages() ([]PageID, error) {
 	id := h.first
 	for id != InvalidPage {
 		out = append(out, id)
-		fr, err := h.pool.Get(id)
+		fr, err := h.io.Page(id)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +91,7 @@ func (h *HeapFile) Append(rec []byte) (RID, error) {
 	if len(rec) > PageSize-pageHeaderSize-slotSize {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
 	}
-	fr, err := h.pool.Get(h.last)
+	fr, err := h.io.Page(h.last)
 	if err != nil {
 		return RID{}, err
 	}
@@ -101,7 +103,7 @@ func (h *HeapFile) Append(rec []byte) (RID, error) {
 		return RID{Page: h.last, Slot: uint16(slot)}, nil
 	}
 	// Grow the chain.
-	nf, err := h.pool.Allocate()
+	nf, err := h.io.AllocatePage()
 	if err != nil {
 		fr.Unpin()
 		return RID{}, err
@@ -126,7 +128,7 @@ func (h *HeapFile) Append(rec []byte) (RID, error) {
 
 // Get copies the record at rid.
 func (h *HeapFile) Get(rid RID) ([]byte, error) {
-	fr, err := h.pool.Get(rid.Page)
+	fr, err := h.io.Page(rid.Page)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +144,7 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 
 // Delete tombstones the record at rid.
 func (h *HeapFile) Delete(rid RID) error {
-	fr, err := h.pool.Get(rid.Page)
+	fr, err := h.io.Page(rid.Page)
 	if err != nil {
 		return err
 	}
@@ -161,7 +163,7 @@ func (h *HeapFile) Delete(rid RID) error {
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
 	id := h.first
 	for id != InvalidPage {
-		fr, err := h.pool.Get(id)
+		fr, err := h.io.Page(id)
 		if err != nil {
 			return err
 		}
@@ -189,7 +191,7 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) bool) error {
 func (h *HeapFile) ScanPages(fn func(page PageID, recs [][]byte) bool) error {
 	id := h.first
 	for id != InvalidPage {
-		fr, err := h.pool.Get(id)
+		fr, err := h.io.Page(id)
 		if err != nil {
 			return err
 		}
@@ -209,3 +211,18 @@ func (h *HeapFile) ScanPages(fn func(page PageID, recs [][]byte) bool) error {
 	}
 	return nil
 }
+
+// WithIO returns a shallow clone of the heap bound to a different page
+// source: a wal transaction shadow for uncommitted writes, or a
+// snapshot View for epoch-pinned reads. The clone shares page ids with
+// the original but none of its mutable bookkeeping, so appending
+// through a transactional clone leaves the committed heap untouched
+// until the transaction publishes it.
+func (h *HeapFile) WithIO(io PageIO) *HeapFile {
+	c := *h
+	c.io = io
+	return &c
+}
+
+// IO returns the heap's page source.
+func (h *HeapFile) IO() PageIO { return h.io }

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"context"
+	"errors"
+)
+
+// This file is the MVCC face of the buffer pool: a monotonically
+// increasing commit epoch, Views that pin an epoch for the lifetime of
+// a streaming read, and version-correct page resolution so a scan
+// opened before a commit keeps seeing the pre-commit world while
+// writers install new epochs concurrently.
+//
+// The protocol relies on image immutability at commit: CommitPages
+// *swaps* each frame's byte slice for the transaction's after-image
+// instead of writing into the shared buffer, and parks the superseded
+// slice in a version list while any View that could still read it is
+// active. A View therefore resolves a page to a concrete []byte under
+// the pool mutex once, and that slice is never mutated afterwards.
+// (Legacy non-transactional writers mutate frames in place and provide
+// no snapshot guarantee; a database driven through catalog
+// transactions never does.)
+
+// PageHandle is a reference to one page image: the read/write surface
+// shared by pool frames, transaction shadows, and view pages.
+type PageHandle interface {
+	// ID returns the page id.
+	ID() PageID
+	// Data returns the page bytes.
+	Data() []byte
+	// MarkDirty records a mutation (panics on read-only handles).
+	MarkDirty()
+	// Unpin releases the handle.
+	Unpin()
+}
+
+// PageIO is a source of page handles: the buffer pool (latest images),
+// a wal transaction shadow (uncommitted writes), or an epoch-pinned
+// View (snapshot reads). Heap files read and write through it, which
+// is what lets one heap implementation serve all three worlds.
+type PageIO interface {
+	// Page returns a handle on an existing page.
+	Page(id PageID) (PageHandle, error)
+	// AllocatePage creates a fresh page (read-only sources refuse).
+	AllocatePage() (PageHandle, error)
+}
+
+// Page implements PageIO for the pool (latest images).
+func (bp *BufferPool) Page(id PageID) (PageHandle, error) { return bp.Get(id) }
+
+// AllocatePage implements PageIO for the pool.
+func (bp *BufferPool) AllocatePage() (PageHandle, error) { return bp.Allocate() }
+
+// ErrReadOnlyView reports a write through a snapshot view.
+var ErrReadOnlyView = errors.New("store: write through a read-only view")
+
+// pageVersion is a superseded page image: valid for views whose epoch
+// is below super (and above any earlier version's super).
+type pageVersion struct {
+	super uint64 // epoch of the commit that replaced this image
+	data  []byte
+}
+
+// View is a consistent read view of the pool at one commit epoch.
+// Pages committed after the view was taken stay invisible; pages it
+// resolves are immutable images. Release it when the read finishes so
+// superseded images can be dropped.
+type View struct {
+	bp       *BufferPool
+	epoch    uint64
+	released bool
+}
+
+// NewView pins the current commit epoch and returns its view.
+func (bp *BufferPool) NewView() *View {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.active[bp.epoch]++
+	return &View{bp: bp, epoch: bp.epoch}
+}
+
+// Epoch reports the pool's current commit epoch.
+func (bp *BufferPool) Epoch() uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.epoch
+}
+
+// Epoch reports the view's pinned commit epoch.
+func (v *View) Epoch() uint64 { return v.epoch }
+
+// Pool returns the buffer pool the view snapshots. Tables over a
+// different pool (session scratch tables, federation mirrors) must not
+// resolve their pages through this view.
+func (v *View) Pool() *BufferPool { return v.bp }
+
+// Release unpins the view's epoch and prunes page versions no active
+// view can reach. Releasing twice is a no-op.
+func (v *View) Release() {
+	if v == nil || v.released {
+		return
+	}
+	v.released = true
+	bp := v.bp
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.active[v.epoch]--
+	if bp.active[v.epoch] <= 0 {
+		delete(bp.active, v.epoch)
+	}
+	bp.pruneVersionsLocked()
+}
+
+// pruneVersionsLocked drops versions below every active view's epoch.
+func (bp *BufferPool) pruneVersionsLocked() {
+	if len(bp.versions) == 0 {
+		return
+	}
+	if len(bp.active) == 0 {
+		bp.versions = map[PageID][]pageVersion{}
+		return
+	}
+	min := uint64(^uint64(0))
+	for e := range bp.active {
+		if e < min {
+			min = e
+		}
+	}
+	for id, vs := range bp.versions {
+		i := 0
+		for i < len(vs) && vs[i].super <= min {
+			i++
+		}
+		if i == len(vs) {
+			delete(bp.versions, id)
+		} else if i > 0 {
+			bp.versions[id] = vs[i:]
+		}
+	}
+}
+
+// viewPage is a resolved snapshot page: an immutable image captured
+// under the pool mutex, plus the pinned frame when the image is the
+// frame's current one.
+type viewPage struct {
+	id   PageID
+	data []byte
+	fr   *Frame // nil when serving a superseded version
+}
+
+func (p *viewPage) ID() PageID   { return p.id }
+func (p *viewPage) Data() []byte { return p.data }
+func (p *viewPage) MarkDirty()   { panic("store: MarkDirty through a read-only view") }
+func (p *viewPage) Unpin() {
+	if p.fr != nil {
+		p.fr.Unpin()
+		p.fr = nil
+	}
+}
+
+// Page implements PageIO: the page image as of the view's epoch.
+func (v *View) Page(id PageID) (PageHandle, error) {
+	bp := v.bp
+	bp.mu.Lock()
+	for _, pv := range bp.versions[id] {
+		if pv.super > v.epoch {
+			bp.mu.Unlock()
+			return &viewPage{id: id, data: pv.data}, nil
+		}
+	}
+	// Current image: pin the frame and capture its slice while the
+	// mutex is held, so a concurrent commit's pointer swap cannot slip
+	// a newer image under us.
+	f, err := bp.getLocked(id)
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	data := f.data
+	bp.mu.Unlock()
+	return &viewPage{id: id, data: data, fr: f}, nil
+}
+
+// AllocatePage implements PageIO: views are read-only.
+func (v *View) AllocatePage() (PageHandle, error) { return nil, ErrReadOnlyView }
+
+// CommitPages atomically installs a committed transaction's page
+// after-images and advances the commit epoch. Existing pages whose
+// current image may still be read by an active view first have that
+// image parked in the version list; fresh reports pages allocated by
+// the transaction itself, which no older view can reach. Every image
+// is also written through to the pager, so the base store is current
+// as of the last commit (the write-ahead log protects the fsync gap).
+// The pool takes ownership of the image slices. It returns the new
+// commit epoch.
+func (bp *BufferPool) CommitPages(pages map[PageID][]byte, fresh map[PageID]bool) (uint64, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	next := bp.epoch + 1
+	for id, img := range pages {
+		if len(bp.active) > 0 && !fresh[id] {
+			var old []byte
+			if f, ok := bp.frames[id]; ok {
+				old = f.data // superseded below; immutable from here on
+			} else {
+				old = make([]byte, PageSize)
+				if err := bp.pager.ReadPage(id, old); err != nil {
+					return 0, err
+				}
+			}
+			bp.versions[id] = append(bp.versions[id], pageVersion{super: next, data: old})
+		}
+		if err := bp.pager.WritePage(id, img); err != nil {
+			return 0, err
+		}
+		bp.stats.Writes++
+		if f, ok := bp.frames[id]; ok {
+			f.data = img
+			f.dirty = false // base just got this image
+		}
+	}
+	bp.epoch = next
+	return next, nil
+}
+
+// ActiveViews reports how many views are pinned (tests, metrics).
+func (bp *BufferPool) ActiveViews() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, c := range bp.active {
+		n += c
+	}
+	return n
+}
+
+// VersionedPages reports how many pages carry superseded images
+// retained for active views (tests, metrics).
+func (bp *BufferPool) VersionedPages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.versions)
+}
+
+// viewKey carries a *View through a context.
+type viewKey struct{}
+
+// WithView returns a context carrying the view; operators opened under
+// it resolve table pages at the view's epoch.
+func WithView(ctx context.Context, v *View) context.Context {
+	return context.WithValue(ctx, viewKey{}, v)
+}
+
+// ViewFrom returns the context's view, or nil.
+func ViewFrom(ctx context.Context) *View {
+	v, _ := ctx.Value(viewKey{}).(*View)
+	return v
+}

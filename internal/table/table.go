@@ -9,9 +9,11 @@
 package table
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"xst/internal/core"
@@ -154,6 +156,42 @@ func (t *Table) Count() int { return t.heap.Count() }
 // Pool exposes the buffer pool for statistics collection.
 func (t *Table) Pool() *store.BufferPool { return t.pool }
 
+// At returns a read-only clone of the table pinned to a snapshot view:
+// every page it touches resolves to the image as of the view's commit
+// epoch, so a scan over the clone returns exactly the rows committed
+// when the view was taken, no matter what writers commit meanwhile.
+func (t *Table) At(v *store.View) *Table {
+	if v.Pool() != t.pool {
+		// The view snapshots a different buffer pool (e.g. a session
+		// scratch table queried under a shared-database view) — its
+		// epoch says nothing about this table's pages.
+		return t
+	}
+	c := *t
+	c.heap = t.heap.WithIO(v)
+	return &c
+}
+
+// WithIO returns a clone of the table whose pages read and write
+// through io — a wal transaction shadow while a statement runs, or the
+// buffer pool again when the committed clone is published.
+func (t *Table) WithIO(io store.PageIO) *Table {
+	c := *t
+	c.heap = t.heap.WithIO(io)
+	return &c
+}
+
+// CreateIn makes an empty table whose pages are written through io
+// (e.g. a wal transaction shadow). pool is retained for statistics and
+// for rebinding the published table after commit.
+func CreateIn(io store.PageIO, pool *store.BufferPool, schema Schema) (*Table, error) {
+	h, err := store.CreateHeap(io)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{schema: schema, heap: h, pool: pool}, nil
+}
+
 // Insert appends a row.
 func (t *Table) Insert(r Row) (store.RID, error) {
 	if len(r) != t.schema.Arity() {
@@ -237,9 +275,11 @@ func (t *Table) ScanBatches(fn func(page store.PageID, rows []Row) (bool, error)
 // partitioned (parallel) scans.
 func (t *Table) PageIDs() ([]store.PageID, error) { return t.heap.Pages() }
 
-// ReadPageRows decodes every live row of one heap page.
+// ReadPageRows decodes every live row of one heap page, resolved
+// through the table's page source (so snapshot clones read their
+// epoch's image).
 func (t *Table) ReadPageRows(id store.PageID) ([]Row, error) {
-	fr, err := t.pool.Get(id)
+	fr, err := t.heap.IO().Page(id)
 	if err != nil {
 		return nil, err
 	}
@@ -264,12 +304,15 @@ func (t *Table) ReadPageRows(id store.PageID) ([]Row, error) {
 // MorselSource deals a table's heap pages out as morsels: a shared,
 // goroutine-safe dispenser that parallel scan workers pull from, so
 // page-level work self-balances across workers (a fast worker simply
-// claims more morsels). The page list is snapshotted at construction;
-// rows appended afterwards are not seen, matching BatchCursor.
+// claims more morsels). The page list is snapshotted at construction
+// and re-snapshotted by Bind when the query runs under a snapshot
+// view, so all workers agree on one epoch-consistent chain.
 type MorselSource struct {
-	table *Table
-	pages []store.PageID
-	next  atomic.Int64
+	table   *Table
+	pages   []store.PageID
+	next    atomic.Int64
+	bind    sync.Once
+	bindErr error
 }
 
 // NewMorselSource snapshots the table's heap chain into a dispenser.
@@ -283,6 +326,30 @@ func (t *Table) NewMorselSource() (*MorselSource, error) {
 
 // Table returns the table the morsels belong to.
 func (m *MorselSource) Table() *Table { return m.table }
+
+// Bind resolves the source against the context's snapshot view, once:
+// the first worker to open re-snapshots the heap chain at the view's
+// epoch and pins the table clone every worker then reads through. The
+// sync.Once is the barrier that publishes the rebound fields to the
+// other workers. Without a view in ctx the construction-time snapshot
+// stands.
+func (m *MorselSource) Bind(ctx context.Context) error {
+	m.bind.Do(func() {
+		v := store.ViewFrom(ctx)
+		if v == nil {
+			return
+		}
+		tab := m.table.At(v)
+		ids, err := tab.PageIDs()
+		if err != nil {
+			m.bindErr = err
+			return
+		}
+		m.table = tab
+		m.pages = ids
+	})
+	return m.bindErr
+}
 
 // Pages returns the total number of morsels.
 func (m *MorselSource) Pages() int { return len(m.pages) }

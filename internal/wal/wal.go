@@ -40,6 +40,8 @@ type Log interface {
 	Sync() error
 	// Close releases resources.
 	Close() error
+	// Reset empties the log (checkpoint truncation).
+	Reset() error
 }
 
 // record kinds.
@@ -48,6 +50,9 @@ const (
 	recCommit = 0x43 // 'C': txn u64
 	recAlloc  = 0x41 // 'A': txn u64, page u32 — page allocation
 )
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
 
 // MemLog is an in-memory log (tests, crash simulation).
 type MemLog struct {
@@ -82,6 +87,14 @@ func (l *MemLog) Sync() error { return nil }
 
 // Close implements Log.
 func (l *MemLog) Close() error { return nil }
+
+// Reset implements Log: the checkpoint truncation.
+func (l *MemLog) Reset() error {
+	l.mu.Lock()
+	l.recs = nil
+	l.mu.Unlock()
+	return nil
+}
 
 // Truncate keeps only the first n records — the crash-injection hook.
 func (l *MemLog) Truncate(n int) {
@@ -154,15 +167,26 @@ func (l *FileLog) Sync() error { return l.f.Sync() }
 // Close implements Log.
 func (l *FileLog) Close() error { return l.f.Close() }
 
+// Reset implements Log: truncates the file (the O_APPEND handle keeps
+// writing at the new end).
+func (l *FileLog) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Truncate(0)
+}
+
 // ErrTxnDone reports use of a finished transaction.
 var ErrTxnDone = errors.New("wal: transaction already finished")
 
 // Manager coordinates transactions over a base pager and a log.
 type Manager struct {
-	mu      sync.Mutex
-	base    store.Pager
-	log     Log
-	nextTxn uint64
+	mu       sync.Mutex
+	base     store.Pager
+	log      Log
+	nextTxn  uint64
+	hooks    Hooks
+	noSync   bool
+	logBytes int64 // appended since open/checkpoint
 }
 
 // NewManager builds a manager. Call Recover first when reopening
@@ -185,7 +209,11 @@ func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	id := m.nextTxn
 	m.nextTxn++
+	hook := m.hooks.Begin
 	m.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 	return &Txn{mgr: m, id: id, shadow: map[store.PageID][]byte{}}
 }
 
@@ -232,55 +260,27 @@ func (t *Txn) WritePage(id store.PageID, buf []byte) error {
 	return nil
 }
 
-// Abort discards the transaction.
+// Abort discards the transaction. Aborting a finished transaction is a
+// no-op, so `defer tx.Abort()` is a safe unwind guard around Commit.
 func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
 	t.done = true
 	t.shadow = nil
+	t.mgr.mu.Lock()
+	hook := t.mgr.hooks.Abort
+	t.mgr.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 }
 
 // Commit logs every dirty page and the commit marker, syncs the log,
-// then applies the images to the base pager.
+// then applies the images to the base pager. See CommitWith for the
+// variant that hands the images to a buffer pool instead.
 func (t *Txn) Commit() error {
-	if t.done {
-		return ErrTxnDone
-	}
-	t.done = true
-	for _, id := range t.allocs {
-		rec := make([]byte, 1+8+4)
-		rec[0] = recAlloc
-		binary.LittleEndian.PutUint64(rec[1:], t.id)
-		binary.LittleEndian.PutUint32(rec[9:], uint32(id))
-		if err := t.mgr.log.Append(rec); err != nil {
-			return err
-		}
-	}
-	for id, img := range t.shadow {
-		rec := make([]byte, 1+8+4+store.PageSize)
-		rec[0] = recPage
-		binary.LittleEndian.PutUint64(rec[1:], t.id)
-		binary.LittleEndian.PutUint32(rec[9:], uint32(id))
-		copy(rec[13:], img)
-		if err := t.mgr.log.Append(rec); err != nil {
-			return err
-		}
-	}
-	commit := make([]byte, 1+8)
-	commit[0] = recCommit
-	binary.LittleEndian.PutUint64(commit[1:], t.id)
-	if err := t.mgr.log.Append(commit); err != nil {
-		return err
-	}
-	if err := t.mgr.log.Sync(); err != nil {
-		return err
-	}
-	// Apply after the log is durable.
-	for id, img := range t.shadow {
-		if err := t.mgr.base.WritePage(id, img); err != nil {
-			return err
-		}
-	}
-	t.shadow = nil
-	return nil
+	return t.CommitWith(nil)
 }
 
 // Recover replays the log onto the base pager: the page images of every
@@ -355,5 +355,9 @@ func ResumeManager(base store.Pager, log Log) (*Manager, error) {
 			}
 		}
 	}
-	return &Manager{base: base, log: log, nextTxn: next}, nil
+	bytes := int64(0)
+	for _, rec := range recs {
+		bytes += int64(len(rec)) + 4
+	}
+	return &Manager{base: base, log: log, nextTxn: next, logBytes: bytes}, nil
 }

@@ -118,6 +118,44 @@ func RandomChain(seed uint64, k, domain int) []*core.Set {
 	return out
 }
 
+// MixedSpec describes the E17 mixed read/write stream: a table seeded
+// with Initial rows, then Writers goroutines committing Batches batches
+// of Batch rows each while Readers goroutines run full snapshot scans.
+type MixedSpec struct {
+	Seed    uint64
+	Initial int
+	Batch   int
+	Batches int
+	Readers int
+	Writers int
+}
+
+// DefaultMixedSpec is the full-scale E17 shape; Quick shrinks it to CI
+// scale.
+func DefaultMixedSpec(quick bool) MixedSpec {
+	if quick {
+		return MixedSpec{Seed: 42, Initial: 2_000, Batch: 200, Batches: 12, Readers: 3, Writers: 2}
+	}
+	return MixedSpec{Seed: 42, Initial: 20_000, Batch: 500, Batches: 40, Readers: 4, Writers: 2}
+}
+
+// EventsSchema returns the append-stream schema E17/E18 commit into.
+func EventsSchema() table.Schema {
+	return table.Schema{Name: "events", Cols: []string{"id", "batch", "val"}}
+}
+
+// EventRows generates batch b of the event stream: n rows (id, b, val)
+// with ids unique across batches and values deterministic from the
+// seed, so any committed prefix is checkable by counting.
+func EventRows(seed uint64, b, n int) []table.Row {
+	r := xtest.NewRand(seed + uint64(b)*1_000_003)
+	rows := make([]table.Row, n)
+	for i := range rows {
+		rows[i] = table.Row{core.Int(int64(b*n + i)), core.Int(int64(b)), core.Int(int64(r.Intn(1000)))}
+	}
+	return rows
+}
+
 // LookupKeys returns n key values drawn from [0, users) with the given
 // skew, for the point-lookup mixes of experiment E10.
 func LookupKeys(seed uint64, n, users int, skew float64) []core.Value {

@@ -1,0 +1,34 @@
+package xtest
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// Subprocess support for kill-the-process crash tests: a test spawns
+// the current test binary again, restricted to one victim function,
+// and SIGKILLs it mid-work. The victim guards itself with InVictim so
+// it is a no-op in ordinary runs.
+
+// victimEnv marks a test-binary re-execution as a crash victim.
+const victimEnv = "XTEST_VICTIM"
+
+// InVictim reports whether this process is a spawned crash victim; the
+// returned value is the payload passed to Victim (e.g. a scratch
+// directory). Victim test functions must return immediately when ok is
+// false.
+func InVictim() (payload string, ok bool) {
+	payload = os.Getenv(victimEnv)
+	return payload, payload != ""
+}
+
+// Victim builds the command that re-runs the current test binary
+// restricted to ^run$, marked as a victim carrying payload. The caller
+// wires up pipes, starts it, and kills it whenever it likes.
+func Victim(t *testing.T, run, payload string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^"+run+"$", "-test.v")
+	cmd.Env = append(os.Environ(), victimEnv+"="+payload)
+	return cmd
+}
