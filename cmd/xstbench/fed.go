@@ -14,6 +14,7 @@ import (
 	"xst/internal/core"
 	"xst/internal/fed"
 	"xst/internal/table"
+	"xst/internal/trace"
 )
 
 // fedMode boots an in-process federation of n xstd sites over a sharded
@@ -103,6 +104,44 @@ func fedMode(n int, seed uint64, queries int, httpAddr string) int {
 		l := srv.MetricsSnapshot().Latency
 		fmt.Printf("site %d:      %s — fragment latency p50 %v, p99 %v (n=%d)\n",
 			i, lf.Addrs[i], l.P50.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Count)
+	}
+
+	// One forcibly traced federated query: the coordinator's span tree
+	// with each site's spans grafted under its remote span — what the CI
+	// smoke greps for per-site remote spans.
+	traced := "from orders join users on uid = id select oid, amount, name"
+	q2, err := lf.Coord.Compile(traced)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xstbench: %s: %v\n", traced, err)
+		return 1
+	}
+	root := trace.NewRoot("query")
+	root.SetNote(traced)
+	_, err = q2.Run(trace.WithSpan(ctx, root), func([]table.Row) error { return nil })
+	root.End()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xstbench: %s: %v\n", traced, err)
+		return 1
+	}
+	snap := root.Snapshot()
+	fmt.Printf("distributed trace %s:\n%s", snap.TraceID, snap.Render())
+
+	// The federated system catalog, through the coordinator's own
+	// planner: per-site health as query results.
+	sq, err := lf.Coord.Compile("from __sys.sites")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench: __sys.sites:", err)
+		return 1
+	}
+	fmt.Println("__sys.sites:")
+	if _, err := sq.Run(ctx, func(b []table.Row) error {
+		for _, r := range b {
+			fmt.Printf("  %s\n", r.Tuple())
+		}
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "xstbench: __sys.sites:", err)
+		return 1
 	}
 
 	if httpAddr != "" {

@@ -388,6 +388,7 @@ func (db *Database) BindAll(env *xlang.Env) error {
 		env.BindTable(name, t)
 	}
 	env.BindPlanCatalog(db.PlanCatalog)
+	db.bindSysViews(env)
 	return nil
 }
 

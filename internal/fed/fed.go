@@ -149,11 +149,15 @@ type site struct {
 	idle []*siteConn
 
 	down atomic.Bool
+	// lastLatUS is the most recent fragment's wall time in microseconds
+	// (__sys.sites' latency column).
+	lastLatUS atomic.Int64
 
-	bytes *metrics.Counter
-	rows  *metrics.Counter
-	frags *metrics.Counter
-	errs  *metrics.Counter
+	bytes   *metrics.Counter
+	rows    *metrics.Counter
+	frags   *metrics.Counter
+	errs    *metrics.Counter
+	retries *metrics.Counter
 }
 
 // Metrics are the coordinator's registry series (xstd_fed_*).
@@ -166,10 +170,11 @@ type Metrics struct {
 	SitesUp      metrics.Gauge
 	FragLatency  metrics.Histogram
 
-	siteBytes []metrics.Counter
-	siteRows  []metrics.Counter
-	siteFrags []metrics.Counter
-	siteErrs  []metrics.Counter
+	siteBytes   []metrics.Counter
+	siteRows    []metrics.Counter
+	siteFrags   []metrics.Counter
+	siteErrs    []metrics.Counter
+	siteRetries []metrics.Counter
 }
 
 // Connect dials every site, reads its catalog, and validates that the
@@ -186,12 +191,14 @@ func Connect(ctx context.Context, cfg Config) (*Coordinator, error) {
 	c.m.siteRows = make([]metrics.Counter, len(cfg.Sites))
 	c.m.siteFrags = make([]metrics.Counter, len(cfg.Sites))
 	c.m.siteErrs = make([]metrics.Counter, len(cfg.Sites))
+	c.m.siteRetries = make([]metrics.Counter, len(cfg.Sites))
 	perSite := make([]map[string]server.TableInfo, len(cfg.Sites))
 	for i, addr := range cfg.Sites {
 		st := &site{
 			id: i, addr: addr,
 			bytes: &c.m.siteBytes[i], rows: &c.m.siteRows[i],
 			frags: &c.m.siteFrags[i], errs: &c.m.siteErrs[i],
+			retries: &c.m.siteRetries[i],
 		}
 		c.sites = append(c.sites, st)
 		infos, err := c.fetchSchema(ctx, st)
@@ -212,6 +219,7 @@ func Connect(ctx context.Context, cfg Config) (*Coordinator, error) {
 		c.Close()
 		return nil, err
 	}
+	c.bindSysViews()
 	c.m.SitesUp.Set(int64(len(c.sites)))
 	if cfg.Logf != nil {
 		cfg.Logf("fed: %d sites, %d tables", len(c.sites), len(c.tables))
@@ -375,6 +383,8 @@ func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) error {
 				fmt.Sprintf("Fragments completed by site %d.", i), &c.m.siteFrags[i]},
 			counter{fmt.Sprintf("xstd_fed_site%d_fragment_errors_total", i),
 				fmt.Sprintf("Fragment attempts failed on site %d.", i), &c.m.siteErrs[i]},
+			counter{fmt.Sprintf("xstd_fed_site%d_retries_total", i),
+				fmt.Sprintf("Fragment retries against site %d.", i), &c.m.siteRetries[i]},
 		)
 	}
 	for _, e := range counters {

@@ -9,6 +9,7 @@ import (
 	"xst/internal/exec"
 	"xst/internal/server"
 	"xst/internal/table"
+	"xst/internal/trace"
 )
 
 // fragFunc prepares one fragment attempt on a checked-out connection —
@@ -49,6 +50,11 @@ type Remote struct {
 	start   time.Time
 	stats   exec.OpStats
 	open    bool
+	// asp is the current attempt's runtime span: one per network
+	// attempt, so retries appear as distinct spans in the coordinator's
+	// tree, a failed attempt closes with its error, and the site's
+	// returned span tree grafts under the attempt that fetched it.
+	asp *trace.Span
 }
 
 func (c *Coordinator) remote(st *site, sch table.Schema, fq fragFunc, label string) *Remote {
@@ -84,8 +90,15 @@ func (r *Remote) startAttempt() error {
 }
 
 func (r *Remote) tryStart() error {
+	parent := trace.SpanOf(r.ctx)
+	name := fmt.Sprintf("remote[s%d %s]", r.st.id, r.label)
+	if r.attempt > 0 {
+		name = fmt.Sprintf("%s retry%d", name, r.attempt)
+	}
+	asp := parent.Start(name)
 	conn, err := r.c.getConn(r.ctx, r.st)
 	if err != nil {
+		asp.EndErr(err)
 		return err
 	}
 	// The watchdog covers scratch-table shipping too: fq's admin round
@@ -95,6 +108,9 @@ func (r *Remote) tryStart() error {
 	req, err := r.fq(r.ctx, r.st, conn, r.attempt)
 	if err == nil {
 		req.Wire = true
+		// Propagate the trace identity: the site forces tracing under
+		// this id and sends its span tree back on the final line.
+		req.TraceID = parent.TraceID()
 		if d, ok := r.ctx.Deadline(); ok {
 			ms := time.Until(d).Milliseconds()
 			if ms < 1 {
@@ -107,10 +123,11 @@ func (r *Remote) tryStart() error {
 		id, nw, err = conn.send(req)
 		r.c.countBytes(r.st, nw)
 		if err == nil {
-			r.conn, r.reqID, r.wd = conn, id, wd
+			r.conn, r.reqID, r.wd, r.asp = conn, id, wd, asp
 			return nil
 		}
 	}
+	asp.EndErr(err)
 	wd.halt()
 	conn.close()
 	return err
@@ -131,6 +148,7 @@ func (r *Remote) retry(err error) error {
 	backoff := r.c.cfg.Backoff << r.attempt
 	r.attempt++
 	r.c.m.Retries.Inc()
+	r.st.retries.Inc()
 	if r.c.cfg.Logf != nil {
 		r.c.cfg.Logf("fed: site %d fragment attempt %d failed (%v), retrying in %v",
 			r.st.id, r.attempt, err, backoff)
@@ -152,12 +170,15 @@ func (r *Remote) Next() ([]table.Row, error) {
 			// Terminal like every other error exit below: the stream is
 			// mid-flight, so the conn has unread lines and cannot be
 			// pooled — drop it and stop its watchdog with it.
+			r.endAttempt(err)
 			r.dropConn()
 			return nil, err
 		}
 		resp, n, err := r.conn.recv(r.reqID)
 		r.c.countBytes(r.st, n)
+		r.asp.AddBytes(int64(n))
 		if err != nil {
+			r.endAttempt(err)
 			r.dropConn()
 			if rerr := r.retry(err); rerr != nil {
 				return nil, rerr
@@ -170,18 +191,23 @@ func (r *Remote) Next() ([]table.Row, error) {
 		if resp.Error != "" {
 			// A site-side evaluation error is deterministic — the same
 			// fragment would fail again — so it is terminal, not retried.
+			err := fmt.Errorf("fed: site %d: %s", r.st.id, resp.Error)
+			r.endAttempt(err)
 			r.dropConn()
 			r.c.m.FragErrors.Inc()
 			r.st.errs.Inc()
-			return nil, fmt.Errorf("fed: site %d: %s", r.st.id, resp.Error)
+			return nil, err
 		}
 		if resp.More {
 			rows, err := decodeBatch(resp.Batch, r.sch.Arity())
 			if err != nil {
+				err = fmt.Errorf("fed: site %d: %w", r.st.id, err)
+				r.endAttempt(err)
 				r.dropConn()
-				return nil, fmt.Errorf("fed: site %d: %w", r.st.id, err)
+				return nil, err
 			}
 			r.c.countRows(r.st, len(rows))
+			r.asp.AddRows(len(rows))
 			if len(rows) == 0 {
 				continue
 			}
@@ -189,11 +215,18 @@ func (r *Remote) Next() ([]table.Row, error) {
 			opEmitted(&r.stats, rows)
 			return rows, nil
 		}
-		// Final line: fragment complete. Quiesce and pool the conn.
+		// Final line: fragment complete. Graft the site's span tree
+		// (fresh local ids) under the attempt, quiesce and pool the conn.
+		if resp.Trace != nil {
+			r.asp.AttachSnapshot(*resp.Trace)
+		}
+		r.endAttempt(nil)
 		r.done = true
 		r.c.m.Fragments.Inc()
 		r.st.frags.Inc()
-		r.c.m.FragLatency.Record(time.Since(r.start))
+		lat := time.Since(r.start)
+		r.c.m.FragLatency.Record(lat)
+		r.st.lastLatUS.Store(lat.Microseconds())
 		r.c.markSite(r.st, true)
 		r.wd.halt()
 		r.wd = nil
@@ -205,6 +238,17 @@ func (r *Remote) Next() ([]table.Row, error) {
 		r.conn = nil
 		return nil, nil
 	}
+}
+
+// endAttempt closes the current attempt span (with its error, if the
+// attempt failed) — idempotent via the nil reset so the cancellation,
+// retry and Close paths cannot double-close one attempt.
+func (r *Remote) endAttempt(err error) {
+	if r.asp == nil {
+		return
+	}
+	r.asp.EndErr(err)
+	r.asp = nil
 }
 
 // dropConn abandons the current connection mid-stream.
@@ -223,6 +267,7 @@ func (r *Remote) dropConn() {
 // closed rather than pooled: it still has unread lines in it.
 func (r *Remote) Close() error {
 	r.open = false
+	r.endAttempt(nil)
 	r.dropConn()
 	return nil
 }

@@ -56,6 +56,14 @@ func TestSpanClose(t *testing.T) {
 	linttest.Run(t, loader(t), lint.SpanCloseAnalyzer, "spanclose")
 }
 
+func TestSpanCloseFed(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.SpanCloseAnalyzer, "spanfed", "fed")
+}
+
+func TestSpanCloseSysview(t *testing.T) {
+	linttest.RunAs(t, loader(t), lint.SpanCloseAnalyzer, "spansys", "sysview")
+}
+
 // TestValueEqSuggestedFix pins the ==/!= rewrite the -fix driver applies.
 func TestValueEqSuggestedFix(t *testing.T) {
 	var eq, neq bool

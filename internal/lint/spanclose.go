@@ -7,11 +7,12 @@ import (
 )
 
 // SpanCloseAnalyzer enforces the tracer's lifecycle contract: every
-// span obtained from trace.NewRoot or (*trace.Span).Start is ended —
-// End, FinishNs or SetOpStats — on every return path. A span that is
-// never ended reports a zero duration and silently truncates the trees
-// the slow-query log and `.trace` serve, so the leak is invisible at
-// runtime; this catches it statically.
+// span obtained from trace.NewRoot, trace.NewRootTrace or
+// (*trace.Span).Start is ended — End, EndErr, FinishNs or SetOpStats —
+// on every return path. A span that is never ended reports a zero
+// duration and silently truncates the trees the slow-query log,
+// `.trace` and the distributed-trace wire format serve, so the leak is
+// invisible at runtime; this catches it statically.
 //
 // The check is local to one function: a span whose value escapes
 // (returned, passed to a call, stored anywhere other than its defining
@@ -29,9 +30,11 @@ var SpanCloseAnalyzer = &Analyzer{
 	Run:  runSpanClose,
 }
 
-// spanEnders are the methods that close a span: End measures wall
-// time, FinishNs and SetOpStats stamp synthetic durations.
-var spanEnders = map[string]bool{"End": true, "FinishNs": true, "SetOpStats": true}
+// spanEnders are the methods that close a span: End and EndErr measure
+// wall time (EndErr noting the error that ended fallible work, the
+// federation attempt-span shape), FinishNs and SetOpStats stamp
+// synthetic durations.
+var spanEnders = map[string]bool{"End": true, "EndErr": true, "FinishNs": true, "SetOpStats": true}
 
 // spanUse records everything one function does with one span variable.
 type spanUse struct {
@@ -137,7 +140,7 @@ func checkSpanClose(pass *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node)
 			continue
 		}
 		if len(u.ends) == 0 {
-			pass.Reportf(u.start, "span %s is started but never ended (End/FinishNs/SetOpStats)", u.name)
+			pass.Reportf(u.start, "span %s is started but never ended (End/EndErr/FinishNs/SetOpStats)", u.name)
 			continue
 		}
 		if u.deferred {
@@ -163,16 +166,16 @@ func checkSpanClose(pass *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node)
 	}
 }
 
-// isSpanMaker reports whether call creates a *trace.Span: trace.NewRoot
-// or the Start method. SpanOf merely looks up an existing span and is
-// not a creation.
+// isSpanMaker reports whether call creates a *trace.Span: trace.NewRoot,
+// trace.NewRootTrace (a site joining a distributed trace) or the Start
+// method. SpanOf merely looks up an existing span and is not a creation.
 func isSpanMaker(pass *Pass, call *ast.CallExpr) bool {
 	tv, ok := pass.Info.Types[call]
 	if !ok || !namedIn(tv.Type, "Span", "xst/internal/trace") {
 		return false
 	}
 	_, name := calleeName(call)
-	return name == "Start" || name == "NewRoot"
+	return name == "Start" || name == "NewRoot" || name == "NewRootTrace"
 }
 
 // assignedObject returns the variable object call is bound to in the

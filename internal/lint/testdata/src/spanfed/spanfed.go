@@ -1,0 +1,85 @@
+// Package fed exercises spanclose over the federation tracing idioms:
+// per-attempt spans that close with EndErr on failure paths, and site
+// roots minted by NewRootTrace when joining a distributed trace.
+package fed
+
+import (
+	"errors"
+
+	"xst/internal/trace"
+)
+
+// NewRootTrace mints a span exactly like NewRoot: discarding it loses
+// the site's whole tree.
+func discardedSiteRoot(tid string) {
+	trace.NewRootTrace("query", tid) // want `result of NewRootTrace discarded; the span is never ended`
+}
+
+func blankedSiteRoot(tid string) {
+	_ = trace.NewRootTrace("query", tid) // want `result of NewRootTrace discarded; the span is never ended`
+}
+
+// The leak EndErr exists to prevent: an attempt span ended on success
+// but left open when the dial fails.
+func attemptLeak(parent *trace.Span, dial func() error) error {
+	asp := parent.Start("remote[s0]")
+	if err := dial(); err != nil {
+		return err // want `return leaves span asp open`
+	}
+	asp.End()
+	return nil
+}
+
+// good: EndErr closes the failed attempt before the error return, and
+// the success path ends with a plain End.
+func attemptEndErr(parent *trace.Span, dial func() error) error {
+	asp := parent.Start("remote[s0]")
+	if err := dial(); err != nil {
+		asp.EndErr(err)
+		return err
+	}
+	asp.End()
+	return nil
+}
+
+// good: a site root ended by a deferred EndErr covers every return —
+// the server's fragment-handling shape.
+func siteFragment(tid string, run func() error) (err error) {
+	root := trace.NewRootTrace("query", tid)
+	defer func() { root.EndErr(err) }()
+	if err = run(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bad even with counters recorded: EndErr on no path at all.
+func attemptNeverEnded(parent *trace.Span, n int) {
+	asp := parent.Start("remote[s1]") // want `span asp is started but never ended`
+	asp.AddRows(n)
+	if n == 0 {
+		asp.SetNote("empty fragment")
+	}
+}
+
+// good: the attempt span escaping into the operator struct hands
+// ownership to the operator's Close path.
+type remoteOp struct {
+	asp *trace.Span
+}
+
+func (r *remoteOp) startAttempt(parent *trace.Span) {
+	asp := parent.Start("remote[s2]")
+	r.asp = asp
+}
+
+func (r *remoteOp) endAttempt(err error) {
+	if r.asp == nil {
+		return
+	}
+	r.asp.EndErr(err)
+	r.asp = nil
+}
+
+// errSentinel keeps the errors import honest.
+var errSentinel = errors.New("site down")

@@ -1,0 +1,41 @@
+// Package sysview exercises spanclose over the system-view idiom: a
+// virtual table's Rows function timing its snapshot under a span.
+package sysview
+
+import (
+	"context"
+	"errors"
+
+	"xst/internal/trace"
+)
+
+// The view shape done wrong: the empty-snapshot return leaves the
+// span open.
+func rowsLeak(ctx context.Context, snap func() int) (int, error) {
+	sp := trace.SpanOf(ctx).Start("snapshot")
+	n := snap()
+	if n == 0 {
+		return 0, errors.New("empty snapshot") // want `return leaves span sp open`
+	}
+	sp.End()
+	return n, nil
+}
+
+// good: EndErr on the failure path, End on success.
+func rowsEndErr(ctx context.Context, snap func() int) (int, error) {
+	sp := trace.SpanOf(ctx).Start("snapshot")
+	n := snap()
+	if n == 0 {
+		err := errors.New("empty snapshot")
+		sp.EndErr(err)
+		return 0, err
+	}
+	sp.End()
+	return n, nil
+}
+
+// good: SpanOf alone is a lookup, not a creation — using the ambient
+// span's counters carries no ending obligation.
+func rowsCounted(ctx context.Context, n int) {
+	trace.SpanOf(ctx).AddRows(n)
+}

@@ -29,8 +29,8 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// entry is one registered metric. Exactly one of c/g/h is set,
-// according to Kind.
+// entry is one registered metric. Exactly one of c/g/h/gf is set,
+// according to Kind (gf is a computed gauge).
 type entry struct {
 	name string
 	help string
@@ -38,6 +38,23 @@ type entry struct {
 	c    *Counter
 	g    *Gauge
 	h    *Histogram
+	gf   func() int64
+}
+
+// value reads the entry's scalar: counter count, gauge level (stored or
+// computed), histogram observation count.
+func (e *entry) value() int64 {
+	switch {
+	case e.c != nil:
+		return int64(e.c.Value())
+	case e.g != nil:
+		return e.g.Value()
+	case e.gf != nil:
+		return e.gf()
+	case e.h != nil:
+		return int64(e.h.Count())
+	}
+	return 0
 }
 
 // Registry names and enumerates a process's metrics, replacing ad-hoc
@@ -83,6 +100,18 @@ func (r *Registry) RegisterGauge(name, help string, g *Gauge) error {
 	return r.register(&entry{name: name, help: help, kind: KindGauge, g: g})
 }
 
+// RegisterGaugeFunc adds a computed gauge: fn is evaluated at every
+// snapshot or exposition, so values derived from live state (goroutine
+// count, oldest-pinned-snapshot age, WAL bytes since checkpoint) are
+// current at scrape time with no update loop. fn must be safe for
+// concurrent use and should not block.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() int64) error {
+	if fn == nil {
+		return fmt.Errorf("metrics: nil gauge func for %q", name)
+	}
+	return r.register(&entry{name: name, help: help, kind: KindGauge, gf: fn})
+}
+
 // RegisterHistogram adds an existing histogram under name. The
 // exposition renders its buckets, sum and count in seconds.
 func (r *Registry) RegisterHistogram(name, help string, h *Histogram) error {
@@ -116,13 +145,8 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	entries := r.sorted()
 	out := make([]MetricSnapshot, 0, len(entries))
 	for _, e := range entries {
-		m := MetricSnapshot{Name: e.name, Kind: e.kind.String(), Help: e.help}
-		switch e.kind {
-		case KindCounter:
-			m.Value = int64(e.c.Value())
-		case KindGauge:
-			m.Value = e.g.Value()
-		case KindHistogram:
+		m := MetricSnapshot{Name: e.name, Kind: e.kind.String(), Help: e.help, Value: e.value()}
+		if e.kind == KindHistogram {
 			s := e.h.Snapshot()
 			m.Value = int64(s.Count)
 			m.Hist = &s
@@ -159,10 +183,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 		var err error
 		switch e.kind {
-		case KindCounter:
-			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
-		case KindGauge:
-			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case KindCounter, KindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.value())
 		case KindHistogram:
 			err = writeHistText(w, e.name, e.h)
 		}

@@ -49,6 +49,8 @@ package server
 import (
 	"encoding/json"
 	"strings"
+
+	"xst/internal/trace"
 )
 
 // Request is one statement to evaluate.
@@ -63,6 +65,12 @@ type Request struct {
 	// Wire asks for wire-encoded query batches: base64 of the row codec
 	// instead of rendered tuples, plus the schema on the final line.
 	Wire bool `json:"wire,omitempty"`
+	// TraceID joins the statement to a distributed trace: the server
+	// forces tracing, roots its span tree under this id, and returns the
+	// finished tree in the final response's Trace field. Federation
+	// coordinators set it on fragment requests so each site's spans come
+	// home tagged with the coordinator's trace identity.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Response is the outcome of one request, or one streamed batch of a
@@ -85,6 +93,9 @@ type Response struct {
 	// Schema carries the result column names on the final line of a
 	// wire-mode query.
 	Schema []string `json:"schema,omitempty"`
+	// Trace is the statement's finished span tree, returned on the final
+	// line when the request carried a TraceID.
+	Trace *trace.SpanSnapshot `json:"trace,omitempty"`
 	// ElapsedUS is the server-side evaluation time in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"xst/internal/metrics"
 	"xst/internal/plan"
 	"xst/internal/store"
+	"xst/internal/sysview"
 	"xst/internal/table"
 	"xst/internal/trace"
 	"xst/internal/wal"
@@ -155,6 +157,13 @@ type Metrics struct {
 	TxnCommit   metrics.Counter
 	TxnAbort    metrics.Counter
 	WALFsync    metrics.Histogram
+
+	// MVCC/WAL health: how long checkpoint folds take, and how many
+	// superseded page images each version-chain prune reclaims. The
+	// prune histogram records image counts on the microsecond tick, so
+	// its log2 buckets count images, not time.
+	CheckpointDur metrics.Histogram
+	PruneBatch    metrics.Histogram
 }
 
 // Snapshot is a point-in-time view of the server's metrics, the payload
@@ -195,6 +204,10 @@ type Server struct {
 	// traces holds the most recent sampled or forced traces (`.trace`).
 	slow   *traceRing
 	traces *traceRing
+	// queries tracks in-flight and recent statements (__sys.queries).
+	queries *queryLog
+	// started anchors the uptime gauge.
+	started time.Time
 	// sem holds the worker tokens (receive to acquire, send to refund):
 	// a serial query costs one token, a parallel query one per planned
 	// worker, so an 8-way query occupies eight slots of the pool and
@@ -250,6 +263,8 @@ func New(cfg Config) (*Server, error) {
 		sessions: map[*session]struct{}{},
 		slow:     newTraceRing(cfg.SlowLogSize),
 		traces:   newTraceRing(cfg.SlowLogSize),
+		queries:  newQueryLog(cfg.SlowLogSize),
+		started:  time.Now(),
 	}
 	s.tracer.SetSample(cfg.TraceSample)
 	if err := s.registerMetrics(); err != nil {
@@ -258,7 +273,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DB != nil {
 		s.hookWAL()
 	}
+	s.bindSysViews(base)
 	return s, nil
+}
+
+// bindSysViews registers the server-owned system views — live/recent
+// statements, the flattened metrics registry, and the slow-query ring —
+// alongside whatever database views BindAll already installed. Each
+// Rows function snapshots at query open, so the view and the matching
+// admin command (.metrics, .slow) agree on the same instant's state.
+func (s *Server) bindSysViews(env *xlang.Env) {
+	env.BindVirtual(sysview.Queries, sysview.Standard(sysview.Queries,
+		"in-flight and recently finished statements",
+		func(context.Context) ([]table.Row, error) { return s.queries.rows(), nil }))
+	env.BindVirtual(sysview.Metrics, sysview.Standard(sysview.Metrics,
+		"the metrics registry, one row per series",
+		func(context.Context) ([]table.Row, error) { return sysview.MetricsRows(s.reg.Snapshot()), nil }))
+	env.BindVirtual(sysview.Slow, sysview.Standard(sysview.Slow,
+		"statements over the slow-query threshold",
+		func(context.Context) ([]table.Row, error) { return sysview.SlowRows(s.slow.list()), nil }))
 }
 
 // registerMetrics names every server metric in the registry, the
@@ -304,22 +337,76 @@ func (s *Server) registerMetrics() error {
 	if err == nil {
 		err = s.reg.RegisterHistogram("xstd_wal_fsync_seconds", "write-ahead-log fsync latency", &s.m.WALFsync)
 	}
+	if err == nil {
+		err = s.reg.RegisterHistogram("xstd_checkpoint_seconds", "log-fold (checkpoint) duration", &s.m.CheckpointDur)
+	}
+	if err == nil {
+		err = s.reg.RegisterHistogram("xstd_mvcc_prune_images", "superseded images reclaimed per version-chain prune (bucket bounds count images)", &s.m.PruneBatch)
+	}
+	gaugeFn := func(name, help string, fn func() int64) {
+		if err == nil {
+			err = s.reg.RegisterGaugeFunc(name, help, fn)
+		}
+	}
+	// Process health: computed at scrape time, no update loop.
+	gaugeFn("xstd_go_goroutines", "live goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	gaugeFn("xstd_heap_bytes", "heap bytes in use", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	gaugeFn("xstd_uptime_seconds", "seconds since the server was built", func() int64 {
+		return int64(time.Since(s.started).Seconds())
+	})
+	if s.cfg.DB != nil {
+		pool := s.cfg.DB.Pool()
+		mgr := s.cfg.DB.WAL()
+		// MVCC/WAL health: long-pinned snapshots hold superseded images
+		// alive and an unchecked log grows recovery time — these gauges
+		// make both visible before they hurt.
+		gaugeFn("xstd_mvcc_snapshot_oldest_seconds", "age of the oldest pinned MVCC snapshot", func() int64 {
+			return int64(pool.OldestPinnedAge().Seconds())
+		})
+		gaugeFn("xstd_mvcc_pinned_snapshots", "MVCC views currently pinned", func() int64 {
+			return int64(pool.ActiveViews())
+		})
+		gaugeFn("xstd_mvcc_superseded_pages", "superseded page images retained for active views", func() int64 {
+			return int64(pool.SupersededImages())
+		})
+		gaugeFn("xstd_mvcc_images_reclaimed_total", "lifetime superseded images dropped by pruning", func() int64 {
+			return int64(pool.ReclaimedImages())
+		})
+		gaugeFn("xstd_wal_bytes_since_checkpoint", "log bytes appended since the last checkpoint", func() int64 {
+			return mgr.LoggedBytes()
+		})
+	}
 	return err
 }
 
 // hookWAL feeds the database's transaction-manager events into the
-// server's metric counters.
+// server's metric counters, and the buffer pool's prune events into the
+// reclaim histogram.
 func (s *Server) hookWAL() {
 	s.cfg.DB.WAL().SetHooks(wal.Hooks{
 		Append: func(bytes int) {
 			s.m.WALAppends.Inc()
 			s.m.WALBytes.Add(uint64(bytes))
 		},
-		Sync:       func(d time.Duration) { s.m.WALFsync.Record(d) },
-		Begin:      func() { s.m.TxnBegin.Inc() },
-		Commit:     func(int) { s.m.TxnCommit.Inc() },
-		Abort:      func() { s.m.TxnAbort.Inc() },
-		Checkpoint: func() { s.m.Checkpoints.Inc() },
+		Sync:   func(d time.Duration) { s.m.WALFsync.Record(d) },
+		Begin:  func() { s.m.TxnBegin.Inc() },
+		Commit: func(int) { s.m.TxnCommit.Inc() },
+		Abort:  func() { s.m.TxnAbort.Inc() },
+		Checkpoint: func(d time.Duration) {
+			s.m.Checkpoints.Inc()
+			s.m.CheckpointDur.Record(d)
+		},
+	})
+	s.cfg.DB.Pool().SetPruneHook(func(images int) {
+		// Image counts ride the histogram's microsecond tick — see the
+		// PruneBatch field comment.
+		s.m.PruneBatch.Record(time.Duration(images) * time.Microsecond)
 	})
 }
 
@@ -576,10 +663,19 @@ func (s *Server) writeResponse(conn net.Conn, resp Response) error {
 func (s *Server) handle(sess *session, req Request, send func(Response) error) (resp Response, quit bool) {
 	start := time.Now()
 	var root *trace.Span
+	var lq *liveQuery
 	defer func() {
 		resp.ID = req.ID
 		resp.ElapsedUS = time.Since(start).Microseconds()
 		s.finishTrace(root, time.Since(start))
+		// A distributed-trace request gets its finished tree on the final
+		// line (after finishTrace ended the root), so the coordinator can
+		// graft this site's spans into its own.
+		if req.TraceID != "" && root != nil && resp.Error == "" {
+			snap := root.Snapshot()
+			resp.Trace = &snap
+		}
+		s.queries.finish(lq, resp.Error != "")
 	}()
 
 	// `.trace <stmt>` runs stmt forcibly traced and answers with the
@@ -596,7 +692,15 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 		return s.handleAdmin(sess, req)
 	}
 
-	if forceTrace || s.cfg.SlowQuery > 0 || s.tracer.Sample() {
+	lq = s.queries.begin(req.Stmt)
+
+	if req.TraceID != "" {
+		// Joining a distributed trace forces tracing: the coordinator
+		// asked for this fragment's spans back.
+		root = trace.NewRootTrace("query", req.TraceID)
+		root.SetNote(req.Stmt)
+		s.m.TracedQueries.Inc()
+	} else if forceTrace || s.cfg.SlowQuery > 0 || s.tracer.Sample() {
 		root = trace.NewRoot("query")
 		root.SetNote(req.Stmt)
 		s.m.TracedQueries.Inc()
@@ -620,6 +724,7 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	tokens := 1
 	var q Query
 	if xlang.IsQuery(req.Stmt) {
+		lq.setPhase("compile")
 		csp := root.Start("compile")
 		var err error
 		if s.cfg.Compile != nil {
@@ -640,6 +745,7 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	// Admission control: a bounded worker-token pool. Queries that
 	// cannot claim their tokens within QueueTimeout are rejected,
 	// bounding both CPU and queueing delay under overload.
+	lq.setPhase("admission")
 	asp := root.Start("admission")
 	admitted := s.acquire(tokens, s.cfg.QueueTimeout)
 	asp.End()
@@ -664,16 +770,24 @@ func (s *Server) handle(sess *session, req Request, send func(Response) error) (
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	ctx = trace.WithSpan(ctx, root)
+	var epoch uint64
 	if rt.View != nil {
 		ctx = store.WithView(ctx, rt.View)
+		epoch = rt.View.Epoch()
 	}
+	// Attribution: the root span (and so the slow-query log) records the
+	// pinned snapshot epoch and worker-token count the statement ran at.
+	root.SetEpoch(epoch)
+	root.SetDOP(tokens)
+	lq.setExec(tokens, epoch)
+	lq.setPhase("exec")
 
 	s.m.InFlight.Inc()
 	var result string
 	var rows int
 	var err error
 	if q != nil {
-		rows, err = s.streamQuery(ctx, q, req, send)
+		rows, err = s.streamQuery(ctx, q, req, lq, send)
 		result = fmt.Sprintf("%d rows", rows)
 	} else {
 		var v core.Value
@@ -729,7 +843,7 @@ func (s *Server) finishTrace(root *trace.Span, elapsed time.Duration) {
 // first rows while the rest are still being computed, and the server
 // never holds a full result. Wire-mode requests get each row in the
 // table codec (base64) instead of rendered text.
-func (s *Server) streamQuery(ctx context.Context, q Query, req Request, send func(Response) error) (int, error) {
+func (s *Server) streamQuery(ctx context.Context, q Query, req Request, lq *liveQuery, send func(Response) error) (int, error) {
 	rows := 0
 	var enc []byte
 	_, err := q.Run(ctx, func(batch []table.Row) error {
@@ -743,6 +857,7 @@ func (s *Server) streamQuery(ctx context.Context, q Query, req Request, send fun
 			}
 		}
 		rows += len(batch)
+		lq.addRows(len(batch))
 		s.m.RowsStreamed.Add(uint64(len(batch)))
 		s.m.BatchesStreamed.Inc()
 		return send(Response{ID: req.ID, Batch: out, More: true})

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xst/internal/core"
+	"xst/internal/table"
+)
+
+// queryRows collects every rendered row of one query statement.
+func queryRows(t *testing.T, c *Client, stmt string) []string {
+	t.Helper()
+	var out []string
+	if _, err := c.Query(stmt, func(rows []string) error {
+		out = append(out, rows...)
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	return out
+}
+
+// fieldsOf splits a rendered tuple `<1,"a",2>` into its fields, with
+// string quotes stripped. Good enough for system rows, whose string
+// fields never contain commas.
+func fieldsOf(row string) []string {
+	parts := strings.Split(strings.Trim(row, "<>"), ",")
+	for i, p := range parts {
+		parts[i] = strings.Trim(strings.TrimSpace(p), `"`)
+	}
+	return parts
+}
+
+// findRow returns the first rendered row whose fields contain every
+// needle, or "".
+func findRow(rows []string, needles ...string) string {
+	for _, r := range rows {
+		ok := true
+		for _, n := range needles {
+			if !strings.Contains(r, n) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	return ""
+}
+
+// TestSysQueriesView: __sys.queries shows finished statements from the
+// recent ring (state ok, phase done) and — because the view snapshots
+// mid-flight — the __sys.queries statement itself as running in its
+// exec phase.
+func TestSysQueriesView(t *testing.T) {
+	_, addr := startServer(t, Config{DB: testDB(t)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := queryRows(t, c, "from cities"); len(got) != 3 {
+		t.Fatalf("from cities returned %d rows", len(got))
+	}
+	if _, err := c.Eval("card(cities)"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := queryRows(t, c, "from __sys.queries")
+	if r := findRow(rows, "from cities", "ok", "done"); r == "" {
+		t.Fatalf("finished statement missing from __sys.queries:\n%s", strings.Join(rows, "\n"))
+	}
+	if r := findRow(rows, "card(cities)", "ok", "done"); r == "" {
+		t.Fatalf("finished eval missing from __sys.queries:\n%s", strings.Join(rows, "\n"))
+	}
+	self := findRow(rows, "from __sys.queries", "run", "exec")
+	if self == "" {
+		t.Fatalf("in-flight statement missing from __sys.queries:\n%s", strings.Join(rows, "\n"))
+	}
+	// The in-flight row carries the admission outcome: dop ≥ 1 and the
+	// pinned snapshot epoch (cols: qid stmt state phase dur_us rows dop epoch).
+	f := fieldsOf(self)
+	if len(f) != 8 {
+		t.Fatalf("__sys.queries row has %d fields, want 8: %s", len(f), self)
+	}
+	if f[6] == "0" {
+		t.Fatalf("in-flight row records dop 0: %s", self)
+	}
+}
+
+// TestSysMetricsAgree: __sys.metrics is the metrics registry — same
+// series names as .metrics, one row each, with live values.
+func TestSysMetricsAgree(t *testing.T) {
+	srv, addr := startServer(t, Config{DB: testDB(t)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows := queryRows(t, c, "from __sys.metrics")
+	want := srv.Registry().Snapshot()
+	if len(rows) != len(want) {
+		t.Fatalf("__sys.metrics has %d rows, registry %d series", len(rows), len(want))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		f := fieldsOf(r)
+		if len(f) != 3 {
+			t.Fatalf("__sys.metrics row has %d fields, want 3: %s", len(f), r)
+		}
+		names[f[0]] = true
+	}
+	for _, m := range want {
+		if !names[m.Name] {
+			t.Fatalf("registry series %s missing from __sys.metrics", m.Name)
+		}
+	}
+	// Spot-check live values: the connection serving the view counted
+	// itself, and the process gauges see a running runtime.
+	for _, series := range []string{"xstd_conns_total", "xstd_go_goroutines", "xstd_heap_bytes", "xstd_mvcc_pinned_snapshots"} {
+		r := findRow(rows, series)
+		if r == "" {
+			t.Fatalf("%s missing from __sys.metrics", series)
+		}
+		if series != "xstd_mvcc_pinned_snapshots" && fieldsOf(r)[2] == "0" {
+			t.Fatalf("%s reads zero: %s", series, r)
+		}
+	}
+	// The view's own statement read under a pinned snapshot.
+	if r := findRow(rows, "xstd_mvcc_pinned_snapshots"); fieldsOf(r)[2] == "0" {
+		t.Fatalf("pinned-snapshots gauge reads zero during a query: %s", r)
+	}
+}
+
+// TestSysSlowAgree: __sys.slow and the .slow admin command project the
+// same ring — the view's rows are the admin snapshots' root notes, in
+// order (the admin call sees one more entry: the view query itself,
+// logged after it finished streaming).
+func TestSysSlowAgree(t *testing.T) {
+	_, addr := startServer(t, Config{DB: testDB(t), SlowQuery: time.Nanosecond})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	queryRows(t, c, "from cities")
+	queryRows(t, c, "from cities where id > 1")
+
+	rows := queryRows(t, c, "from __sys.slow")
+	snaps, err := c.Slow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != len(rows)+1 {
+		t.Fatalf(".slow has %d entries, view had %d rows (want view+1)", len(snaps), len(rows))
+	}
+	for i, r := range rows {
+		if !strings.Contains(r, snaps[i].Note) {
+			t.Fatalf("view row %d %q does not carry .slow stmt %q", i, r, snaps[i].Note)
+		}
+		f := fieldsOf(r)
+		if len(f) != 5 {
+			t.Fatalf("__sys.slow row has %d fields, want 5: %s", len(f), r)
+		}
+		if f[3] == "0" {
+			t.Fatalf("slow row records dop 0: %s", r)
+		}
+	}
+	if snaps[len(snaps)-1].Note != "from __sys.slow" {
+		t.Fatalf("last .slow entry is %q, want the view query", snaps[len(snaps)-1].Note)
+	}
+}
+
+// TestSysStorageViews: the database-derived views answer live state —
+// one __sys.wal health row, the view query's own pinned snapshot in
+// __sys.txns, declared indexes with entry counts, analyze output in
+// __sys.stats.
+func TestSysStorageViews(t *testing.T) {
+	_, addr := startServer(t, Config{DB: testDB(t)})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Eval(".analyze"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Eval(".createindex cities id hash"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := queryRows(t, c, "from __sys.wal")
+	if len(rows) != 1 {
+		t.Fatalf("__sys.wal returned %d rows, want 1", len(rows))
+	}
+	if f := fieldsOf(rows[0]); len(f) != 6 {
+		t.Fatalf("__sys.wal row has %d fields, want 6: %s", len(f), rows[0])
+	}
+
+	// The __sys.txns statement reads under its own pinned snapshot, so
+	// the view can never be empty while it runs.
+	rows = queryRows(t, c, "from __sys.txns")
+	if len(rows) == 0 {
+		t.Fatal("__sys.txns empty during its own query")
+	}
+
+	rows = queryRows(t, c, "from __sys.indexes")
+	if r := findRow(rows, "cities", "id", "hash", "3"); r == "" {
+		t.Fatalf("__sys.indexes missing the declared index:\n%s", strings.Join(rows, "\n"))
+	}
+
+	rows = queryRows(t, c, "from __sys.stats")
+	for _, col := range []string{"id", "name"} {
+		if r := findRow(rows, "cities", col, "3"); r == "" {
+			t.Fatalf("__sys.stats missing cities.%s:\n%s", col, strings.Join(rows, "\n"))
+		}
+	}
+}
+
+// gaugeVal reads one registry series' current value by name.
+func gaugeVal(t *testing.T, srv *Server, name string) int64 {
+	t.Helper()
+	for _, m := range srv.Registry().Snapshot() {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	t.Fatalf("series %s not registered", name)
+	return 0
+}
+
+// TestMVCCWALGauges: the MVCC/WAL health telemetry moves with the
+// machinery it watches — pinning a snapshot and committing writes
+// raises the pinned/superseded gauges, releasing the pin prunes (prune
+// histogram + reclaimed counter), checkpointing records a duration and
+// zeroes the bytes-since-checkpoint gauge.
+func TestMVCCWALGauges(t *testing.T) {
+	db := testDB(t)
+	srv, _ := startServer(t, Config{DB: db})
+
+	rt := db.BeginRead()
+	rows := make([]table.Row, 60)
+	for i := range rows {
+		rows[i] = table.Row{core.Int(int64(100 + i)), core.Str(fmt.Sprintf("town%02d", i))}
+	}
+	if err := db.Load(context.Background(), "cities", rows); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := gaugeVal(t, srv, "xstd_mvcc_pinned_snapshots"); got < 1 {
+		t.Fatalf("pinned snapshots = %d with a view held", got)
+	}
+	superseded := gaugeVal(t, srv, "xstd_mvcc_superseded_pages")
+	if superseded < 1 {
+		t.Fatal("no superseded pages after committing over a pinned snapshot")
+	}
+	if db.Pool().OldestPinnedAge() <= 0 {
+		t.Fatal("oldest pinned age not advancing")
+	}
+	if got := gaugeVal(t, srv, "xstd_wal_bytes_since_checkpoint"); got <= 0 {
+		t.Fatalf("wal bytes since checkpoint = %d after a load", got)
+	}
+
+	rt.View.Release()
+	if got := gaugeVal(t, srv, "xstd_mvcc_superseded_pages"); got != 0 {
+		t.Fatalf("superseded pages = %d after releasing the only pin", got)
+	}
+	if got := gaugeVal(t, srv, "xstd_mvcc_images_reclaimed_total"); got < superseded {
+		t.Fatalf("reclaimed %d images, want ≥ %d", got, superseded)
+	}
+	if srv.Metrics().PruneBatch.Count() == 0 {
+		t.Fatal("prune histogram recorded nothing")
+	}
+	if got := gaugeVal(t, srv, "xstd_mvcc_pinned_snapshots"); got != 0 {
+		t.Fatalf("pinned snapshots = %d after release", got)
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Metrics().CheckpointDur.Count() == 0 {
+		t.Fatal("checkpoint histogram recorded nothing")
+	}
+	if got := srv.Metrics().Checkpoints.Value(); got < 1 {
+		t.Fatalf("checkpoints counter = %d", got)
+	}
+	if got := gaugeVal(t, srv, "xstd_wal_bytes_since_checkpoint"); got != 0 {
+		t.Fatalf("wal bytes since checkpoint = %d right after a checkpoint", got)
+	}
+}

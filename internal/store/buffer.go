@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Stats counts buffer-pool activity. The set-vs-record experiments read
@@ -79,6 +80,13 @@ type BufferPool struct {
 	epoch    uint64                   // last committed epoch
 	active   map[uint64]int           // epoch → pinned-view count
 	versions map[PageID][]pageVersion // superseded images, ascending super
+
+	// MVCC health telemetry (view.go): when each active epoch was first
+	// pinned, how many superseded images pruning has dropped over the
+	// pool's lifetime, and an optional per-prune observation hook.
+	pinnedAt  map[uint64]time.Time
+	reclaimed uint64
+	onPrune   func(images int)
 }
 
 // NewBufferPool builds a pool with the given frame capacity (≥ 1).
@@ -93,6 +101,7 @@ func NewBufferPool(p Pager, frames int) *BufferPool {
 		cap:      frames,
 		active:   map[uint64]int{},
 		versions: map[PageID][]pageVersion{},
+		pinnedAt: map[uint64]time.Time{},
 	}
 }
 

@@ -3,6 +3,8 @@ package store
 import (
 	"context"
 	"errors"
+	"sort"
+	"time"
 )
 
 // This file is the MVCC face of the buffer pool: a monotonically
@@ -76,6 +78,9 @@ func (bp *BufferPool) NewView() *View {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	bp.active[bp.epoch]++
+	if bp.active[bp.epoch] == 1 {
+		bp.pinnedAt[bp.epoch] = time.Now()
+	}
 	return &View{bp: bp, epoch: bp.epoch}
 }
 
@@ -103,22 +108,36 @@ func (v *View) Release() {
 	v.released = true
 	bp := v.bp
 	bp.mu.Lock()
-	defer bp.mu.Unlock()
 	bp.active[v.epoch]--
 	if bp.active[v.epoch] <= 0 {
 		delete(bp.active, v.epoch)
+		delete(bp.pinnedAt, v.epoch)
 	}
-	bp.pruneVersionsLocked()
+	reclaimed := bp.pruneVersionsLocked()
+	hook := bp.onPrune
+	bp.mu.Unlock()
+	// The hook runs outside the pool mutex: prune observations feed a
+	// metrics histogram and must never extend the lock's critical
+	// section.
+	if hook != nil && reclaimed > 0 {
+		hook(reclaimed)
+	}
 }
 
-// pruneVersionsLocked drops versions below every active view's epoch.
-func (bp *BufferPool) pruneVersionsLocked() {
+// pruneVersionsLocked drops versions below every active view's epoch
+// and returns how many superseded images it reclaimed.
+func (bp *BufferPool) pruneVersionsLocked() int {
 	if len(bp.versions) == 0 {
-		return
+		return 0
 	}
+	reclaimed := 0
 	if len(bp.active) == 0 {
+		for _, vs := range bp.versions {
+			reclaimed += len(vs)
+		}
 		bp.versions = map[PageID][]pageVersion{}
-		return
+		bp.reclaimed += uint64(reclaimed)
+		return reclaimed
 	}
 	min := uint64(^uint64(0))
 	for e := range bp.active {
@@ -132,11 +151,84 @@ func (bp *BufferPool) pruneVersionsLocked() {
 			i++
 		}
 		if i == len(vs) {
+			reclaimed += len(vs)
 			delete(bp.versions, id)
 		} else if i > 0 {
+			reclaimed += i
 			bp.versions[id] = vs[i:]
 		}
 	}
+	bp.reclaimed += uint64(reclaimed)
+	return reclaimed
+}
+
+// SetPruneHook installs a per-prune observer called with the number of
+// superseded images each version-chain prune reclaims (outside the pool
+// mutex). One observer; nil clears it.
+func (bp *BufferPool) SetPruneHook(fn func(images int)) {
+	bp.mu.Lock()
+	bp.onPrune = fn
+	bp.mu.Unlock()
+}
+
+// EpochPin describes one pinned snapshot epoch: its refcount and when
+// its first still-active pin was taken.
+type EpochPin struct {
+	Epoch uint64
+	Refs  int
+	Since time.Time
+}
+
+// ActivePins reports the pinned snapshot epochs, ascending — the
+// `__sys.txns` view's rows.
+func (bp *BufferPool) ActivePins() []EpochPin {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make([]EpochPin, 0, len(bp.active))
+	for e, refs := range bp.active {
+		out = append(out, EpochPin{Epoch: e, Refs: refs, Since: bp.pinnedAt[e]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// OldestPinnedAge reports how long the oldest still-pinned snapshot has
+// been held, or 0 with none active — the gauge that exposes long-pinned
+// snapshots holding superseded pages alive.
+func (bp *BufferPool) OldestPinnedAge() time.Duration {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var oldest time.Time
+	for _, at := range bp.pinnedAt {
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+// SupersededImages reports how many superseded page images the pool
+// currently retains for active views (VersionedPages counts pages; a
+// page may carry several images).
+func (bp *BufferPool) SupersededImages() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, vs := range bp.versions {
+		n += len(vs)
+	}
+	return n
+}
+
+// ReclaimedImages reports the lifetime total of superseded images
+// dropped by version-chain pruning.
+func (bp *BufferPool) ReclaimedImages() uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.reclaimed
 }
 
 // viewPage is a resolved snapshot page: an immutable image captured

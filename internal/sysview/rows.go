@@ -1,0 +1,46 @@
+package sysview
+
+import (
+	"xst/internal/core"
+	"xst/internal/metrics"
+	"xst/internal/table"
+	"xst/internal/trace"
+)
+
+// MetricsRows flattens a registry snapshot into __sys.metrics rows:
+// (name, kind, value), with histograms reporting their observation
+// count — the same Value the registry's JSON snapshot carries, so the
+// view and the `.metrics` admin snapshot agree by construction.
+func MetricsRows(snap []metrics.MetricSnapshot) []table.Row {
+	out := make([]table.Row, 0, len(snap))
+	for _, m := range snap {
+		out = append(out, table.Row{core.Str(m.Name), core.Str(m.Kind), core.Int(m.Value)})
+	}
+	return out
+}
+
+// SlowRows projects the slow-query ring's span trees into __sys.slow
+// rows: (stmt, dur_us, rows, dop, epoch). The statement is the root
+// span's note; row counts come from the root or, when the root carries
+// none, its exec child — the same tree the `.slow` admin command
+// returns, so the view and the admin snapshot agree by construction.
+func SlowRows(snaps []trace.SpanSnapshot) []table.Row {
+	out := make([]table.Row, 0, len(snaps))
+	for i := range snaps {
+		s := &snaps[i]
+		rows := s.Rows
+		if rows == 0 {
+			if e := s.Find("exec"); e != nil {
+				rows = e.Rows
+			}
+		}
+		out = append(out, table.Row{
+			core.Str(s.Note),
+			core.Int(s.DurNS / 1e3),
+			core.Int(rows),
+			core.Int(int64(s.DOP)),
+			core.Int(s.Epoch),
+		})
+	}
+	return out
+}

@@ -37,9 +37,11 @@ import (
 // by the goroutine that owns the span; Start (child attach) is safe
 // from any goroutine.
 type Span struct {
-	name  string
-	start time.Time
-	durNs int64
+	name    string
+	id      uint64 // process-unique span id
+	traceID string // inherited root→leaf; one per NewRoot
+	start   time.Time
+	durNs   int64
 
 	// Counters, written by the owning goroutine, read after End.
 	rows     int64
@@ -48,15 +50,35 @@ type Span struct {
 	held     int64
 	bytes    int64
 	estRows  int64
+	epoch    int64 // pinned MVCC snapshot epoch (0 = unset)
+	dop      int   // degree of parallelism (0 = unset)
 	note     string
 
 	mu       sync.Mutex
 	children []*Span
 }
 
-// NewRoot opens a top-level span. End it before snapshotting.
+// nextSpanID mints process-unique span ids; traceSeq distinguishes
+// trace ids minted by this process.
+var (
+	nextSpanID atomic.Uint64
+	traceSeq   atomic.Uint64
+	traceEra   = uint64(time.Now().UnixNano())
+)
+
+// NewRoot opens a top-level span with a freshly minted trace id. End it
+// before snapshotting.
 func NewRoot(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	tid := fmt.Sprintf("%x-%x", traceEra, traceSeq.Add(1))
+	return NewRootTrace(name, tid)
+}
+
+// NewRootTrace opens a top-level span that joins an existing
+// distributed trace: a federation site serving a fragment adopts the
+// coordinator's trace id from the wire so every machine's spans carry
+// the same trace identity.
+func NewRootTrace(name, traceID string) *Span {
+	return &Span{name: name, id: nextSpanID.Add(1), traceID: traceID, start: time.Now()}
 }
 
 // Start opens a child span under s. It is nil-safe — on a nil receiver
@@ -66,11 +88,28 @@ func (s *Span) Start(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, id: nextSpanID.Add(1), traceID: s.traceID, start: time.Now()}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// ID reports the span's process-unique id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID reports the distributed trace identity the span belongs to
+// ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
 }
 
 // End closes the span, fixing its duration. Idempotent in effect (a
@@ -78,6 +117,20 @@ func (s *Span) Start(name string) *Span {
 func (s *Span) End() {
 	if s == nil {
 		return
+	}
+	s.durNs = time.Since(s.start).Nanoseconds()
+}
+
+// EndErr closes the span and notes the error that ended it — the shape
+// for spans covering fallible work (a remote fragment attempt, a dead
+// site), whose failure must stay visible in the rendered tree. A nil
+// error is a plain End.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.note = "error: " + err.Error()
 	}
 	s.durNs = time.Since(s.start).Nanoseconds()
 }
@@ -146,11 +199,63 @@ func (s *Span) SetEstRows(n int64) {
 	s.estRows = n
 }
 
+// SetEpoch records the MVCC snapshot epoch the traced work read at, so
+// slow entries are attributable to stale-snapshot reads.
+func (s *Span) SetEpoch(epoch uint64) {
+	if s == nil {
+		return
+	}
+	s.epoch = int64(epoch)
+}
+
+// SetDOP records the degree of parallelism the traced query ran at.
+func (s *Span) SetDOP(dop int) {
+	if s == nil {
+		return
+	}
+	s.dop = dop
+}
+
+// AttachSnapshot grafts a remote span tree under s as synthetic local
+// spans: each node gets a fresh process-unique id (so a merged
+// coordinator tree never carries duplicate ids, even across fragment
+// retries) and inherits s's trace id, while keeping the remote
+// durations, counters and notes. This is how a Remote operator folds a
+// site's returned trace into the coordinator's tree.
+func (s *Span) AttachSnapshot(snap SpanSnapshot) {
+	if s == nil {
+		return
+	}
+	c := &Span{
+		name:     snap.Name,
+		id:       nextSpanID.Add(1),
+		traceID:  s.traceID,
+		durNs:    snap.DurNS,
+		rows:     snap.Rows,
+		batches:  snap.Batches,
+		maxBatch: snap.MaxBatch,
+		held:     snap.Held,
+		bytes:    snap.Bytes,
+		estRows:  snap.EstRows,
+		epoch:    snap.Epoch,
+		dop:      snap.DOP,
+		note:     snap.Note,
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	for _, child := range snap.Children {
+		c.AttachSnapshot(child)
+	}
+}
+
 // SpanSnapshot is an immutable deep copy of a finished span tree —
 // what the slow-query log stores and the `.trace` admin command
 // returns as JSON.
 type SpanSnapshot struct {
 	Name     string         `json:"name"`
+	ID       uint64         `json:"id,omitempty"`
+	TraceID  string         `json:"trace_id,omitempty"`
 	DurNS    int64          `json:"dur_ns"`
 	Rows     int64          `json:"rows,omitempty"`
 	Batches  int64          `json:"batches,omitempty"`
@@ -158,6 +263,8 @@ type SpanSnapshot struct {
 	Held     int64          `json:"held,omitempty"`
 	Bytes    int64          `json:"bytes,omitempty"`
 	EstRows  int64          `json:"est_rows,omitempty"`
+	Epoch    int64          `json:"epoch,omitempty"`
+	DOP      int            `json:"dop,omitempty"`
 	Note     string         `json:"note,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
@@ -171,6 +278,8 @@ func (s *Span) Snapshot() SpanSnapshot {
 	}
 	snap := SpanSnapshot{
 		Name:     s.name,
+		ID:       s.id,
+		TraceID:  s.traceID,
 		DurNS:    s.durNs,
 		Rows:     s.rows,
 		Batches:  s.batches,
@@ -178,6 +287,8 @@ func (s *Span) Snapshot() SpanSnapshot {
 		Held:     s.held,
 		Bytes:    s.bytes,
 		EstRows:  s.estRows,
+		Epoch:    s.epoch,
+		DOP:      s.dop,
 		Note:     s.note,
 	}
 	s.mu.Lock()

@@ -26,8 +26,9 @@ type Hooks struct {
 	Commit func(pages int)
 	// Abort fires when a transaction aborts.
 	Abort func()
-	// Checkpoint fires when the log is folded into the base.
-	Checkpoint func()
+	// Checkpoint fires when the log is folded into the base, with how
+	// long the fold (base sync + log sync + truncate) took.
+	Checkpoint func(d time.Duration)
 }
 
 // SetHooks installs observation hooks (replacing any previous set).
@@ -99,6 +100,7 @@ func (m *Manager) syncLog() error {
 // already be applied to the base — true for both Commit and CommitWith
 // through the buffer pool.
 func (m *Manager) Checkpoint() error {
+	start := time.Now()
 	if s, ok := m.base.(interface{ Sync() error }); ok {
 		if err := s.Sync(); err != nil {
 			return err
@@ -112,12 +114,21 @@ func (m *Manager) Checkpoint() error {
 	}
 	m.mu.Lock()
 	m.logBytes = 0
+	m.checkpoints++
 	hook := m.hooks.Checkpoint
 	m.mu.Unlock()
 	if hook != nil {
-		hook()
+		hook(time.Since(start))
 	}
 	return nil
+}
+
+// Checkpoints reports how many times the log has been folded into the
+// base since the manager was created.
+func (m *Manager) Checkpoints() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpoints
 }
 
 // CommitWith logs every dirty page plus the commit marker, syncs the

@@ -180,13 +180,14 @@ var ErrTxnDone = errors.New("wal: transaction already finished")
 
 // Manager coordinates transactions over a base pager and a log.
 type Manager struct {
-	mu       sync.Mutex
-	base     store.Pager
-	log      Log
-	nextTxn  uint64
-	hooks    Hooks
-	noSync   bool
-	logBytes int64 // appended since open/checkpoint
+	mu          sync.Mutex
+	base        store.Pager
+	log         Log
+	nextTxn     uint64
+	hooks       Hooks
+	noSync      bool
+	logBytes    int64 // appended since open/checkpoint
+	checkpoints int64 // lifetime log-fold count
 }
 
 // NewManager builds a manager. Call Recover first when reopening

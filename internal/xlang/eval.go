@@ -22,6 +22,9 @@ import (
 type Env struct {
 	vars   map[string]core.Value
 	tables map[string]*table.Table
+	// virtuals are on-demand computed tables (the `__sys.*` system
+	// views); consulted by query statements after stored tables.
+	virtuals map[string]VirtualTable
 	// planCat provides the planner catalog (statistics + indexes) for
 	// query compilation. A provider rather than a snapshot: `.analyze`
 	// and CREATE INDEX update the database's catalog, and every session
@@ -31,7 +34,11 @@ type Env struct {
 
 // NewEnv returns an empty environment.
 func NewEnv() *Env {
-	return &Env{vars: map[string]core.Value{}, tables: map[string]*table.Table{}}
+	return &Env{
+		vars:     map[string]core.Value{},
+		tables:   map[string]*table.Table{},
+		virtuals: map[string]VirtualTable{},
+	}
 }
 
 // Clone returns an independent copy of the environment: later Binds on
@@ -47,7 +54,11 @@ func (e *Env) Clone() *Env {
 	for k, t := range e.tables {
 		tables[k] = t
 	}
-	return &Env{vars: vars, tables: tables, planCat: e.planCat}
+	virtuals := make(map[string]VirtualTable, len(e.virtuals))
+	for k, v := range e.virtuals {
+		virtuals[k] = v
+	}
+	return &Env{vars: vars, tables: tables, virtuals: virtuals, planCat: e.planCat}
 }
 
 // BindPlanCatalog registers a planner-catalog provider (statistics and

@@ -208,8 +208,20 @@ func lex(src string) ([]token, error) {
 			}
 		case isIdentStart(rune(c)):
 			start := i
-			for i < len(src) && isIdentPart(rune(src[i])) {
-				i++
+			for i < len(src) {
+				if isIdentPart(rune(src[i])) {
+					i++
+					continue
+				}
+				// A dot continues the identifier when another identifier
+				// character follows, so qualified names like
+				// `__sys.queries` lex as one token. A bare '.' after an
+				// identifier stays the lex error it always was.
+				if src[i] == '.' && i+1 < len(src) && isIdentPart(rune(src[i+1])) {
+					i += 2
+					continue
+				}
+				break
 			}
 			emit(tokIdent, src[start:i], start)
 		default:

@@ -164,6 +164,24 @@ func (p *qparser) ident(what string) (token, error) {
 	return p.next(), nil
 }
 
+// tableNode resolves a from/join table reference. Stored tables win;
+// otherwise a bound virtual table (system view) enters the plan as a
+// Source leaf whose operator computes the rows when the query opens.
+func (p *qparser) tableNode(t token) (plan.Node, error) {
+	if tab, ok := p.env.Table(t.text); ok {
+		return &plan.Scan{Table: tab}, nil
+	}
+	if v, ok := p.env.Virtual(t.text); ok {
+		return &plan.Source{
+			Sch:   v.Schema(),
+			Rows:  v.EstRows(),
+			Label: "sysview(" + t.text + ")",
+			New:   v.NewOp,
+		}, nil
+	}
+	return nil, evalErr(t.pos, "unknown table %q", t.text)
+}
+
 // needCol checks that a referenced column exists in the current plan's
 // schema.
 func needCol(sch table.Schema, t token) error {
@@ -181,20 +199,19 @@ func (p *qparser) parse() (plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, ok := p.env.Table(t.text)
-	if !ok {
-		return nil, evalErr(t.pos, "unknown table %q", t.text)
+	n, err := p.tableNode(t)
+	if err != nil {
+		return nil, err
 	}
-	var n plan.Node = &plan.Scan{Table: tab}
 
 	for p.eat("join") {
 		jt, err := p.ident("table name")
 		if err != nil {
 			return nil, err
 		}
-		jtab, ok := p.env.Table(jt.text)
-		if !ok {
-			return nil, evalErr(jt.pos, "unknown table %q", jt.text)
+		jn, err := p.tableNode(jt)
+		if err != nil {
+			return nil, err
 		}
 		if !p.eat("on") {
 			return nil, errAt(p.cur().pos, "expected 'on' after join table")
@@ -214,10 +231,10 @@ func (p *qparser) parse() (plan.Node, error) {
 		if err := needCol(n.Schema(), lc); err != nil {
 			return nil, err
 		}
-		if err := needCol(jtab.Schema(), rc); err != nil {
+		if err := needCol(jn.Schema(), rc); err != nil {
 			return nil, err
 		}
-		n = &plan.Join{Left: n, Right: &plan.Scan{Table: jtab}, LeftCol: lc.text, RightCol: rc.text}
+		n = &plan.Join{Left: n, Right: jn, LeftCol: lc.text, RightCol: rc.text}
 	}
 
 	if p.eat("where") {
